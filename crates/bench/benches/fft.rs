@@ -1,0 +1,43 @@
+//! FFT substrate micro-benchmarks: the 2-D transforms every propagation
+//! performs, across power-of-two (radix-2) and awkward (Bluestein) sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use holoar_fft::{Complex64, Fft2d, FftPlanner};
+use std::hint::black_box;
+
+fn bench_fft_1d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_1d");
+    for n in [256usize, 512, 480, 1024] {
+        let plan = FftPlanner::new().plan(n);
+        let signal: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64).sin(), 0.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = signal.clone();
+                plan.forward(black_box(&mut buf));
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft_2d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_2d");
+    for n in [64usize, 128, 256] {
+        let fft = Fft2d::new(n, n);
+        let field: Vec<Complex64> =
+            (0..n * n).map(|i| Complex64::new((i as f64 * 0.1).cos(), 0.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = field.clone();
+                fft.forward(black_box(&mut buf));
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft_1d, bench_fft_2d);
+criterion_main!(benches);

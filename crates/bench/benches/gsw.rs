@@ -1,0 +1,32 @@
+//! GSW iteration cost: the paper profiles five iterations (§2.2.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use holoar_optics::{gsw, GswConfig, OpticalConfig, VirtualObject};
+use std::hint::black_box;
+
+fn bench_gsw(c: &mut Criterion) {
+    let cfg = OpticalConfig::default();
+    let depthmap = VirtualObject::Dice.render(48, 48, 0.006, 0.002);
+    let stack = depthmap.slice(4, cfg);
+    let mut group = c.benchmark_group("gsw_iterations_48px");
+    group.sample_size(10);
+    for iterations in [1usize, 3, 5] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(iterations),
+            &iterations,
+            |b, &iters| {
+                b.iter(|| {
+                    gsw::run(
+                        black_box(&stack),
+                        cfg,
+                        GswConfig { iterations: iters, adaptivity: 1.0 },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gsw);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig 4b's shape on the real math path: depthmap hologram cost versus
+//! depth-plane count (the performance path measures the same sweep on the
+//! GPU model; see the `gpusim` bench).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use holoar_optics::{algorithm1, OpticalConfig, VirtualObject};
+use std::hint::black_box;
+
+fn bench_plane_sweep(c: &mut Criterion) {
+    let cfg = OpticalConfig::default();
+    let depthmap = VirtualObject::Planet.render(64, 64, 0.006, 0.003);
+    let mut group = c.benchmark_group("hologram_planes_64px");
+    for planes in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(planes), &planes, |b, &p| {
+            b.iter(|| algorithm1::depthmap_hologram(black_box(&depthmap), p, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plane_sweep);
+criterion_main!(benches);

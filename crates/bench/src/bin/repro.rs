@@ -1,0 +1,70 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage: `repro [<experiment>...] [--frames N] [--seed S]`
+//! where `<experiment>` is one of the ids in
+//! [`holoar_bench::ALL_EXPERIMENTS`] or `all` (the default).
+
+use holoar_bench::{experiments, ExperimentConfig};
+
+fn main() {
+    let mut cfg = ExperimentConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut csv_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--csv" => {
+                csv_path =
+                    Some(args.next().unwrap_or_else(|| die("--csv requires a file path")));
+            }
+            "--frames" => {
+                cfg.frames = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--frames requires a positive integer"));
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed requires an integer"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [<experiment>...] [--frames N] [--seed S] [--csv FILE]\n\
+                     experiments: {} all\n\
+                     --csv writes the Fig 7/8 evaluation matrix as CSV to FILE",
+                    experiments::ALL_EXPERIMENTS.join(" ")
+                );
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = experiments::ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        match experiments::run(id, &cfg) {
+            Ok(report) => println!("{report}"),
+            Err(e) => die(&e),
+        }
+    }
+    if let Some(path) = csv_path {
+        let matrix = holoar_core::evaluation::evaluate_matrix(
+            &mut holoar_gpusim::Device::xavier(),
+            cfg.frames,
+            cfg.seed,
+        );
+        let csv = holoar_bench::csv::matrix_to_csv(&matrix);
+        if let Err(e) = std::fs::write(&path, csv) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote evaluation matrix to {path}");
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

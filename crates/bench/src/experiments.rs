@@ -1,0 +1,739 @@
+//! One function per paper artifact: each regenerates the table/figure's
+//! rows/series and returns a text report with the paper's number alongside.
+//!
+//! Frame budgets are scaled down from the published videos' hundreds of
+//! thousands of frames (the generators are stationary, so a few hundred
+//! frames estimate the same means); the `frames` parameter of
+//! [`ExperimentConfig`] controls the budget.
+
+use crate::report::{ms, pct, Table};
+use holoar_core::{evaluation, quality, Horn8Model, HoloArConfig, Planner, Scheme};
+use holoar_gpusim::hologram_kernels::{self, HologramJob};
+use holoar_gpusim::{calibration, Device, Profiler};
+use holoar_optics::{algorithm1, reconstruct, OpticalConfig, Propagator, Pupil, VirtualObject};
+use holoar_pipeline::characterize::characterize;
+use holoar_pipeline::task::TaskKind;
+use holoar_sensors::angles::{deg, AngularPoint};
+use holoar_sensors::objectron::VideoCategory;
+use holoar_sensors::pose::PoseEstimate;
+use holoar_sensors::stats::{dataset_study, gaze_study};
+
+/// Budget knobs for the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Frames evaluated per (video, scheme) cell.
+    pub frames: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig { frames: 150, seed: 42 }
+    }
+}
+
+/// Table 1: ideal latency requirements.
+pub fn table1(_cfg: &ExperimentConfig) -> String {
+    let mut t = Table::new(["Task", "Ideal Latency (ms)", "Algo."]);
+    for kind in TaskKind::ALL {
+        t.row([kind.name().to_string(), ms(kind.ideal_latency()), kind.algorithm().to_string()]);
+    }
+    format!("== Table 1: ideal latency requirements ==\n{}", t.render())
+}
+
+/// Fig 2: practical vs ideal latency per pipeline task.
+pub fn fig2(_cfg: &ExperimentConfig) -> String {
+    let mut device = Device::xavier();
+    let rows = characterize(&mut device);
+    let mut t = Table::new(["Task", "Ideal (ms)", "Measured (ms)", "Gap", "Meets?"]);
+    for r in &rows {
+        t.row([
+            r.kind.name().to_string(),
+            ms(r.ideal),
+            ms(r.measured),
+            format!("{:.1}x", r.gap()),
+            if r.meets_deadline() { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    format!(
+        "== Fig 2: pipeline characterization ==\n{}\
+         paper: pose 13.8 ms, eye 4.4 ms, scene-reconstruct 120 ms, hologram 341.7 ms (~10x gap)\n",
+        t.render()
+    )
+}
+
+/// Fig 3: the dataset study (object statistics + gaze temporal locality).
+pub fn fig3(cfg: &ExperimentConfig) -> String {
+    let rows = dataset_study(cfg.seed, cfg.frames.max(500));
+    let mut t = Table::new([
+        "Video",
+        "Obj/Frame",
+        "(paper)",
+        "Cam2ObjDist m",
+        "(paper)",
+        "ObjSize m",
+        "(paper)",
+    ]);
+    for r in &rows {
+        t.row([
+            r.category.name().to_string(),
+            format!("{:.2}", r.measured.objects_per_frame),
+            format!("{:.1}", r.expected_objects_per_frame),
+            format!("{:.2}", r.measured.mean_distance),
+            format!("{:.2}", r.expected_distance),
+            format!("{:.2}", r.measured.mean_size),
+            format!("{:.2}", r.expected_size),
+        ]);
+    }
+    let users = gaze_study(cfg.seed, 10.0);
+    let mut g = Table::new(["User", "Locality (5°, 1 s)", "Centroid az°", "Centroid el°"]);
+    for u in &users {
+        let c = u.trace.centroid();
+        g.row([
+            format!("User{}", u.user),
+            format!("{:.2}", u.locality),
+            format!("{:.1}", c.azimuth.to_degrees()),
+            format!("{:.1}", c.elevation.to_degrees()),
+        ]);
+    }
+    let sim13 =
+        holoar_sensors::gaze::heatmap_overlap(&users[0].heatmap, &users[2].heatmap);
+    let sim12 =
+        holoar_sensors::gaze::heatmap_overlap(&users[0].heatmap, &users[1].heatmap);
+    format!(
+        "== Fig 3a: object statistics per category ==\n{}\n\
+         == Fig 3b: gaze temporal locality (10 s @ 30 Hz) ==\n{}\
+         heatmap overlap User1~User3: {sim13:.2}, User1~User2: {sim12:.2} \
+         (paper: User1 similar to User3, User2 bottom-left)\n",
+        t.render(),
+        g.render()
+    )
+}
+
+/// Fig 4b: hologram latency versus depth-plane count (forward vs backward).
+pub fn fig4(_cfg: &ExperimentConfig) -> String {
+    let mut device = Device::xavier();
+    let mut t =
+        Table::new(["Planes", "Forward (ms)", "Backward (ms)", "Total (ms)", "vs 2x planes"]);
+    let plane_counts = [2u32, 4, 8, 16, 32];
+    let mut totals = Vec::new();
+    for &p in &plane_counts {
+        let (fwd, bwd) =
+            hologram_kernels::step_latencies(&mut device, calibration::HOLOGRAM_PIXELS, p);
+        totals.push(fwd + bwd);
+        t.row([
+            p.to_string(),
+            ms(fwd),
+            ms(bwd),
+            ms(fwd + bwd),
+            if totals.len() >= 2 {
+                format!("{:.2}x", totals[totals.len() - 1] / totals[totals.len() - 2])
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    format!(
+        "== Fig 4b: latency vs depth planes (512², 5 GSW iterations) ==\n{}\
+         paper: the two steps take similar times; 2x planes ≈ 2x latency; 16 planes > 300 ms\n",
+        t.render()
+    )
+}
+
+/// Fig 5: the three approximation scenarios on a worked 3-object example.
+pub fn fig5(_cfg: &ExperimentConfig) -> String {
+    use holoar_sensors::objectron::{Frame, ObjectAnnotation};
+    // Soccer ball near center, football right of gaze, box far outside.
+    let ball = ObjectAnnotation {
+        track_id: 1,
+        direction: AngularPoint::new(deg(-4.0), 0.0),
+        distance: 1.4,
+        size: 0.22,
+    };
+    let football = ObjectAnnotation {
+        track_id: 2,
+        direction: AngularPoint::new(deg(12.0), deg(-4.0)),
+        distance: 0.6,
+        size: 0.28,
+    };
+    let boxobj = ObjectAnnotation {
+        track_id: 3,
+        direction: AngularPoint::new(deg(45.0), deg(10.0)),
+        distance: 1.0,
+        size: 0.4,
+    };
+    let frame = Frame { index: 0, objects: vec![ball, football, boxobj] };
+    let pose = PoseEstimate { orientation: AngularPoint::CENTER, latency: 0.01375 };
+    let gaze = ball.direction;
+
+    let mut out = String::from("== Fig 5: three approximation opportunities ==\n");
+    for scheme in Scheme::ALL {
+        let mut planner = Planner::new(HoloArConfig::for_scheme(scheme)).unwrap();
+        let plan = planner.plan_frame(&frame, &pose, gaze, 0.0044);
+        let mut t = Table::new(["Object", "Coverage", "In RoF", "Planes"]);
+        for (item, name) in plan.items.iter().zip(["soccer ball", "football", "box"]) {
+            t.row([
+                name.to_string(),
+                format!("{:.2}", item.coverage),
+                if item.in_rof { "yes" } else { "no" }.to_string(),
+                item.planes.to_string(),
+            ]);
+        }
+        out.push_str(&format!("-- {} --\n{}", scheme.name(), t.render()));
+    }
+    out.push_str(
+        "paper: box skipped by the viewing window; unattended objects approximated by \
+         Inter-Holo; far/small objects approximated by Intra-Holo\n",
+    );
+    out
+}
+
+/// §3's NVPROF profile: SM utilization, L1 hit rate and stall breakdowns.
+pub fn sec3(_cfg: &ExperimentConfig) -> String {
+    let mut device = Device::xavier();
+    let mut profiler = Profiler::new();
+    let kernels = hologram_kernels::job_kernels(&HologramJob::full(16));
+    for stats in device.execute_all(&kernels) {
+        profiler.record(&stats);
+    }
+    let mut out = String::from("== Section 3: hologram kernel profile ==\n");
+    out.push_str(&profiler.report());
+    out.push_str(
+        "paper: SM util 74% fwd / 90% bwd; L1 hit 99%; fwd stalls led by Data Request (21%), \
+         Execution Dependency (19%), Instruction Fetch (15%), Sync (10%); bwd by Read-only \
+         Loads (42%), Sync (24%), Data Request (16%), Execution Dependency (6%)\n",
+    );
+    out
+}
+
+/// Table 2: the six videos' statistics as generated.
+pub fn table2(cfg: &ExperimentConfig) -> String {
+    let rows = dataset_study(cfg.seed, cfg.frames.max(500));
+    let mut t =
+        Table::new(["No.", "Video", "#Frames (paper)", "#Obj/Frame", "Distance", "ObjSize"]);
+    for (i, r) in rows.iter().enumerate() {
+        let spec = r.category.spec();
+        t.row([
+            (i + 1).to_string(),
+            r.category.name().to_string(),
+            format!("{}k", spec.frames / 1000),
+            format!("{:.2} ({:.1})", r.measured.objects_per_frame, spec.objects_per_frame),
+            format!("{:.2}m ({:.2}m)", r.measured.mean_distance, spec.distance),
+            format!("{:.2}m ({:.2}m)", r.measured.mean_size, spec.size),
+        ]);
+    }
+    format!("== Table 2: videos (measured vs paper) ==\n{}", t.render())
+}
+
+/// Fig 7: power, latency and energy across videos and configurations, plus
+/// the fleet headline numbers.
+pub fn fig7(cfg: &ExperimentConfig) -> String {
+    let mut device = Device::xavier();
+    let matrix = evaluation::evaluate_matrix(&mut device, cfg.frames, cfg.seed);
+    let mut out = String::from("== Fig 7: power / latency / energy per video and config ==\n");
+    let mut t = Table::new([
+        "Video",
+        "Config",
+        "Power (W)",
+        "Latency (ms)",
+        "Energy (mJ)",
+        "Planes",
+    ]);
+    for &v in &VideoCategory::ALL {
+        for &s in &Scheme::ALL {
+            let c = matrix.cell(v, s).expect("full matrix");
+            t.row([
+                v.name().to_string(),
+                s.name().to_string(),
+                format!("{:.2}", c.mean_power),
+                ms(c.mean_latency),
+                format!("{:.0}", c.mean_energy * 1e3),
+                format!("{:.1}", c.mean_planes),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+
+    let mut h = Table::new([
+        "Config",
+        "Speedup",
+        "(paper)",
+        "Power red.",
+        "(paper)",
+        "Energy sav.",
+        "(paper)",
+    ]);
+    let paper = [
+        (Scheme::InterHolo, "1.15x", "3.9%", "18%"),
+        (Scheme::IntraHolo, "2.42x", "27.7%", "70%"),
+        (Scheme::InterIntraHolo, "2.68x", "29.0%", "73%"),
+    ];
+    for (s, sp, pw, en) in paper {
+        h.row([
+            s.name().to_string(),
+            format!("{:.2}x", matrix.fleet_speedup(s)),
+            sp.to_string(),
+            pct(matrix.fleet_power_reduction(s)),
+            pw.to_string(),
+            pct(matrix.fleet_energy_savings(s)),
+            en.to_string(),
+        ]);
+    }
+    out.push_str("\n-- fleet headline numbers --\n");
+    out.push_str(&h.render());
+    out
+}
+
+/// Fig 8: (a) power breakdown versus plane count; (b) average plane counts
+/// per configuration.
+pub fn fig8(cfg: &ExperimentConfig) -> String {
+    let device = Device::xavier();
+    let power = device.config().power;
+    let mut a = Table::new(["Planes", "SoC (W)", "CPU (W)", "GPU (W)", "Mem (W)", "Total (W)"]);
+    for planes in [2u32, 4, 8, 12, 16] {
+        let rails = power.rails(holoar_gpusim::Activity::for_hologram(planes as f64, &power));
+        a.row([
+            planes.to_string(),
+            format!("{:.2}", rails.soc),
+            format!("{:.2}", rails.cpu),
+            format!("{:.2}", rails.gpu),
+            format!("{:.2}", rails.mem),
+            format!("{:.2}", rails.total()),
+        ]);
+    }
+
+    let mut dev = Device::xavier();
+    let matrix = evaluation::evaluate_matrix(&mut dev, cfg.frames, cfg.seed);
+    let mut b = Table::new(["Config", "Avg planes/frame", "(paper)"]);
+    let paper = [
+        (Scheme::Baseline, "23.6"),
+        (Scheme::InterHolo, "19.8"),
+        (Scheme::IntraHolo, "7.1"),
+        (Scheme::InterIntraHolo, "6.7"),
+    ];
+    for (s, p) in paper {
+        b.row([
+            s.name().to_string(),
+            format!("{:.1}", matrix.fleet_mean(s, |c| c.mean_planes)),
+            p.to_string(),
+        ]);
+    }
+    format!(
+        "== Fig 8a: power breakdown vs planes ==\n{}\n== Fig 8b: avg depth planes per config ==\n{}",
+        a.render(),
+        b.render()
+    )
+}
+
+/// Fig 9: W-CGH / S-CGH reconstructions versus pupil position and focal
+/// distance for the Planet hologram.
+pub fn fig9(_cfg: &ExperimentConfig) -> String {
+    let optics = OpticalConfig::default();
+    let n = 64;
+    let z_center = 0.006;
+    let depthmap = VirtualObject::Planet.render(n, n, z_center, 0.003);
+    let stack = depthmap.slice(16, optics);
+    let w_cgh = algorithm1::hologram_from_planes(&stack, optics).hologram;
+    // S-CGH from planes 9..=12 (1-based) as in the figure.
+    let s_cgh = algorithm1::hologram_from_planes(&stack.subset(8, 11), optics).hologram;
+
+    let mut prop = Propagator::new();
+    let sharpness = |img: &[f64]| {
+        // Peak-to-mean ratio: focused reconstructions concentrate energy.
+        let peak = img.iter().cloned().fold(0.0, f64::max);
+        let mean = img.iter().sum::<f64>() / img.len() as f64;
+        peak / mean.max(f64::MIN_POSITIVE)
+    };
+
+    let mut a = Table::new(["Pupil position", "Collected energy", "Sharpness"]);
+    for (name, px, py) in
+        [("center", 0.0, 0.0), ("left", -0.35, 0.0), ("right", 0.35, 0.0), ("up", 0.0, 0.35)]
+    {
+        let img =
+            reconstruct::view_through_pupil(&w_cgh, z_center, Pupil::new(px, py, 0.45), &mut prop);
+        a.row([
+            name.to_string(),
+            format!("{:.3}", img.iter().sum::<f64>()),
+            format!("{:.1}", sharpness(&img)),
+        ]);
+    }
+
+    let mut b = Table::new(["Focal distance (mm)", "W-CGH sharpness", "S-CGH sharpness"]);
+    for dz in [-0.002f64, -0.001, 0.0, 0.001, 0.002] {
+        let z = z_center + dz;
+        let w = reconstruct::reconstruct_intensity(&w_cgh, z, &mut prop);
+        let s = reconstruct::reconstruct_intensity(&s_cgh, z, &mut prop);
+        b.row([
+            format!("{:.1}", z * 1e3),
+            format!("{:.1}", sharpness(&w)),
+            format!("{:.1}", sharpness(&s)),
+        ]);
+    }
+    format!(
+        "== Fig 9a: viewing the W-CGH from different pupil positions ==\n{}\n\
+         == Fig 9b/9c: W-CGH vs S-CGH (planes 9-12) across focal distances ==\n{}\
+         paper: every pupil position sees the object; the S-CGH reconstructs \
+         only its plane subset's content\n",
+        a.render(),
+        b.render()
+    )
+}
+
+/// Fig 10: (a) PSNR per configuration; (b) the α energy/quality trade-off.
+pub fn fig10(cfg: &ExperimentConfig) -> String {
+    let sample_frames = (cfg.frames / 30).clamp(2, 8);
+    let mut a = Table::new(["Config", "Mean PSNR (dB, capped 50)", "(paper)"]);
+    for (scheme, paper) in [
+        (Scheme::InterHolo, "high (approximates only periphery)"),
+        (Scheme::IntraHolo, "mid-30s"),
+        (Scheme::InterIntraHolo, "30.7 avg"),
+    ] {
+        let mut sum = 0.0;
+        let mut count = 0;
+        for &v in &VideoCategory::ALL {
+            let vq = quality::video_quality(
+                v,
+                HoloArConfig::for_scheme(scheme),
+                sample_frames,
+                cfg.seed,
+            );
+            if let Some(p) = vq.mean_psnr_capped() {
+                sum += p;
+                count += 1;
+            }
+        }
+        a.row([
+            scheme.name().to_string(),
+            format!("{:.1}", sum / count.max(1) as f64),
+            paper.to_string(),
+        ]);
+    }
+
+    let design_points = quality::DesignPoint::fig10b_points();
+    let points = quality::design_sweep(&design_points, sample_frames, cfg.seed);
+    let mut b = Table::new(["alpha", "theta scale", "Mean PSNR (dB)", "Mean planes/object"]);
+    for (dp, p) in design_points.iter().zip(&points) {
+        b.row([
+            format!("{:.3}", dp.alpha),
+            format!("{:.2}", dp.theta_scale),
+            format!("{:.1}", p.mean_psnr),
+            format!("{:.1}", p.mean_planes),
+        ]);
+    }
+    format!(
+        "== Fig 10a: reconstruction quality per config ==\n{}\n\
+         == Fig 10b: alpha sensitivity (more savings <-> more quality drop) ==\n{}\
+         paper: clear trade-off; even the most aggressive setting stays usable (~30 dB)\n",
+        a.render(),
+        b.render()
+    )
+}
+
+/// §5.3's HORN-8 energy comparison.
+pub fn horn8(cfg: &ExperimentConfig) -> String {
+    let mut device = Device::xavier();
+    let matrix = evaluation::evaluate_matrix(&mut device, cfg.frames, cfg.seed);
+    let model = Horn8Model::default();
+    let base = matrix.fleet_mean(Scheme::Baseline, |c| c.mean_energy);
+    let holoar = matrix.fleet_mean(Scheme::InterIntraHolo, |c| c.mean_energy);
+    let mut t = Table::new(["Design", "Energy/frame (mJ)", "Savings vs baseline"]);
+    t.row(["Baseline (GPU)".to_string(), format!("{:.0}", base * 1e3), "-".to_string()]);
+    t.row([
+        "HORN-8 (estimated)".to_string(),
+        format!("{:.0}", model.mean_energy(&matrix) * 1e3),
+        pct(model.energy_savings(&matrix)),
+    ]);
+    t.row([
+        "HoloAR (Inter-Intra)".to_string(),
+        format!("{:.0}", holoar * 1e3),
+        pct(matrix.fleet_energy_savings(Scheme::InterIntraHolo)),
+    ]);
+    format!(
+        "== HORN-8 comparison ==\n{}\
+         HoloAR saves {} more of the baseline energy than HORN-8 (paper: ~25%)\n\
+         (HORN-8 numbers are estimates from published FPGA/GPU data, as in the paper)\n",
+        t.render(),
+        pct(model.holoar_advantage(&matrix))
+    )
+}
+
+/// Ablation: the §5.5 hybrid accelerator/GPU plane partitioning.
+pub fn hybrid(_cfg: &ExperimentConfig) -> String {
+    let mut t = Table::new(["PUs", "Accel planes", "GPU planes", "Relative makespan"]);
+    for pus in [0u32, 1, 2, 4, 8] {
+        let s = holoar_core::horn8::plan_hybrid(16, pus, 1.5);
+        t.row([
+            pus.to_string(),
+            s.accelerator_planes.to_string(),
+            s.gpu_planes.to_string(),
+            format!("{:.2}", s.relative_makespan),
+        ]);
+    }
+    format!("== §5.5 ablation: hybrid accelerator/GPU partitioning (16 planes) ==\n{}", t.render())
+}
+
+/// Quality demo exercised by Fig 9's pipeline but at PSNR level: reports the
+/// PSNR ladder across plane budgets for one object (used by EXPERIMENTS.md).
+pub fn psnr_ladder(_cfg: &ExperimentConfig) -> String {
+    use holoar_sensors::objectron::ObjectAnnotation;
+    let obj = ObjectAnnotation {
+        track_id: 3, // Planet
+        direction: AngularPoint::CENTER,
+        distance: 0.6,
+        size: 0.25,
+    };
+    let config = HoloArConfig::default();
+    let mut t = Table::new(["Planes", "PSNR vs 16-plane baseline (dB)"]);
+    for planes in [2u32, 4, 6, 8, 12, 16] {
+        let p = quality::object_psnr(&obj, planes, &config);
+        t.row([planes.to_string(), if p.is_finite() { format!("{p:.1}") } else { "inf".into() }]);
+    }
+    format!("== PSNR ladder (Planet at 0.6 m) ==\n{}", t.render())
+}
+
+/// Ablation: §5.5's power-gating and DVFS knobs on approximated workloads.
+pub fn gating(_cfg: &ExperimentConfig) -> String {
+    use holoar_gpusim::gating::{dvfs_sweep, run_job_gated, DvfsPoint, GatingPolicy};
+
+    // Gating matters for small sub-holograms (approximated or partially
+    // visible objects whose grids cannot fill the device).
+    let mut t = Table::new(["Workload", "Energy ungated (mJ)", "Energy gated (mJ)", "Savings"]);
+    for (name, job) in [
+        ("full 16-plane hologram", HologramJob::full(16)),
+        ("8-plane hologram", HologramJob::full(8)),
+        ("tiny sub-hologram (0.4% aperture)", HologramJob { coverage: 0.004, ..HologramJob::full(4) }),
+    ] {
+        let mut d1 = Device::xavier();
+        let plain = hologram_kernels::run_job(&mut d1, &job);
+        let mut d2 = Device::xavier();
+        let gated = run_job_gated(&mut d2, &job, GatingPolicy::default());
+        t.row([
+            name.to_string(),
+            format!("{:.2}", plain.energy * 1e3),
+            format!("{:.2}", gated.energy * 1e3),
+            pct(1.0 - gated.energy / plain.energy.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+
+    let points: Vec<DvfsPoint> =
+        [0.5, 0.75, 1.0].iter().map(|&f| DvfsPoint::new(f)).collect();
+    let outcomes = dvfs_sweep(&holoar_gpusim::DeviceConfig::default(), &HologramJob::full(8), &points);
+    let mut d = Table::new(["Clock scale", "Latency (ms)", "Energy (mJ)"]);
+    for o in &outcomes {
+        d.row([
+            format!("{:.2}", o.point.frequency_scale),
+            ms(o.latency),
+            format!("{:.0}", o.energy * 1e3),
+        ]);
+    }
+    format!(
+        "== §5.5 ablation: power gating and DVFS ==\n{}\n-- DVFS sweep (8-plane hologram) --\n{}\
+         takeaway: gating pays on small grids; mild down-clocking finds an energy sweet \
+         spot, but deep down-clocking loses to the board's static power\n",
+        t.render(),
+        d.render()
+    )
+}
+
+/// Ablation: the viewing-window reuse cache's contribution (Fig 5a's
+/// Frame-II "skip the soccer ball" logic).
+pub fn reuse(cfg: &ExperimentConfig) -> String {
+    let mut t = Table::new([
+        "Config",
+        "Latency w/ reuse (ms)",
+        "w/o reuse (ms)",
+        "Reuse fraction",
+        "Latency saved",
+    ]);
+    let mut device = Device::xavier();
+    for &scheme in &[Scheme::Baseline, Scheme::InterIntraHolo] {
+        let mut sum_with = 0.0;
+        let mut sum_without = 0.0;
+        let mut reuse_frac = 0.0;
+        for &v in &VideoCategory::ALL {
+            let mut with = Planner::new(HoloArConfig::for_scheme(scheme)).unwrap();
+            let r_with = evaluation::evaluate_with_planner(
+                &mut device, &mut with, v, cfg.frames, cfg.seed);
+            let mut without =
+                Planner::new(HoloArConfig::for_scheme(scheme).without_reuse()).unwrap();
+            let r_without = evaluation::evaluate_with_planner(
+                &mut device, &mut without, v, cfg.frames, cfg.seed);
+            sum_with += r_with.mean_latency;
+            sum_without += r_without.mean_latency;
+            reuse_frac += r_with.reuse_fraction;
+        }
+        let n = VideoCategory::ALL.len() as f64;
+        t.row([
+            scheme.name().to_string(),
+            ms(sum_with / n),
+            ms(sum_without / n),
+            format!("{:.2}", reuse_frac / n),
+            pct(1.0 - sum_with / sum_without),
+        ]);
+    }
+    format!(
+        "== ablation: cross-frame sub-hologram reuse ==\n{}\
+         reuse contributes a modest, scene-motion-dependent saving on top of the \
+         approximation schemes\n",
+        t.render()
+    )
+}
+
+/// Ablation: kernel fusion versus approximation (the engineering
+/// alternative §3's stall analysis invites).
+pub fn fusion(_cfg: &ExperimentConfig) -> String {
+    use holoar_gpusim::hologram_kernels::{run_job, run_job_fused};
+    let mut t = Table::new(["Planes", "Per-plane kernels (ms)", "Fused (ms)", "Fusion saves"]);
+    for planes in [4u32, 8, 16] {
+        let mut d1 = Device::xavier();
+        let plain = run_job(&mut d1, &HologramJob::full(planes)).latency;
+        let mut d2 = Device::xavier();
+        let fused = run_job_fused(&mut d2, &HologramJob::full(planes)).latency;
+        t.row([
+            planes.to_string(),
+            ms(plain),
+            ms(fused),
+            pct(1.0 - fused / plain),
+        ]);
+    }
+    format!(
+        "== ablation: kernel fusion vs approximation ==\n{}\
+         fusing all plane kernels recovers only launch/drain overheads (a few percent); \
+         halving the plane count recovers ~50% — approximation, not kernel engineering, \
+         is the lever (the paper's §4 premise)\n",
+        t.render()
+    )
+}
+
+/// Supplementary: stream-level plane parallelism on the event-driven
+/// timeline — the mechanism behind Fig 8a's activity-vs-planes curve.
+pub fn streams(_cfg: &ExperimentConfig) -> String {
+    use holoar_gpusim::timeline::{plane_stream_ops, simulate};
+    let cfg = holoar_gpusim::DeviceConfig::default();
+    let mut t = Table::new([
+        "Planes (streams)",
+        "Makespan (ms)",
+        "Mean occupancy",
+        "Serial makespan (ms)",
+    ]);
+    for planes in [1u32, 2, 4, 8, 16] {
+        // Sub-hologram-sized planes (small grids) so concurrency matters.
+        let pixels = 8 * 256;
+        let parallel = simulate(&plane_stream_ops(pixels, planes), &cfg);
+        let serial_ops: Vec<_> = plane_stream_ops(pixels, planes)
+            .into_iter()
+            .map(|mut op| {
+                op.stream = 0;
+                op
+            })
+            .collect();
+        let serial = simulate(&serial_ops, &cfg);
+        t.row([
+            planes.to_string(),
+            format!("{:.3}", parallel.makespan * 1e3),
+            format!("{:.2}", parallel.mean_occupancy()),
+            format!("{:.3}", serial.makespan * 1e3),
+        ]);
+    }
+    format!(
+        "== supplementary: plane-level stream parallelism (event-driven timeline) ==\n{}\
+         more planes in flight keep more block slots occupied — the occupancy curve \
+         the power model's activity(planes) term encodes\n",
+        t.render()
+    )
+}
+
+/// Names of all experiments, in run order.
+pub const ALL_EXPERIMENTS: [&str; 17] = [
+    "table1", "fig2", "fig3", "fig4", "fig5", "sec3", "table2", "fig7", "fig8", "fig9", "fig10",
+    "horn8", "hybrid", "gating", "reuse", "fusion", "streams",
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns an error message listing valid ids when `id` is unknown.
+pub fn run(id: &str, cfg: &ExperimentConfig) -> Result<String, String> {
+    match id {
+        "table1" => Ok(table1(cfg)),
+        "fig2" => Ok(fig2(cfg)),
+        "fig3" => Ok(fig3(cfg)),
+        "fig4" => Ok(fig4(cfg)),
+        "fig5" => Ok(fig5(cfg)),
+        "sec3" => Ok(sec3(cfg)),
+        "table2" => Ok(table2(cfg)),
+        "fig7" => Ok(fig7(cfg)),
+        "fig8" => Ok(fig8(cfg)),
+        "fig9" => Ok(fig9(cfg)),
+        "fig10" => Ok(fig10(cfg)),
+        "horn8" => Ok(horn8(cfg)),
+        "hybrid" => Ok(hybrid(cfg)),
+        "gating" => Ok(gating(cfg)),
+        "reuse" => Ok(reuse(cfg)),
+        "fusion" => Ok(fusion(cfg)),
+        "streams" => Ok(streams(cfg)),
+        "psnr" => Ok(psnr_ladder(cfg)),
+        other => Err(format!(
+            "unknown experiment '{other}'; valid: {} (or 'all')",
+            ALL_EXPERIMENTS.join(", ")
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig { frames: 25, seed: 7 }
+    }
+
+    #[test]
+    fn every_experiment_runs_and_mentions_its_artifact() {
+        let cfg = quick();
+        for id in ALL_EXPERIMENTS {
+            let report = run(id, &cfg).unwrap();
+            assert!(!report.is_empty(), "{id} produced no report");
+            assert!(report.contains("=="), "{id} report lacks a header");
+        }
+    }
+
+    #[test]
+    fn unknown_experiment_is_an_error() {
+        let err = run("fig99", &quick()).unwrap_err();
+        assert!(err.contains("fig99"));
+        assert!(err.contains("table1"));
+    }
+
+    #[test]
+    fn fig7_reports_all_configs() {
+        let report = fig7(&quick());
+        for s in Scheme::ALL {
+            assert!(report.contains(s.name()), "missing {}", s.name());
+        }
+        assert!(report.contains("fleet headline"));
+    }
+
+    #[test]
+    fn fig4_shows_doubling() {
+        let report = fig4(&quick());
+        assert!(report.contains("32"));
+        assert!(report.contains("2."));
+    }
+
+    #[test]
+    fn table2_includes_every_video() {
+        let report = table2(&quick());
+        for v in VideoCategory::ALL {
+            assert!(report.contains(v.name()));
+        }
+    }
+
+    #[test]
+    fn image_type_is_reachable_from_reports() {
+        // Compile-time guard that the bench crate links the metrics crate.
+        let _ = holoar_metrics::Image::new(1, 1, vec![0.0]).unwrap();
+    }
+}

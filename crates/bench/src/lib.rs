@@ -1,0 +1,19 @@
+//! Experiment harness regenerating every table and figure of the HoloAR
+//! paper's evaluation.
+//!
+//! Each artifact has a generator in [`experiments`]; the `repro` binary
+//! dispatches on experiment id:
+//!
+//! ```text
+//! cargo run -p holoar-bench --release --bin repro -- all
+//! cargo run -p holoar-bench --release --bin repro -- fig7 --frames 300
+//! ```
+//!
+//! Criterion micro-benchmarks for the substrate layers live under
+//! `benches/`.
+
+pub mod csv;
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{run, ExperimentConfig, ALL_EXPERIMENTS};

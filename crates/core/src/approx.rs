@@ -1,0 +1,152 @@
+//! The approximation factors: Inter-Holo's `α` and Intra-Holo's
+//! `β = approxFactors(cam2ObjDist, size)`.
+//!
+//! Algorithm 2 applies a fixed factor `α` to everything outside the region
+//! of focus. Algorithm 3 derives a per-object factor `β` from the pose
+//! estimate; the paper gives the intuition (far/small objects need fewer
+//! planes) but not the closed form, so we model the plane budget as
+//! proportional to the object's *angular depth* — its metric depth extent
+//! divided by its distance:
+//!
+//! ```text
+//! β(d, s)  = clamp(s / (d · θ_ref), min/full, 1)
+//! planes   = clamp(round(16 · β), min_planes, 16)
+//! ```
+//!
+//! `θ_ref` is calibrated once against the Table 2 statistics so the fleet
+//! average reproduces Fig 8b (23.6 → 19.8 → 7.1 → 6.7 planes across the four
+//! schemes); see `DESIGN.md`.
+
+use crate::config::HoloArConfig;
+use holoar_sensors::objectron::ObjectAnnotation;
+
+/// Plane budget for an object *outside* the RoF under Inter-Holo:
+/// `full × α`, floored at the configured minimum (Algorithm 2, Line 7).
+///
+/// # Examples
+///
+/// ```
+/// use holoar_core::{approx, HoloArConfig, Scheme};
+/// let cfg = HoloArConfig::for_scheme(Scheme::InterHolo);
+/// assert_eq!(approx::inter_planes(&cfg), 8); // 16 × 0.5
+/// ```
+pub fn inter_planes(config: &HoloArConfig) -> u32 {
+    scaled_planes(config.full_planes, config.alpha, config)
+}
+
+/// The Intra-Holo approximation factor `β ∈ (0, 1]` for an object.
+pub fn beta(obj: &ObjectAnnotation, config: &HoloArConfig) -> f64 {
+    let min_beta = config.min_planes as f64 / config.full_planes as f64;
+    (obj.angular_depth() / config.intra.theta_ref).clamp(min_beta, 1.0)
+}
+
+/// Plane budget for an object under Intra-Holo: `full × β` (Algorithm 3,
+/// Line 5).
+pub fn intra_planes(obj: &ObjectAnnotation, config: &HoloArConfig) -> u32 {
+    scaled_planes(config.full_planes, beta(obj, config), config)
+}
+
+/// Plane budget under the combined Inter-Intra-Holo scheme: Intra's budget,
+/// further scaled by `α` when the object is outside the RoF (§4.4,
+/// "first identify the objects inside/outside the RoF, then approximate each
+/// of them based on its shape and distance").
+pub fn inter_intra_planes(obj: &ObjectAnnotation, in_rof: bool, config: &HoloArConfig) -> u32 {
+    let factor = if in_rof { beta(obj, config) } else { beta(obj, config) * config.alpha };
+    scaled_planes(config.full_planes, factor, config)
+}
+
+fn scaled_planes(full: u32, factor: f64, config: &HoloArConfig) -> u32 {
+    let raw = (full as f64 * factor).round() as u32;
+    raw.clamp(config.min_planes, full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Scheme;
+    use holoar_sensors::angles::AngularPoint;
+
+    fn obj(distance: f64, size: f64) -> ObjectAnnotation {
+        ObjectAnnotation { track_id: 0, direction: AngularPoint::CENTER, distance, size }
+    }
+
+    fn cfg() -> HoloArConfig {
+        HoloArConfig::for_scheme(Scheme::InterIntraHolo)
+    }
+
+    #[test]
+    fn inter_planes_follow_alpha() {
+        let c = cfg();
+        assert_eq!(inter_planes(&c), 8);
+        assert_eq!(inter_planes(&c.with_alpha(0.25)), 4);
+        assert_eq!(inter_planes(&c.with_alpha(1.0)), 16);
+        // Tiny alpha clamps to the floor.
+        assert_eq!(inter_planes(&c.with_alpha(0.01)), 2);
+    }
+
+    #[test]
+    fn beta_monotonic_in_distance() {
+        let c = cfg();
+        // Farther ⇒ smaller β ⇒ fewer planes.
+        let near = obj(0.4, 0.3);
+        let far = obj(2.5, 0.3);
+        assert!(beta(&near, &c) > beta(&far, &c));
+        assert!(intra_planes(&near, &c) >= intra_planes(&far, &c));
+    }
+
+    #[test]
+    fn beta_monotonic_in_size() {
+        let c = cfg();
+        let small = obj(0.6, 0.05);
+        let large = obj(0.6, 0.5);
+        assert!(beta(&large, &c) > beta(&small, &c));
+        assert!(intra_planes(&large, &c) >= intra_planes(&small, &c));
+    }
+
+    #[test]
+    fn budgets_stay_in_bounds() {
+        let c = cfg();
+        for (d, s) in [(0.1, 5.0), (10.0, 0.001), (0.5, 0.2), (2.08, 1.54)] {
+            let p = intra_planes(&obj(d, s), &c);
+            assert!((c.min_planes..=c.full_planes).contains(&p), "planes {p} for d={d} s={s}");
+            let b = beta(&obj(d, s), &c);
+            assert!((0.0..=1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn huge_close_object_gets_full_budget() {
+        let c = cfg();
+        // Angular depth 5 ≫ θ_ref.
+        assert_eq!(intra_planes(&obj(0.1, 0.5), &c), 16);
+    }
+
+    #[test]
+    fn combined_scheme_never_exceeds_intra_alone() {
+        let c = cfg();
+        for (d, s) in [(0.47, 0.16), (2.08, 1.54), (0.65, 0.21)] {
+            let o = obj(d, s);
+            let intra = intra_planes(&o, &c);
+            assert_eq!(inter_intra_planes(&o, true, &c), intra);
+            assert!(inter_intra_planes(&o, false, &c) <= intra);
+        }
+    }
+
+    #[test]
+    fn table2_means_give_expected_budgets() {
+        // Sanity-check the θ_ref calibration against the Table 2 category
+        // means: bike (large angular depth) gets the most planes, shoe/cup
+        // (small) the fewest — the §5.3 per-video speedup ordering.
+        let c = cfg();
+        let bike = intra_planes(&obj(2.08, 1.54), &c);
+        let laptop = intra_planes(&obj(0.58, 0.38), &c);
+        let shoe = intra_planes(&obj(0.65, 0.21), &c);
+        let cup = intra_planes(&obj(0.47, 0.16), &c);
+        assert!(bike >= laptop, "bike {bike} vs laptop {laptop}");
+        assert!(laptop > shoe, "laptop {laptop} vs shoe {shoe}");
+        assert!(laptop > cup, "laptop {laptop} vs cup {cup}");
+        assert!((7..=9).contains(&bike), "bike budget {bike} should be ~8");
+        assert!((3..=6).contains(&shoe), "shoe budget {shoe} should be ~3-6");
+        assert!((3..=6).contains(&cup), "cup budget {cup} should be ~3-6");
+    }
+}

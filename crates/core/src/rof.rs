@@ -1,0 +1,114 @@
+//! The region of focus (RoF): the foveal circle around the tracked gaze.
+//!
+//! Prior HVS research (§2.2.2) puts sharp foveal vision inside a ~5° circle;
+//! Inter-Holo renders objects inside it at full quality and approximates the
+//! rest. The RoF is rebuilt every frame from the eye tracker's estimate.
+
+use holoar_sensors::angles::AngularPoint;
+use holoar_sensors::objectron::ObjectAnnotation;
+
+/// A circular region of focus around the current gaze direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegionOfFocus {
+    /// Gaze direction at the center of the region.
+    pub center: AngularPoint,
+    /// Angular radius, radians.
+    pub radius: f64,
+}
+
+impl RegionOfFocus {
+    /// Creates a region of focus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not positive and finite.
+    pub fn new(center: AngularPoint, radius: f64) -> Self {
+        assert!(radius > 0.0 && radius.is_finite(), "RoF radius must be positive");
+        RegionOfFocus { center, radius }
+    }
+
+    /// Whether a direction falls inside the region.
+    pub fn contains_direction(&self, p: AngularPoint) -> bool {
+        self.center.distance_to(p) <= self.radius
+    }
+
+    /// Whether the object is attended: its center falls within the foveal
+    /// circle. Fixation lands on object centers (the attention literature's
+    /// center bias), so a glancing overlap of a wide object's rim does not
+    /// count as focus — only the object the fovea actually rests on gets
+    /// full quality.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use holoar_core::RegionOfFocus;
+    /// use holoar_sensors::angles::{deg, AngularPoint};
+    /// use holoar_sensors::objectron::ObjectAnnotation;
+    ///
+    /// let rof = RegionOfFocus::new(AngularPoint::CENTER, deg(5.0));
+    /// let looked_at = ObjectAnnotation {
+    ///     track_id: 0,
+    ///     direction: AngularPoint::new(deg(2.0), 0.0),
+    ///     distance: 0.5,
+    ///     size: 0.2,
+    /// };
+    /// assert!(rof.contains_object(&looked_at));
+    /// ```
+    pub fn contains_object(&self, obj: &ObjectAnnotation) -> bool {
+        self.contains_direction(obj.direction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holoar_sensors::angles::deg;
+
+    fn obj(azimuth_deg: f64, distance: f64, size: f64) -> ObjectAnnotation {
+        ObjectAnnotation {
+            track_id: 0,
+            direction: AngularPoint::new(deg(azimuth_deg), 0.0),
+            distance,
+            size,
+        }
+    }
+
+    #[test]
+    fn direction_containment() {
+        let rof = RegionOfFocus::new(AngularPoint::CENTER, deg(5.0));
+        assert!(rof.contains_direction(AngularPoint::new(deg(4.9), 0.0)));
+        assert!(!rof.contains_direction(AngularPoint::new(deg(5.1), 0.0)));
+    }
+
+    #[test]
+    fn focus_is_center_biased() {
+        let rof = RegionOfFocus::new(AngularPoint::CENTER, deg(5.0));
+        // A big close object whose rim overlaps the fovea but whose center
+        // sits at 8° is not the attended object.
+        let big_near = obj(8.0, 0.5, 0.2);
+        assert!(big_near.angular_radius() > deg(3.0));
+        assert!(!rof.contains_object(&big_near));
+        // The same object centered under the gaze is attended.
+        let attended = obj(3.0, 0.5, 0.2);
+        assert!(rof.contains_object(&attended));
+    }
+
+    #[test]
+    fn moving_gaze_moves_the_region() {
+        // Fig 5b: gaze shifts from the soccer ball to the football.
+        let ball = obj(-8.0, 1.0, 0.22);
+        let football = obj(8.0, 1.0, 0.28);
+        let gaze_on_ball = RegionOfFocus::new(AngularPoint::new(deg(-8.0), 0.0), deg(5.0));
+        assert!(gaze_on_ball.contains_object(&ball));
+        assert!(!gaze_on_ball.contains_object(&football));
+        let gaze_on_football = RegionOfFocus::new(AngularPoint::new(deg(8.0), 0.0), deg(5.0));
+        assert!(!gaze_on_football.contains_object(&ball));
+        assert!(gaze_on_football.contains_object(&football));
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn zero_radius_panics() {
+        RegionOfFocus::new(AngularPoint::CENTER, 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Bluestein's chirp-z algorithm: FFT of arbitrary length via a
+//! power-of-two convolution.
+//!
+//! The depthmap resolutions in the AR datasets are not always powers of two
+//! (Objectron frames are 480×640, 1440×1920, …), so the planner falls back to
+//! this path whenever [`crate::radix2`] does not apply.
+//!
+//! The identity used: `nk = (n² + k² − (k−n)²) / 2`, which rewrites the DFT as
+//! a convolution of the chirp-premultiplied input with the conjugate chirp.
+
+use crate::complex::Complex64;
+use crate::radix2::Radix2Plan;
+
+/// Precomputed state for arbitrary-length transforms of one fixed size.
+#[derive(Debug, Clone)]
+pub struct BluesteinPlan {
+    n: usize,
+    /// Chirp `e^{-iπk²/n}` for the forward direction, `k < n`.
+    chirp: Vec<Complex64>,
+    /// FFT of the zero-padded conjugate chirp (forward direction).
+    kernel_fft: Vec<Complex64>,
+    inner: Radix2Plan,
+}
+
+impl BluesteinPlan {
+    /// Builds a plan for length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "bluestein plan requires a non-zero length");
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = Radix2Plan::new(m);
+        let mut chirp = Vec::with_capacity(n);
+        for k in 0..n {
+            // Reduce k² mod 2n before converting to angle to avoid precision
+            // loss for large n.
+            let kk = (k * k) % (2 * n);
+            chirp.push(Complex64::cis(-std::f64::consts::PI * kk as f64 / n as f64));
+        }
+        let mut kernel = vec![Complex64::ZERO; m];
+        kernel[0] = chirp[0].conj();
+        for k in 1..n {
+            let c = chirp[k].conj();
+            kernel[k] = c;
+            kernel[m - k] = c;
+        }
+        inner.forward(&mut kernel);
+        BluesteinPlan { n, chirp, kernel_fft: kernel, inner }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan length is zero (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward transform, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.len()`.
+    pub fn forward(&self, buf: &mut [Complex64]) {
+        assert_eq!(buf.len(), self.n, "buffer length {} does not match plan length {}", buf.len(), self.n);
+        self.run(buf, false);
+    }
+
+    /// Inverse transform, in place, including the `1/n` normalization.
+    ///
+    /// Implemented as `IDFT(x) = conj(DFT(conj(x))) / n`, which lets a single
+    /// precomputed forward kernel serve both directions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.len()`.
+    pub fn inverse(&self, buf: &mut [Complex64]) {
+        assert_eq!(buf.len(), self.n, "buffer length {} does not match plan length {}", buf.len(), self.n);
+        self.run(buf, true);
+    }
+
+    fn run(&self, buf: &mut [Complex64], invert: bool) {
+        let n = self.n;
+        let m = self.inner.len();
+        if invert {
+            for v in buf.iter_mut() {
+                *v = v.conj();
+            }
+        }
+        let mut work = vec![Complex64::ZERO; m];
+        for k in 0..n {
+            work[k] = buf[k] * self.chirp[k];
+        }
+        self.inner.forward(&mut work);
+        for (w, k) in work.iter_mut().zip(&self.kernel_fft) {
+            *w *= *k;
+        }
+        self.inner.inverse(&mut work);
+        for k in 0..n {
+            buf[k] = work[k] * self.chirp[k];
+        }
+        if invert {
+            let s = 1.0 / n as f64;
+            for v in buf.iter_mut() {
+                *v = v.conj().scale(s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).norm() < tol, "{x} vs {y}");
+        }
+    }
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.53).cos(), (i as f64 * 0.29).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_for_awkward_sizes() {
+        for n in [1usize, 2, 3, 5, 6, 7, 12, 15, 17, 31, 100, 101, 480] {
+            let x = signal(n);
+            let mut fast = x.clone();
+            BluesteinPlan::new(n).forward(&mut fast);
+            assert_close(&fast, &dft::forward(&x), 1e-7 * (n as f64).max(1.0));
+        }
+    }
+
+    #[test]
+    fn matches_reference_for_power_of_two_too() {
+        let n = 64;
+        let x = signal(n);
+        let mut fast = x.clone();
+        BluesteinPlan::new(n).forward(&mut fast);
+        assert_close(&fast, &dft::forward(&x), 1e-8);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        for n in [3usize, 17, 50, 243] {
+            let plan = BluesteinPlan::new(n);
+            let x = signal(n);
+            let mut buf = x.clone();
+            plan.forward(&mut buf);
+            plan.inverse(&mut buf);
+            assert_close(&buf, &x, 1e-8);
+        }
+    }
+
+    #[test]
+    fn inverse_matches_reference() {
+        let n = 19;
+        let x = signal(n);
+        let mut fast = x.clone();
+        BluesteinPlan::new(n).inverse(&mut fast);
+        assert_close(&fast, &dft::inverse(&x), 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero length")]
+    fn rejects_zero_length() {
+        BluesteinPlan::new(0);
+    }
+
+    #[test]
+    fn large_prime_size_is_accurate() {
+        let n = 509; // prime
+        let x = signal(n);
+        let mut fast = x.clone();
+        BluesteinPlan::new(n).forward(&mut fast);
+        assert_close(&fast, &dft::forward(&x), 1e-6);
+    }
+}

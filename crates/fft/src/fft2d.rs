@@ -1,0 +1,245 @@
+//! Two-dimensional FFT over row-major buffers, plus the `fftshift` helpers
+//! wave-optics code leans on.
+//!
+//! The 2-D transform is separable: FFT every row, then FFT every column. The
+//! column pass gathers each column into a contiguous scratch buffer so the
+//! 1-D kernels stay cache-friendly.
+
+use crate::complex::Complex64;
+use crate::plan::{FftPlan, FftPlanner};
+
+/// A planned 2-D FFT for a fixed `(rows, cols)` shape.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_fft::{Fft2d, Complex64};
+///
+/// let fft = Fft2d::new(4, 8);
+/// let mut buf = vec![Complex64::ONE; 4 * 8];
+/// fft.forward(&mut buf);
+/// // A constant image concentrates all energy in the (0, 0) bin.
+/// assert!((buf[0].re - 32.0).abs() < 1e-9);
+/// assert!(buf[1].norm() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft2d {
+    rows: usize,
+    cols: usize,
+    row_plan: FftPlan,
+    col_plan: FftPlan,
+}
+
+impl Fft2d {
+    /// Plans a transform for a `rows × cols` row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "2-D FFT dimensions must be non-zero");
+        let mut planner = FftPlanner::new();
+        let row_plan = planner.plan(cols);
+        let col_plan = planner.plan(rows);
+        Fft2d { rows, cols, row_plan, col_plan }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count (`rows × cols`).
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the buffer shape is empty (never true for constructed plans).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forward 2-D FFT, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != rows * cols`.
+    pub fn forward(&self, buf: &mut [Complex64]) {
+        self.run(buf, true);
+    }
+
+    /// Inverse 2-D FFT (with `1/(rows·cols)` normalization), in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != rows * cols`.
+    pub fn inverse(&self, buf: &mut [Complex64]) {
+        self.run(buf, false);
+    }
+
+    fn run(&self, buf: &mut [Complex64], forward: bool) {
+        assert_eq!(
+            buf.len(),
+            self.rows * self.cols,
+            "buffer length {} does not match shape {}x{}",
+            buf.len(),
+            self.rows,
+            self.cols
+        );
+        for row in buf.chunks_exact_mut(self.cols) {
+            if forward {
+                self.row_plan.forward(row);
+            } else {
+                self.row_plan.inverse(row);
+            }
+        }
+        let mut scratch = vec![Complex64::ZERO; self.rows];
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                scratch[r] = buf[r * self.cols + c];
+            }
+            if forward {
+                self.col_plan.forward(&mut scratch);
+            } else {
+                self.col_plan.inverse(&mut scratch);
+            }
+            for r in 0..self.rows {
+                buf[r * self.cols + c] = scratch[r];
+            }
+        }
+    }
+}
+
+/// Swaps quadrants so the zero-frequency bin moves to the buffer center.
+///
+/// For odd dimensions, `fftshift` followed by [`ifftshift`] is the identity
+/// (the two use floor/ceil splits respectively, as in NumPy).
+///
+/// # Panics
+///
+/// Panics if `buf.len() != rows * cols`.
+pub fn fftshift(buf: &mut [Complex64], rows: usize, cols: usize) {
+    shift(buf, rows, cols, rows.div_ceil(2), cols.div_ceil(2));
+}
+
+/// Inverse of [`fftshift`].
+///
+/// # Panics
+///
+/// Panics if `buf.len() != rows * cols`.
+pub fn ifftshift(buf: &mut [Complex64], rows: usize, cols: usize) {
+    shift(buf, rows, cols, rows / 2, cols / 2);
+}
+
+/// Rotates rows up by `row_by` and columns left by `col_by`.
+fn shift(buf: &mut [Complex64], rows: usize, cols: usize, row_by: usize, col_by: usize) {
+    assert_eq!(buf.len(), rows * cols, "buffer length does not match shape");
+    if rows == 0 || cols == 0 {
+        return;
+    }
+    for row in buf.chunks_exact_mut(cols) {
+        row.rotate_left(col_by % cols.max(1));
+    }
+    let mut tmp = buf.to_vec();
+    tmp.rotate_left((row_by % rows) * cols);
+    buf.copy_from_slice(&tmp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft;
+
+    fn image(rows: usize, cols: usize) -> Vec<Complex64> {
+        (0..rows * cols)
+            .map(|i| Complex64::new((i as f64 * 0.23).sin(), (i as f64 * 0.91).cos()))
+            .collect()
+    }
+
+    /// O(n²) 2-D DFT oracle.
+    fn dft2d(buf: &[Complex64], rows: usize, cols: usize) -> Vec<Complex64> {
+        // rows first
+        let mut tmp: Vec<Complex64> = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            tmp.extend(dft::forward(&buf[r * cols..(r + 1) * cols]));
+        }
+        let mut out = vec![Complex64::ZERO; rows * cols];
+        for c in 0..cols {
+            let col: Vec<Complex64> = (0..rows).map(|r| tmp[r * cols + c]).collect();
+            let spec = dft::forward(&col);
+            for r in 0..rows {
+                out[r * cols + c] = spec[r];
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_reference_2d_dft() {
+        for (rows, cols) in [(2usize, 2usize), (4, 8), (3, 5), (8, 3)] {
+            let x = image(rows, cols);
+            let mut fast = x.clone();
+            Fft2d::new(rows, cols).forward(&mut fast);
+            let slow = dft2d(&x, rows, cols);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((*a - *b).norm() < 1e-8, "shape {rows}x{cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let (rows, cols) = (16, 12);
+        let fft = Fft2d::new(rows, cols);
+        let x = image(rows, cols);
+        let mut buf = x.clone();
+        fft.forward(&mut buf);
+        fft.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&x) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_2d() {
+        let (rows, cols) = (8, 8);
+        let x = image(rows, cols);
+        let mut spec = x.clone();
+        Fft2d::new(rows, cols).forward(&mut spec);
+        let te: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let fe: f64 =
+            spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / (rows * cols) as f64;
+        assert!((te - fe).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn wrong_buffer_shape_panics() {
+        Fft2d::new(4, 4).forward(&mut vec![Complex64::ZERO; 15]);
+    }
+
+    #[test]
+    fn fftshift_moves_dc_to_center() {
+        let (rows, cols) = (4, 4);
+        let mut buf = vec![Complex64::ZERO; rows * cols];
+        buf[0] = Complex64::ONE; // DC at corner
+        fftshift(&mut buf, rows, cols);
+        assert_eq!(buf[2 * cols + 2], Complex64::ONE);
+    }
+
+    #[test]
+    fn shift_roundtrip_even_and_odd() {
+        for (rows, cols) in [(4usize, 6usize), (5, 5), (3, 8), (7, 2)] {
+            let x = image(rows, cols);
+            let mut buf = x.clone();
+            fftshift(&mut buf, rows, cols);
+            ifftshift(&mut buf, rows, cols);
+            assert_eq!(buf, x, "shape {rows}x{cols}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! From-scratch FFT substrate for the HoloAR reproduction.
+//!
+//! The holographic pipeline is built on discrete Fourier transforms: the
+//! angular-spectrum propagation between the hologram plane and each depth
+//! plane is two 2-D FFTs around a transfer-function multiply. The workspace
+//! avoids external numeric dependencies, so this crate supplies everything the
+//! optics layer needs:
+//!
+//! * [`Complex64`] — complex arithmetic,
+//! * [`dft`] — an `O(n²)` reference transform used as the test oracle,
+//! * [`FftPlanner`]/[`FftPlan`] — cached fast transforms (radix-2
+//!   Cooley–Tukey for powers of two, Bluestein chirp-z otherwise),
+//! * [`Fft2d`], [`fftshift`], [`ifftshift`] — separable 2-D transforms.
+//!
+//! # Examples
+//!
+//! ```
+//! use holoar_fft::{Fft2d, Complex64};
+//!
+//! // Propagation-style usage: transform, filter, transform back.
+//! let fft = Fft2d::new(8, 8);
+//! let mut field = vec![Complex64::ONE; 64];
+//! fft.forward(&mut field);
+//! for bin in field.iter_mut().skip(1) {
+//!     *bin = Complex64::ZERO; // keep only DC
+//! }
+//! fft.inverse(&mut field);
+//! assert!((field[10] - Complex64::ONE).norm() < 1e-9);
+//! ```
+
+pub mod bluestein;
+pub mod complex;
+pub mod dft;
+pub mod fft2d;
+pub mod plan;
+pub mod radix2;
+
+pub use bluestein::BluesteinPlan;
+pub use complex::Complex64;
+pub use fft2d::{fftshift, ifftshift, Fft2d};
+pub use plan::{fft_forward, fft_inverse, FftPlan, FftPlanner};
+pub use radix2::Radix2Plan;

@@ -1,0 +1,221 @@
+//! Transform planning: picks the right algorithm per length and caches the
+//! precomputed state.
+//!
+//! [`FftPlanner`] is the entry point the rest of the workspace uses; the
+//! optics crate keeps one planner per thread of work and transforms thousands
+//! of rows/columns of the same length through it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::bluestein::BluesteinPlan;
+use crate::complex::Complex64;
+use crate::radix2::Radix2Plan;
+
+/// A ready-to-run FFT of one fixed length.
+///
+/// Cheap to clone (the heavy tables live behind an [`Arc`]).
+///
+/// # Examples
+///
+/// ```
+/// use holoar_fft::{FftPlanner, Complex64};
+///
+/// let mut planner = FftPlanner::new();
+/// let plan = planner.plan(8);
+/// let mut buf = vec![Complex64::ONE; 8];
+/// plan.forward(&mut buf);
+/// assert!((buf[0].re - 8.0).abs() < 1e-12); // all energy in DC
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    algo: Arc<Algo>,
+}
+
+#[derive(Debug)]
+enum Algo {
+    Radix2(Radix2Plan),
+    Bluestein(BluesteinPlan),
+}
+
+impl FftPlan {
+    /// The transform length.
+    pub fn len(&self) -> usize {
+        match &*self.algo {
+            Algo::Radix2(p) => p.len(),
+            Algo::Bluestein(p) => p.len(),
+        }
+    }
+
+    /// Whether the transform length is zero (never true for constructed plans).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forward transform, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.len()`.
+    pub fn forward(&self, buf: &mut [Complex64]) {
+        match &*self.algo {
+            Algo::Radix2(p) => p.forward(buf),
+            Algo::Bluestein(p) => p.forward(buf),
+        }
+    }
+
+    /// Inverse transform (with `1/n` normalization), in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.len()`.
+    pub fn inverse(&self, buf: &mut [Complex64]) {
+        match &*self.algo {
+            Algo::Radix2(p) => p.inverse(buf),
+            Algo::Bluestein(p) => p.inverse(buf),
+        }
+    }
+}
+
+/// Creates and caches [`FftPlan`]s keyed by length.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_fft::FftPlanner;
+///
+/// let mut planner = FftPlanner::new();
+/// let a = planner.plan(480); // Bluestein path
+/// let b = planner.plan(512); // radix-2 path
+/// assert_eq!(a.len(), 480);
+/// assert_eq!(b.len(), 512);
+/// ```
+#[derive(Debug, Default)]
+pub struct FftPlanner {
+    cache: HashMap<usize, FftPlan>,
+}
+
+impl FftPlanner {
+    /// Creates an empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a plan for length `n`, building and caching it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn plan(&mut self, n: usize) -> FftPlan {
+        assert!(n > 0, "cannot plan a zero-length transform");
+        self.cache
+            .entry(n)
+            .or_insert_with(|| {
+                let algo = if n.is_power_of_two() {
+                    Algo::Radix2(Radix2Plan::new(n))
+                } else {
+                    Algo::Bluestein(BluesteinPlan::new(n))
+                };
+                FftPlan { algo: Arc::new(algo) }
+            })
+            .clone()
+    }
+
+    /// Number of distinct lengths currently cached.
+    pub fn cached_len_count(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// One-shot forward FFT convenience for callers without a planner.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_fft::{fft_forward, Complex64};
+/// let mut buf = vec![Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::ZERO];
+/// fft_forward(&mut buf);
+/// assert!((buf[3] - Complex64::ONE).norm() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `buf` is empty.
+pub fn fft_forward(buf: &mut [Complex64]) {
+    FftPlanner::new().plan(buf.len()).forward(buf);
+}
+
+/// One-shot inverse FFT convenience (with `1/n` normalization).
+///
+/// # Panics
+///
+/// Panics if `buf` is empty.
+pub fn fft_inverse(buf: &mut [Complex64]) {
+    FftPlanner::new().plan(buf.len()).inverse(buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft;
+
+    #[test]
+    fn planner_caches_plans() {
+        let mut planner = FftPlanner::new();
+        planner.plan(16);
+        planner.plan(16);
+        planner.plan(17);
+        assert_eq!(planner.cached_len_count(), 2);
+    }
+
+    #[test]
+    fn plan_dispatches_correctly() {
+        let mut planner = FftPlanner::new();
+        for n in [2usize, 3, 8, 12, 480, 512] {
+            let x: Vec<Complex64> =
+                (0..n).map(|i| Complex64::new(i as f64, (i as f64).sqrt())).collect();
+            let mut fast = x.clone();
+            planner.plan(n).forward(&mut fast);
+            let slow = dft::forward(&x);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((*a - *b).norm() < 1e-6 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_plan_panics() {
+        FftPlanner::new().plan(0);
+    }
+
+    #[test]
+    fn oneshot_roundtrip() {
+        let x: Vec<Complex64> = (0..24).map(|i| Complex64::new(i as f64, -1.0)).collect();
+        let mut buf = x.clone();
+        fft_forward(&mut buf);
+        fft_inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&x) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn plans_are_cheaply_cloneable_and_shareable() {
+        let mut planner = FftPlanner::new();
+        let plan = planner.plan(64);
+        let plan2 = plan.clone();
+        let mut a = vec![Complex64::ONE; 64];
+        let mut b = vec![Complex64::ONE; 64];
+        plan.forward(&mut a);
+        plan2.forward(&mut b);
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FftPlan>();
+        assert_send_sync::<FftPlanner>();
+    }
+}

@@ -1,0 +1,195 @@
+//! In-place iterative radix-2 Cooley–Tukey FFT for power-of-two lengths.
+//!
+//! The planner ([`crate::plan`]) decides when this path applies; the functions
+//! here assume (and assert) the length is a power of two. Twiddle factors are
+//! precomputed once per plan so repeated transforms of the same size — the
+//! common case when propagating many depth planes of identical resolution —
+//! pay no trigonometry.
+
+use crate::complex::Complex64;
+
+/// Precomputed state for radix-2 transforms of one fixed length.
+#[derive(Debug, Clone)]
+pub struct Radix2Plan {
+    n: usize,
+    /// Twiddles for the *forward* transform: `e^{-2πik/n}` for `k < n/2`.
+    twiddles: Vec<Complex64>,
+    /// Bit-reversal permutation indices.
+    rev: Vec<u32>,
+}
+
+impl Radix2Plan {
+    /// Builds a plan for length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "radix-2 plan requires a power-of-two length, got {n}");
+        let half = n / 2;
+        let mut twiddles = Vec::with_capacity(half);
+        for k in 0..half {
+            twiddles.push(Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64));
+        }
+        let bits = n.trailing_zeros();
+        let mut rev = vec![0u32; n];
+        for (i, r) in rev.iter_mut().enumerate() {
+            *r = (i as u32).reverse_bits() >> (32 - bits.max(1));
+        }
+        if n == 1 {
+            rev[0] = 0;
+        }
+        Radix2Plan { n, twiddles, rev }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan length is zero (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Forward transform, in place. `buf.len()` must equal [`Self::len`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.len()`.
+    pub fn forward(&self, buf: &mut [Complex64]) {
+        self.run(buf, false);
+    }
+
+    /// Inverse transform, in place, including the `1/n` normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != self.len()`.
+    pub fn inverse(&self, buf: &mut [Complex64]) {
+        self.run(buf, true);
+        let k = 1.0 / self.n as f64;
+        for v in buf.iter_mut() {
+            *v = v.scale(k);
+        }
+    }
+
+    fn run(&self, buf: &mut [Complex64], invert: bool) {
+        let n = self.n;
+        assert_eq!(buf.len(), n, "buffer length {} does not match plan length {n}", buf.len());
+        if n == 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        // Butterfly passes. `stride` is how far apart consecutive twiddles of
+        // this pass sit in the length-n/2 twiddle table.
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * stride];
+                    if invert {
+                        w = w.conj();
+                    }
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                }
+            }
+            len *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).norm() < tol, "{x} vs {y}");
+        }
+    }
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_dft_across_sizes() {
+        for n in [1usize, 2, 4, 8, 16, 64, 256] {
+            let x = signal(n);
+            let mut fast = x.clone();
+            Radix2Plan::new(n).forward(&mut fast);
+            assert_close(&fast, &dft::forward(&x), 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn inverse_matches_reference() {
+        let n = 32;
+        let x = signal(n);
+        let mut fast = x.clone();
+        Radix2Plan::new(n).inverse(&mut fast);
+        assert_close(&fast, &dft::inverse(&x), 1e-10);
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let n = 128;
+        let plan = Radix2Plan::new(n);
+        let x = signal(n);
+        let mut buf = x.clone();
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        assert_close(&buf, &x, 1e-10);
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let plan = Radix2Plan::new(1);
+        let mut buf = [Complex64::new(5.0, -1.0)];
+        plan.forward(&mut buf);
+        assert_eq!(buf[0], Complex64::new(5.0, -1.0));
+        plan.inverse(&mut buf);
+        assert_eq!(buf[0], Complex64::new(5.0, -1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        Radix2Plan::new(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match plan length")]
+    fn rejects_wrong_buffer_length() {
+        let plan = Radix2Plan::new(8);
+        let mut buf = vec![Complex64::ZERO; 4];
+        plan.forward(&mut buf);
+    }
+
+    #[test]
+    fn plan_reuse_is_consistent() {
+        let plan = Radix2Plan::new(64);
+        let x = signal(64);
+        let mut a = x.clone();
+        let mut b = x.clone();
+        plan.forward(&mut a);
+        plan.forward(&mut b);
+        assert_close(&a, &b, 0.0 + f64::EPSILON);
+    }
+}

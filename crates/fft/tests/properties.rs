@@ -1,0 +1,126 @@
+//! Property-based tests for the FFT substrate: algebraic identities that must
+//! hold for every length and every input, fast path or slow path.
+
+use holoar_fft::{dft, fftshift, ifftshift, Complex64, Fft2d, FftPlanner};
+use proptest::prelude::*;
+
+fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec(
+        (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(re, im)| Complex64::new(re, im)),
+        1..=max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT(inverse(x)) == x for arbitrary lengths (covers both algorithms).
+    #[test]
+    fn roundtrip_is_identity(x in complex_vec(96)) {
+        let plan = FftPlanner::new().plan(x.len());
+        let mut buf = x.clone();
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        let scale: f64 = x.iter().map(|z| z.norm()).fold(1.0, f64::max);
+        for (a, b) in buf.iter().zip(&x) {
+            prop_assert!((*a - *b).norm() <= 1e-9 * scale * x.len() as f64);
+        }
+    }
+
+    /// The fast transform agrees with the O(n²) reference DFT.
+    #[test]
+    fn fast_matches_reference(x in complex_vec(48)) {
+        let plan = FftPlanner::new().plan(x.len());
+        let mut fast = x.clone();
+        plan.forward(&mut fast);
+        let slow = dft::forward(&x);
+        let scale: f64 = x.iter().map(|z| z.norm()).sum::<f64>().max(1.0);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).norm() <= 1e-9 * scale);
+        }
+    }
+
+    /// FFT is linear: FFT(a·x + y) == a·FFT(x) + FFT(y).
+    #[test]
+    fn linearity(x in complex_vec(64), scale in -10.0f64..10.0) {
+        let n = x.len();
+        let y: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64).sin(), 1.0)).collect();
+        let plan = FftPlanner::new().plan(n);
+
+        let mut combined: Vec<Complex64> =
+            x.iter().zip(&y).map(|(a, b)| a.scale(scale) + *b).collect();
+        plan.forward(&mut combined);
+
+        let mut fx = x.clone();
+        plan.forward(&mut fx);
+        let mut fy = y.clone();
+        plan.forward(&mut fy);
+
+        let mag: f64 = x.iter().map(|z| z.norm()).sum::<f64>().max(1.0) * scale.abs().max(1.0);
+        for ((c, a), b) in combined.iter().zip(&fx).zip(&fy) {
+            prop_assert!((*c - (a.scale(scale) + *b)).norm() <= 1e-8 * mag.max(n as f64));
+        }
+    }
+
+    /// Parseval: time-domain and (normalized) frequency-domain energy agree.
+    #[test]
+    fn parseval(x in complex_vec(80)) {
+        let plan = FftPlanner::new().plan(x.len());
+        let mut spec = x.clone();
+        plan.forward(&mut spec);
+        let te: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let fe: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        prop_assert!((te - fe).abs() <= 1e-7 * te.max(1.0));
+    }
+
+    /// fftshift/ifftshift invert each other for any shape.
+    #[test]
+    fn shift_roundtrip(rows in 1usize..12, cols in 1usize..12) {
+        let x: Vec<Complex64> =
+            (0..rows * cols).map(|i| Complex64::new(i as f64, -(i as f64))).collect();
+        let mut buf = x.clone();
+        fftshift(&mut buf, rows, cols);
+        ifftshift(&mut buf, rows, cols);
+        prop_assert_eq!(buf, x);
+    }
+
+    /// 2-D roundtrip is the identity for any shape.
+    #[test]
+    fn roundtrip_2d(rows in 1usize..16, cols in 1usize..16) {
+        let fft = Fft2d::new(rows, cols);
+        let x: Vec<Complex64> = (0..rows * cols)
+            .map(|i| Complex64::new((i as f64 * 0.3).cos(), (i as f64 * 1.7).sin()))
+            .collect();
+        let mut buf = x.clone();
+        fft.forward(&mut buf);
+        fft.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&x) {
+            prop_assert!((*a - *b).norm() <= 1e-8);
+        }
+    }
+
+    /// Time shift ↔ frequency linear phase (the DFT shift theorem), the
+    /// property the angular-spectrum propagator implicitly relies on.
+    #[test]
+    fn shift_theorem(x in complex_vec(48), shift in 0usize..48) {
+        let n = x.len();
+        let shift = shift % n;
+        let plan = FftPlanner::new().plan(n);
+
+        let mut shifted = x.clone();
+        shifted.rotate_right(shift);
+        plan.forward(&mut shifted);
+
+        let mut spec = x.clone();
+        plan.forward(&mut spec);
+
+        let mag: f64 = x.iter().map(|z| z.norm()).sum::<f64>().max(1.0);
+        for (k, (s, f)) in shifted.iter().zip(&spec).enumerate() {
+            let phase = Complex64::cis(
+                -2.0 * std::f64::consts::PI * (k * shift % n) as f64 / n as f64,
+            );
+            prop_assert!((*s - *f * phase).norm() <= 1e-8 * mag);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Calibration anchors tying the simulator to the paper's measurements.
+//!
+//! The reproduction's performance claims are all *relative* (speedups, power
+//! and energy percentages), but the model is pinned to the paper's absolute
+//! anchors so latencies and powers are meaningful on their own:
+//!
+//! * 341.7 ms for the baseline hologram — 512², 16 depth planes, 5 GSW
+//!   iterations (§2.2.1, Table 1 discussion);
+//! * latency ≈ linear in depth-plane count, forward ≈ backward (Fig 4b);
+//! * ≈ 4.41 W total board power during a 16-plane hologram (§5.3);
+//! * SM utilization ≈ 74% forward / 90% backward, L1 hit 99% (§3).
+//!
+//! `DeviceConfig::kernel_efficiency` is the single timing scale factor; it
+//! was solved once against the first anchor and is validated by the tests in
+//! this module.
+
+use crate::device::Device;
+use crate::hologram_kernels::{run_job, HologramJob};
+
+/// The paper's measured baseline hologram latency, seconds (§2.2.1).
+pub const BASELINE_HOLOGRAM_LATENCY: f64 = 0.3417;
+
+/// Full (unapproximated) depth-plane count per object (§4.3).
+pub const FULL_PLANES: u32 = 16;
+
+/// GSW iterations profiled by the paper (§2.2.1 footnote 3).
+pub const GSW_ITERATIONS: u32 = 5;
+
+/// Hologram resolution used for calibration (512²).
+pub const HOLOGRAM_PIXELS: u64 = 512 * 512;
+
+/// Measured latencies of the other pipeline stages on the edge GPU
+/// (§2.2.1, Fig 2), seconds.
+pub mod stage_latency {
+    /// Kimera-VIO pose estimation.
+    pub const POSE_ESTIMATE: f64 = 0.0138;
+    /// NVGaze eye tracking.
+    pub const EYE_TRACK: f64 = 0.0044;
+    /// InfiniTAM scene reconstruction.
+    pub const SCENE_RECONSTRUCT: f64 = 0.120;
+}
+
+/// Returns the calibrated Xavier-like device and the latency it models for
+/// the paper's baseline hologram configuration.
+pub fn baseline_hologram_latency() -> f64 {
+    let mut device = Device::xavier();
+    run_job(&mut device, &HologramJob::full(FULL_PLANES)).latency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_latency_matches_paper_anchor() {
+        let latency = baseline_hologram_latency();
+        let err = (latency - BASELINE_HOLOGRAM_LATENCY).abs() / BASELINE_HOLOGRAM_LATENCY;
+        assert!(
+            err < 0.05,
+            "modeled baseline hologram {:.1} ms vs paper {:.1} ms ({:.1}% off)",
+            latency * 1e3,
+            BASELINE_HOLOGRAM_LATENCY * 1e3,
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn hologram_misses_realtime_by_an_order_of_magnitude() {
+        // The paper's motivating observation: ~10× over the 33 ms deadline.
+        let latency = baseline_hologram_latency();
+        assert!(latency > 8.0 * 0.033);
+    }
+
+    #[test]
+    fn four_planes_fit_realtime_but_not_more() {
+        // §3: "a state-of-the-art edge GPU is only able to compute for < 4
+        // depth planes in real-time".
+        let mut device = Device::xavier();
+        let t4 = run_job(&mut device, &HologramJob::full(4)).latency;
+        let t8 = run_job(&mut device, &HologramJob::full(8)).latency;
+        assert!(t4 < 2.0 * 0.066, "4 planes should be near real-time, got {t4}");
+        assert!(t8 > 0.066, "8 planes should miss 30 fps clearly, got {t8}");
+    }
+
+    #[test]
+    fn utilization_matches_section3_bands() {
+        use crate::hologram_kernels::{propagation_kernel, Step};
+        let mut device = Device::xavier();
+        let fwd = device.execute(&propagation_kernel(Step::Forward, HOLOGRAM_PIXELS));
+        let bwd = device.execute(&propagation_kernel(Step::Backward, HOLOGRAM_PIXELS));
+        // Paper: 74% forward, 90% backward (±8 pp band).
+        assert!(
+            (fwd.sm_utilization - 0.74).abs() < 0.08,
+            "forward SM utilization {:.2} should be near 0.74",
+            fwd.sm_utilization
+        );
+        assert!(
+            (bwd.sm_utilization - 0.90).abs() < 0.08,
+            "backward SM utilization {:.2} should be near 0.90",
+            bwd.sm_utilization
+        );
+        assert!(bwd.sm_utilization > fwd.sm_utilization);
+    }
+
+    #[test]
+    fn stall_leaders_match_section3() {
+        use crate::hologram_kernels::{propagation_kernel, Step};
+        use crate::stats::StallCategory as C;
+        let mut device = Device::xavier();
+        let fwd = device.execute(&propagation_kernel(Step::Forward, HOLOGRAM_PIXELS));
+        let bwd = device.execute(&propagation_kernel(Step::Backward, HOLOGRAM_PIXELS));
+        // Forward: Data Request is the top reason; Read-only Loads are minor.
+        assert!(fwd.stalls.fraction(C::DataRequest) > fwd.stalls.fraction(C::ReadOnlyLoad));
+        assert!(fwd.stalls.fraction(C::ExecutionDependency) > 0.1);
+        // Backward: Read-only Loads dominate, Sync is second.
+        assert!(bwd.stalls.fraction(C::ReadOnlyLoad) > 0.3);
+        assert!(bwd.stalls.fraction(C::Sync) > 0.1);
+        assert!(
+            bwd.stalls.fraction(C::ReadOnlyLoad) > bwd.stalls.fraction(C::DataRequest),
+            "backward should be read-only dominated"
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! Power gating and DVFS — the §5.5 future-work knobs, modeled.
+//!
+//! The paper's accelerator sketch asks: *"In some cases where a small amount
+//! of hologram computation \[is\] required, not all of the PUs on-board are
+//! needed to be active. We plan to design and implement a clock/power gating
+//! technology to switch off the un-utilized PUs"*. Approximated holograms
+//! and partial sub-holograms launch smaller grids; when a grid cannot fill
+//! every SM, gating powers the idle ones down and saves their share of
+//! static (and residual dynamic) power.
+//!
+//! DVFS is the complementary knob: scaling frequency (and with it voltage)
+//! trades latency for power cubically — racing to finish versus crawling
+//! efficiently.
+
+use crate::config::{DeviceConfig, PowerConfig};
+use crate::device::Device;
+use crate::hologram_kernels::{job_kernels, HologramJob, HologramJobStats};
+use crate::power::{Activity, EnergyMeter, RailPower};
+
+/// Gating policy for idle SMs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatingPolicy {
+    /// Whether idle SMs are power-gated at all.
+    pub enabled: bool,
+    /// SMs that can never be gated (kept warm for latency-critical wakeup).
+    pub min_active_sms: u32,
+}
+
+impl Default for GatingPolicy {
+    /// Gating on, one SM always awake.
+    fn default() -> Self {
+        GatingPolicy { enabled: true, min_active_sms: 1 }
+    }
+}
+
+/// How many SMs a grid of `grid_blocks` blocks can keep busy.
+pub fn sms_needed(grid_blocks: u32, config: &DeviceConfig) -> u32 {
+    grid_blocks.min(config.sm_count).max(1)
+}
+
+/// GPU/Mem rails with `active_sms` of the device powered, at the given
+/// activity. The GPU rail's static share and its dynamic draw both scale
+/// with the powered fraction; other rails are unaffected.
+///
+/// # Panics
+///
+/// Panics if `active_sms` is zero or exceeds the SM count.
+pub fn gated_rails(
+    power: &PowerConfig,
+    activity: Activity,
+    active_sms: u32,
+    sm_count: u32,
+) -> RailPower {
+    assert!(active_sms >= 1 && active_sms <= sm_count, "active SMs out of range");
+    let fraction = active_sms as f64 / sm_count as f64;
+    let ungated = power.rails(activity);
+    RailPower {
+        gpu: power.gpu_static * fraction + power.gpu_dynamic * activity.gpu * fraction,
+        ..ungated
+    }
+}
+
+/// Runs a hologram job with idle-SM gating applied to the power accounting
+/// (latency is unchanged: gated SMs were idle anyway).
+///
+/// # Panics
+///
+/// Panics if the job is invalid.
+pub fn run_job_gated(
+    device: &mut Device,
+    job: &HologramJob,
+    policy: GatingPolicy,
+) -> HologramJobStats {
+    if job.plane_count == 0 {
+        return HologramJobStats::skipped();
+    }
+    let kernels = job_kernels(job);
+    let sm_count = device.config().sm_count;
+    let power = device.config().power;
+    let activity = Activity::for_hologram(job.plane_count as f64, &power);
+
+    let mut meter = EnergyMeter::new();
+    let mut stats = Vec::with_capacity(kernels.len());
+    let mut weighted_rails = RailPower::default();
+    let mut total_time = 0.0;
+    for kernel in &kernels {
+        let s = device.execute(kernel);
+        let active = if policy.enabled {
+            sms_needed(kernel.grid_blocks, device.config()).max(policy.min_active_sms)
+        } else {
+            sm_count
+        };
+        let rails = gated_rails(&power, activity, active.min(sm_count), sm_count);
+        meter.accumulate(s.time, rails);
+        weighted_rails.soc += rails.soc * s.time;
+        weighted_rails.cpu += rails.cpu * s.time;
+        weighted_rails.gpu += rails.gpu * s.time;
+        weighted_rails.mem += rails.mem * s.time;
+        total_time += s.time;
+        stats.push(s);
+    }
+    let rails = if total_time > 0.0 {
+        RailPower {
+            soc: weighted_rails.soc / total_time,
+            cpu: weighted_rails.cpu / total_time,
+            gpu: weighted_rails.gpu / total_time,
+            mem: weighted_rails.mem / total_time,
+        }
+    } else {
+        RailPower::default()
+    };
+    HologramJobStats { latency: meter.time, rails, energy: meter.energy.total(), kernels: stats }
+}
+
+/// A DVFS operating point: clock scaled by `frequency_scale`, with voltage
+/// tracking frequency (the standard near-linear V–f region), so dynamic
+/// power scales as `f·V² ≈ f³` and latency as `1/f`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsPoint {
+    /// Clock multiplier relative to the calibrated nominal (e.g. 0.75).
+    pub frequency_scale: f64,
+}
+
+impl DvfsPoint {
+    /// The nominal operating point.
+    pub const NOMINAL: DvfsPoint = DvfsPoint { frequency_scale: 1.0 };
+
+    /// Creates an operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scale is not in `(0, 1.5]` (Xavier's governor range,
+    /// roughly).
+    pub fn new(frequency_scale: f64) -> Self {
+        assert!(
+            frequency_scale > 0.0 && frequency_scale <= 1.5,
+            "frequency scale must be in (0, 1.5]"
+        );
+        DvfsPoint { frequency_scale }
+    }
+
+    /// Derives the scaled device configuration: clock × `f`, GPU/Mem dynamic
+    /// power × `f³` (voltage tracks frequency), statics unchanged.
+    pub fn apply(&self, base: &DeviceConfig) -> DeviceConfig {
+        let f = self.frequency_scale;
+        let mut cfg = *base;
+        cfg.clock_hz *= f;
+        cfg.power.gpu_dynamic *= f * f * f;
+        cfg.power.mem_dynamic *= f * f * f;
+        cfg
+    }
+}
+
+/// Latency and energy of a hologram job at a DVFS point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsOutcome {
+    /// The operating point.
+    pub point: DvfsPoint,
+    /// Job latency, seconds.
+    pub latency: f64,
+    /// Job energy, joules.
+    pub energy: f64,
+}
+
+/// Sweeps a hologram job across DVFS points (the race-to-idle analysis).
+///
+/// # Panics
+///
+/// Panics if `points` is empty or the job is invalid.
+pub fn dvfs_sweep(base: &DeviceConfig, job: &HologramJob, points: &[DvfsPoint]) -> Vec<DvfsOutcome> {
+    assert!(!points.is_empty(), "sweep needs at least one operating point");
+    points
+        .iter()
+        .map(|&point| {
+            let cfg = point.apply(base);
+            let mut device = Device::new(cfg).expect("scaled configuration stays valid");
+            let stats = crate::hologram_kernels::run_job(&mut device, job);
+            DvfsOutcome { point, latency: stats.latency, energy: stats.energy }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hologram_kernels::run_job;
+
+    #[test]
+    fn sms_needed_saturates_at_device_size() {
+        let cfg = DeviceConfig::default();
+        assert_eq!(sms_needed(1, &cfg), 1);
+        assert_eq!(sms_needed(5, &cfg), 5);
+        assert_eq!(sms_needed(100, &cfg), 8);
+        assert_eq!(sms_needed(0, &cfg), 1);
+    }
+
+    #[test]
+    fn gating_never_raises_power() {
+        let power = PowerConfig::default();
+        let act = Activity::for_hologram(8.0, &power);
+        let full = gated_rails(&power, act, 8, 8);
+        let half = gated_rails(&power, act, 4, 8);
+        assert!(half.total() < full.total());
+        assert_eq!(half.soc, full.soc, "gating only touches the GPU rail");
+        assert_eq!(half.mem, full.mem);
+    }
+
+    #[test]
+    fn full_activity_ungated_matches_plain_rails() {
+        let power = PowerConfig::default();
+        let act = Activity::for_hologram(16.0, &power);
+        let gated = gated_rails(&power, act, 8, 8);
+        let plain = power.rails(act);
+        assert!((gated.total() - plain.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_jobs_benefit_from_gating() {
+        // A tiny sub-hologram (low coverage) cannot fill the device; gating
+        // should cut its energy relative to the ungated run.
+        let job = HologramJob { coverage: 0.004, ..HologramJob::full(2) }; // ~4 blocks
+        let mut d1 = Device::xavier();
+        let plain = run_job(&mut d1, &job);
+        let mut d2 = Device::xavier();
+        let gated = run_job_gated(&mut d2, &job, GatingPolicy::default());
+        assert!((gated.latency - plain.latency).abs() < 1e-12, "gating must not slow down");
+        assert!(gated.energy < plain.energy, "gated {} vs {}", gated.energy, plain.energy);
+    }
+
+    #[test]
+    fn full_jobs_see_no_gating_effect() {
+        let job = HologramJob::full(16); // 1024 blocks: fills all SMs
+        let mut d1 = Device::xavier();
+        let plain = run_job(&mut d1, &job);
+        let mut d2 = Device::xavier();
+        let gated = run_job_gated(&mut d2, &job, GatingPolicy::default());
+        assert!((gated.energy - plain.energy).abs() / plain.energy < 1e-9);
+    }
+
+    #[test]
+    fn disabled_policy_is_a_noop() {
+        let job = HologramJob { coverage: 0.004, ..HologramJob::full(2) };
+        let mut d1 = Device::xavier();
+        let plain = run_job(&mut d1, &job);
+        let mut d2 = Device::xavier();
+        let off = run_job_gated(&mut d2, &job, GatingPolicy { enabled: false, min_active_sms: 1 });
+        assert!((off.energy - plain.energy).abs() / plain.energy < 1e-9);
+    }
+
+    #[test]
+    fn dvfs_race_to_idle_wins_on_this_board() {
+        let base = DeviceConfig::default();
+        let outcomes = dvfs_sweep(
+            &base,
+            &HologramJob::full(8),
+            &[DvfsPoint::new(0.5), DvfsPoint::NOMINAL],
+        );
+        let slow = outcomes[0];
+        let nominal = outcomes[1];
+        assert!(slow.latency > 1.8 * nominal.latency, "half clock ≈ double latency");
+        // Dynamic energy per op shrinks f², but SoC/CPU statics burn for
+        // twice as long — and on this board statics dominate, so racing to
+        // idle is the more efficient policy. (This is the §5.5 takeaway:
+        // gate/finish-fast beats crawling.)
+        assert!(
+            slow.energy > nominal.energy,
+            "slow {} should cost more than nominal {} on a static-heavy board",
+            slow.energy,
+            nominal.energy
+        );
+        // But the gap must come from statics: it should be bounded well
+        // below the 2x a pure-static board would show.
+        assert!(slow.energy < 1.5 * nominal.energy);
+    }
+
+    #[test]
+    fn dvfs_apply_scales_clock_and_dynamic_power() {
+        let base = DeviceConfig::default();
+        let scaled = DvfsPoint::new(0.5).apply(&base);
+        assert_eq!(scaled.clock_hz, base.clock_hz * 0.5);
+        assert!((scaled.power.gpu_dynamic - base.power.gpu_dynamic * 0.125).abs() < 1e-12);
+        assert_eq!(scaled.power.gpu_static, base.power.gpu_static);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency scale")]
+    fn dvfs_rejects_zero_scale() {
+        DvfsPoint::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "active SMs out of range")]
+    fn gated_rails_validates_range() {
+        gated_rails(&PowerConfig::default(), Activity::IDLE, 0, 8);
+    }
+}

@@ -1,0 +1,393 @@
+//! Mapping the hologram algorithms onto GPU kernels.
+//!
+//! This is where Algorithm 1's structure (one forward and one backward
+//! plane-sweep per GSW iteration, with per-plane barriers) becomes a kernel
+//! sequence the simulated device can execute. The instruction mixes encode
+//! the §3 characterization: both steps compute the same FFT-based
+//! propagation math, but the forward step is barrier/imbalance-heavy
+//! (74% SM utilization, stalls led by Data Request / Execution Dependency /
+//! Instruction Fetch), while the backward step streams every plane's results
+//! through the read-only path (90% utilization, stalls led by Read-only
+//! Loads and Sync).
+
+use crate::calibration;
+use crate::device::Device;
+use crate::kernel::{InstructionMix, KernelDesc};
+use crate::power::{Activity, EnergyMeter, RailPower};
+use crate::stats::KernelStats;
+
+/// Which half of Algorithm 1 a propagation kernel implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// `HP2DP`: hologram plane to depth plane (Algo 1 step 1).
+    Forward,
+    /// `DP2HP`: depth plane back to the hologram plane (Algo 1 step 2).
+    Backward,
+}
+
+impl Step {
+    /// Kernel name used in profiler reports.
+    pub fn kernel_name(self) -> &'static str {
+        match self {
+            Step::Forward => "hp2dp_forward",
+            Step::Backward => "dp2hp_backward",
+        }
+    }
+}
+
+/// Builds the propagation kernel for one depth plane.
+///
+/// `pixels` is the number of hologram samples the plane touches (the full
+/// resolution, scaled down for partial viewing-window coverage).
+///
+/// # Panics
+///
+/// Panics if `pixels == 0`.
+pub fn propagation_kernel(step: Step, pixels: u64) -> KernelDesc {
+    assert!(pixels > 0, "propagation kernel needs at least one pixel");
+    let block_threads = 256u32;
+    let grid_blocks = pixels.div_ceil(block_threads as u64).min(u32::MAX as u64) as u32;
+    match step {
+        Step::Forward => KernelDesc::new(
+            step.kernel_name(),
+            grid_blocks,
+            block_threads,
+            InstructionMix {
+                // Two 2-D FFTs (≈ 18 butterfly stages × ~10 flops/pixel)
+                // plus the transfer-function multiply.
+                flops: 368.0,
+                transcendentals: 12.0,
+                loads: 14.0,
+                stores: 20.0,
+                read_only_fraction: 0.10,
+                integer_ops: 120.0,
+            },
+        )
+        .with_intra_syncs(2)
+        .with_l1_hit_rate(0.99)
+        .with_imbalance(1.04)
+        .with_dependency_factor(0.22),
+        Step::Backward => KernelDesc::new(
+            step.kernel_name(),
+            grid_blocks,
+            block_threads,
+            InstructionMix {
+                flops: 368.0,
+                transcendentals: 12.0,
+                loads: 30.0,
+                stores: 6.0,
+                read_only_fraction: 0.90,
+                integer_ops: 20.0,
+            },
+        )
+        .with_intra_syncs(3)
+        .with_inter_sync()
+        .with_l1_hit_rate(0.99)
+        .with_imbalance(1.0)
+        .with_dependency_factor(0.03),
+    }
+}
+
+/// One hologram computation request: the unit HoloAR's planner schedules per
+/// object per frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HologramJob {
+    /// Hologram resolution in pixels (e.g. 512²).
+    pub pixels: u64,
+    /// Number of depth planes `M` (the approximation knob).
+    pub plane_count: u32,
+    /// Fraction of the hologram aperture actually computed (viewing-window
+    /// coverage, `(0, 1]`; partial objects compute partial sub-holograms).
+    pub coverage: f64,
+    /// GSW iterations; the paper profiles five.
+    pub gsw_iterations: u32,
+}
+
+impl HologramJob {
+    /// A full-aperture job at the paper's profiled configuration
+    /// (512², 5 GSW iterations).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use holoar_gpusim::HologramJob;
+    /// let job = HologramJob::full(16);
+    /// assert_eq!(job.plane_count, 16);
+    /// assert_eq!(job.gsw_iterations, 5);
+    /// ```
+    pub fn full(plane_count: u32) -> Self {
+        HologramJob {
+            pixels: calibration::HOLOGRAM_PIXELS,
+            plane_count,
+            coverage: 1.0,
+            gsw_iterations: calibration::GSW_ITERATIONS,
+        }
+    }
+
+    /// Validates the job.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pixels == 0 {
+            return Err("job must cover at least one pixel".into());
+        }
+        if !(self.coverage > 0.0 && self.coverage <= 1.0) {
+            return Err("coverage must be in (0, 1]".into());
+        }
+        if self.gsw_iterations == 0 {
+            return Err("GSW needs at least one iteration".into());
+        }
+        Ok(())
+    }
+}
+
+/// Statistics from running one [`HologramJob`] on the device.
+#[derive(Debug, Clone)]
+pub struct HologramJobStats {
+    /// End-to-end job latency, seconds.
+    pub latency: f64,
+    /// Rail power sustained during the job.
+    pub rails: RailPower,
+    /// Total energy, joules.
+    pub energy: f64,
+    /// Per-kernel statistics, in launch order.
+    pub kernels: Vec<KernelStats>,
+}
+
+impl HologramJobStats {
+    /// A zero-work result (skipped object).
+    pub fn skipped() -> Self {
+        HologramJobStats {
+            latency: 0.0,
+            rails: RailPower::default(),
+            energy: 0.0,
+            kernels: Vec::new(),
+        }
+    }
+}
+
+/// Builds the full kernel sequence for a job: per GSW iteration, one forward
+/// and one backward propagation per depth plane.
+///
+/// # Panics
+///
+/// Panics if the job is invalid (use [`HologramJob::validate`] for a
+/// recoverable error).
+pub fn job_kernels(job: &HologramJob) -> Vec<KernelDesc> {
+    if let Err(e) = job.validate() {
+        panic!("invalid hologram job: {e}");
+    }
+    let covered_pixels = ((job.pixels as f64 * job.coverage).ceil() as u64).max(1);
+    let mut kernels =
+        Vec::with_capacity((job.gsw_iterations * job.plane_count * 2) as usize);
+    for _ in 0..job.gsw_iterations {
+        for _ in 0..job.plane_count {
+            kernels.push(propagation_kernel(Step::Forward, covered_pixels));
+        }
+        for _ in 0..job.plane_count {
+            kernels.push(propagation_kernel(Step::Backward, covered_pixels));
+        }
+    }
+    kernels
+}
+
+/// Builds the *fused* kernel sequence: per GSW iteration, all plane
+/// propagations of one step merge into a single grid-wide launch (one
+/// forward, one backward), eliminating the per-plane launch overheads and
+/// drain tails — the kernel-engineering alternative to approximation that
+/// §3's stall analysis invites.
+///
+/// # Panics
+///
+/// Panics if the job is invalid.
+pub fn fused_job_kernels(job: &HologramJob) -> Vec<KernelDesc> {
+    if let Err(e) = job.validate() {
+        panic!("invalid hologram job: {e}");
+    }
+    let covered_pixels = ((job.pixels as f64 * job.coverage).ceil() as u64).max(1);
+    let mut kernels = Vec::with_capacity((job.gsw_iterations * 2) as usize);
+    for _ in 0..job.gsw_iterations {
+        for step in [Step::Forward, Step::Backward] {
+            let per_plane = propagation_kernel(step, covered_pixels);
+            let mut fused = per_plane.clone();
+            fused.name = format!("{}_fused", per_plane.name);
+            fused.grid_blocks = per_plane
+                .grid_blocks
+                .saturating_mul(job.plane_count)
+                .max(1);
+            kernels.push(fused);
+        }
+    }
+    kernels
+}
+
+/// Runs a job with fused kernels (see [`fused_job_kernels`]).
+///
+/// # Panics
+///
+/// Panics if the job is invalid.
+pub fn run_job_fused(device: &mut Device, job: &HologramJob) -> HologramJobStats {
+    if job.plane_count == 0 {
+        return HologramJobStats::skipped();
+    }
+    let kernels = fused_job_kernels(job);
+    let stats = device.execute_all(&kernels);
+    let latency: f64 = stats.iter().map(|s| s.time).sum();
+    let activity = Activity::for_hologram(job.plane_count as f64, &device.config().power);
+    let rails = device.config().power.rails(activity);
+    let mut meter = EnergyMeter::new();
+    meter.accumulate(latency, rails);
+    HologramJobStats { latency, rails, energy: meter.energy.total(), kernels: stats }
+}
+
+/// Runs a hologram job, returning latency, power and energy.
+///
+/// A job with `plane_count == 0` is a skipped object: zero time, zero energy
+/// (the viewing-window baseline's "outside the window" case).
+///
+/// # Examples
+///
+/// ```
+/// use holoar_gpusim::{hologram_kernels, Device, HologramJob};
+///
+/// let mut device = Device::xavier();
+/// let full = hologram_kernels::run_job(&mut device, &HologramJob::full(16));
+/// let approx = hologram_kernels::run_job(&mut device, &HologramJob::full(8));
+/// assert!(approx.latency < full.latency);
+/// assert!(approx.energy < full.energy);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the job is invalid (non-zero planes with zero pixels/coverage).
+pub fn run_job(device: &mut Device, job: &HologramJob) -> HologramJobStats {
+    if job.plane_count == 0 {
+        return HologramJobStats::skipped();
+    }
+    let kernels = job_kernels(job);
+    let stats = device.execute_all(&kernels);
+    let latency: f64 = stats.iter().map(|s| s.time).sum();
+    let activity = Activity::for_hologram(job.plane_count as f64, &device.config().power);
+    let rails = device.config().power.rails(activity);
+    let mut meter = EnergyMeter::new();
+    meter.accumulate(latency, rails);
+    HologramJobStats { latency, rails, energy: meter.energy.total(), kernels: stats }
+}
+
+/// Latency of the forward and backward halves for one plane count — the
+/// Fig 4b sweep.
+pub fn step_latencies(device: &mut Device, pixels: u64, plane_count: u32) -> (f64, f64) {
+    let mut fwd = 0.0;
+    let mut bwd = 0.0;
+    for _ in 0..calibration::GSW_ITERATIONS {
+        for _ in 0..plane_count {
+            fwd += device.execute(&propagation_kernel(Step::Forward, pixels)).time;
+            bwd += device.execute(&propagation_kernel(Step::Backward, pixels)).time;
+        }
+    }
+    (fwd, bwd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_names_distinguish_steps() {
+        assert_eq!(Step::Forward.kernel_name(), "hp2dp_forward");
+        assert_eq!(Step::Backward.kernel_name(), "dp2hp_backward");
+    }
+
+    #[test]
+    fn job_kernel_count_matches_structure() {
+        let job = HologramJob::full(16);
+        let kernels = job_kernels(&job);
+        assert_eq!(kernels.len(), (5 * 16 * 2) as usize);
+    }
+
+    #[test]
+    fn coverage_scales_grid() {
+        let full = propagation_kernel(Step::Forward, 512 * 512);
+        let job = HologramJob { coverage: 0.25, ..HologramJob::full(4) };
+        let kernels = job_kernels(&job);
+        assert!(kernels[0].grid_blocks < full.grid_blocks);
+        assert_eq!(kernels[0].grid_blocks, 256); // 65536 pixels / 256 threads
+    }
+
+    #[test]
+    fn latency_roughly_linear_in_planes() {
+        let mut d = Device::xavier();
+        let t8 = run_job(&mut d, &HologramJob::full(8)).latency;
+        let t16 = run_job(&mut d, &HologramJob::full(16)).latency;
+        let ratio = t16 / t8;
+        assert!((ratio - 2.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn forward_and_backward_take_similar_time() {
+        let mut d = Device::xavier();
+        let (fwd, bwd) = step_latencies(&mut d, 512 * 512, 4);
+        let ratio = fwd / bwd;
+        assert!((0.7..1.4).contains(&ratio), "fwd/bwd ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_planes_is_skipped() {
+        let mut d = Device::xavier();
+        let job = HologramJob { plane_count: 0, ..HologramJob::full(0) };
+        let stats = run_job(&mut d, &job);
+        assert_eq!(stats.latency, 0.0);
+        assert_eq!(stats.energy, 0.0);
+        assert!(stats.kernels.is_empty());
+    }
+
+    #[test]
+    fn job_validation() {
+        assert!(HologramJob::full(16).validate().is_ok());
+        let bad = HologramJob { coverage: 0.0, ..HologramJob::full(4) };
+        assert!(bad.validate().is_err());
+        let bad = HologramJob { gsw_iterations: 0, ..HologramJob::full(4) };
+        assert!(bad.validate().is_err());
+        let bad = HologramJob { pixels: 0, ..HologramJob::full(4) };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn fusion_saves_a_little_but_not_the_10x() {
+        // Kernel fusion removes launch overheads and drain tails; the model
+        // shows it recovers only a few percent — the plane count, not the
+        // kernel engineering, is the lever (the paper's §4 premise).
+        let mut d1 = Device::xavier();
+        let plain = run_job(&mut d1, &HologramJob::full(16)).latency;
+        let mut d2 = Device::xavier();
+        let fused = run_job_fused(&mut d2, &HologramJob::full(16)).latency;
+        assert!(fused < plain, "fusion should help: {fused} vs {plain}");
+        let saving = 1.0 - fused / plain;
+        assert!(saving < 0.10, "fusion saving {saving:.3} should be small");
+        assert!(saving > 0.001, "fusion saving {saving:.4} should be visible");
+    }
+
+    #[test]
+    fn fused_workload_has_two_kernels_per_iteration() {
+        let kernels = fused_job_kernels(&HologramJob::full(16));
+        assert_eq!(kernels.len(), 10); // 5 iterations x (fwd + bwd)
+        assert!(kernels[0].name.ends_with("_fused"));
+        assert_eq!(kernels[0].grid_blocks, 16 * 1024);
+    }
+
+    #[test]
+    fn fewer_planes_burn_less_power() {
+        let mut d = Device::xavier();
+        let p16 = run_job(&mut d, &HologramJob::full(16)).rails.total();
+        let p4 = run_job(&mut d, &HologramJob::full(4)).rails.total();
+        assert!(p4 < p16);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid hologram job")]
+    fn invalid_job_panics_on_kernel_build() {
+        job_kernels(&HologramJob { coverage: -1.0, ..HologramJob::full(4) });
+    }
+}

@@ -1,0 +1,259 @@
+//! Kernel workload descriptors.
+//!
+//! A [`KernelDesc`] is what the host "launches" on the simulated device: a
+//! grid of thread blocks, a per-thread instruction mix, and the
+//! synchronization structure (Algorithm 1's intra-/inter-block barriers).
+//! The hologram-specific builders live in [`crate::hologram_kernels`].
+
+/// Per-thread instruction mix of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct InstructionMix {
+    /// Single-precision floating-point operations.
+    pub flops: f64,
+    /// Transcendental operations (sin/cos/exp — the transfer-function math
+    /// that LUT-based accelerators like HORN-8 memoize away).
+    pub transcendentals: f64,
+    /// Global-memory load instructions.
+    pub loads: f64,
+    /// Global-memory store instructions.
+    pub stores: f64,
+    /// Fraction of loads going through the read-only (texture/LDG) path —
+    /// high for the backward step, which re-reads every plane's results.
+    pub read_only_fraction: f64,
+    /// Integer/control instructions.
+    pub integer_ops: f64,
+}
+
+impl InstructionMix {
+    /// Total dynamic instruction count per thread (flops counted per op).
+    pub fn instructions(&self) -> f64 {
+        self.flops + self.transcendentals + self.loads + self.stores + self.integer_ops
+    }
+
+    /// Bytes moved per thread assuming 4-byte words per access.
+    pub fn bytes(&self) -> f64 {
+        4.0 * (self.loads + self.stores)
+    }
+
+    /// Validates the mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field (negative counts or
+    /// an out-of-range read-only fraction).
+    pub fn validate(&self) -> Result<(), String> {
+        let fields = [
+            ("flops", self.flops),
+            ("transcendentals", self.transcendentals),
+            ("loads", self.loads),
+            ("stores", self.stores),
+            ("integer_ops", self.integer_ops),
+        ];
+        for (name, v) in fields {
+            if !(v >= 0.0 && v.is_finite()) {
+                return Err(format!("{name} must be non-negative and finite"));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.read_only_fraction) {
+            return Err("read_only_fraction must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+/// A kernel launch: grid geometry, instruction mix and synchronization
+/// behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDesc {
+    /// Kernel name, used by the profiler to aggregate statistics.
+    pub name: String,
+    /// Number of thread blocks in the grid.
+    pub grid_blocks: u32,
+    /// Threads per block.
+    pub block_threads: u32,
+    /// Per-thread instruction mix.
+    pub mix: InstructionMix,
+    /// Intra-block `__syncthreads()`-style barriers per block
+    /// (Algorithm 1 Line 6).
+    pub intra_block_syncs: u32,
+    /// Whether the kernel ends with a device-wide synchronization
+    /// (Algorithm 1 Lines 8/13).
+    pub inter_block_sync: bool,
+    /// L1 hit rate for this kernel's access pattern. The paper measured 99%
+    /// for both hologram steps (§3).
+    pub l1_hit_rate: f64,
+    /// Warp-level load imbalance factor ≥ 1: how much longer the slowest
+    /// warp runs than the mean (drives barrier stall time).
+    pub imbalance: f64,
+    /// Dependency-chain density in [0, 1]: the fraction of arithmetic whose
+    /// result is needed by the next instruction (drives execution-dependency
+    /// stalls). Streaming accumulation kernels sit near 0; chained butterfly
+    /// math sits higher.
+    pub dependency_factor: f64,
+}
+
+impl KernelDesc {
+    /// Creates a kernel descriptor with neutral synchronization defaults.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use holoar_gpusim::{InstructionMix, KernelDesc};
+    ///
+    /// let k = KernelDesc::new("copy", 128, 256, InstructionMix {
+    ///     loads: 8.0, stores: 8.0, ..Default::default()
+    /// });
+    /// assert_eq!(k.total_threads(), 128 * 256);
+    /// ```
+    pub fn new(name: impl Into<String>, grid_blocks: u32, block_threads: u32, mix: InstructionMix) -> Self {
+        KernelDesc {
+            name: name.into(),
+            grid_blocks,
+            block_threads,
+            mix,
+            intra_block_syncs: 0,
+            inter_block_sync: false,
+            l1_hit_rate: 0.99,
+            imbalance: 1.1,
+            dependency_factor: 0.15,
+        }
+    }
+
+    /// Sets the intra-block barrier count (builder-style).
+    pub fn with_intra_syncs(mut self, count: u32) -> Self {
+        self.intra_block_syncs = count;
+        self
+    }
+
+    /// Marks the kernel as ending with a device-wide sync (builder-style).
+    pub fn with_inter_sync(mut self) -> Self {
+        self.inter_block_sync = true;
+        self
+    }
+
+    /// Sets the L1 hit rate (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn with_l1_hit_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "L1 hit rate must be in [0, 1]");
+        self.l1_hit_rate = rate;
+        self
+    }
+
+    /// Sets the warp imbalance factor (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0`.
+    pub fn with_imbalance(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "imbalance factor must be >= 1");
+        self.imbalance = factor;
+        self
+    }
+
+    /// Sets the dependency-chain density (builder-style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is outside `[0, 1]`.
+    pub fn with_dependency_factor(mut self, factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&factor), "dependency factor must be in [0, 1]");
+        self.dependency_factor = factor;
+        self
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_blocks as u64 * self.block_threads as u64
+    }
+
+    /// Warps per block for a given warp size.
+    pub fn warps_per_block(&self, warp_size: u32) -> u32 {
+        self.block_threads.div_ceil(warp_size)
+    }
+
+    /// Validates the descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant (empty grid or
+    /// block, invalid mix, out-of-range rates).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.grid_blocks == 0 || self.block_threads == 0 {
+            return Err(format!("kernel '{}' has an empty grid or block", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.l1_hit_rate) {
+            return Err(format!("kernel '{}' L1 hit rate out of range", self.name));
+        }
+        if self.imbalance < 1.0 || !self.imbalance.is_finite() {
+            return Err(format!("kernel '{}' imbalance must be >= 1", self.name));
+        }
+        if !(0.0..=1.0).contains(&self.dependency_factor) {
+            return Err(format!("kernel '{}' dependency factor out of range", self.name));
+        }
+        self.mix.validate().map_err(|e| format!("kernel '{}': {e}", self.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_totals() {
+        let mix = InstructionMix {
+            flops: 100.0,
+            transcendentals: 10.0,
+            loads: 20.0,
+            stores: 8.0,
+            read_only_fraction: 0.5,
+            integer_ops: 12.0,
+        };
+        assert_eq!(mix.instructions(), 150.0);
+        assert_eq!(mix.bytes(), 112.0);
+        assert!(mix.validate().is_ok());
+    }
+
+    #[test]
+    fn mix_validation() {
+        let mix = InstructionMix { flops: -1.0, ..Default::default() };
+        assert!(mix.validate().is_err());
+        let mix = InstructionMix { read_only_fraction: 1.5, ..Default::default() };
+        assert!(mix.validate().is_err());
+    }
+
+    #[test]
+    fn kernel_builder_chain() {
+        let k = KernelDesc::new("k", 4, 128, InstructionMix::default())
+            .with_intra_syncs(3)
+            .with_inter_sync()
+            .with_l1_hit_rate(0.9)
+            .with_imbalance(1.5);
+        assert_eq!(k.intra_block_syncs, 3);
+        assert!(k.inter_block_sync);
+        assert_eq!(k.l1_hit_rate, 0.9);
+        assert_eq!(k.imbalance, 1.5);
+        assert_eq!(k.warps_per_block(32), 4);
+        assert!(k.validate().is_ok());
+    }
+
+    #[test]
+    fn warps_round_up() {
+        let k = KernelDesc::new("k", 1, 33, InstructionMix::default());
+        assert_eq!(k.warps_per_block(32), 2);
+    }
+
+    #[test]
+    fn kernel_validation_rejects_empty_grid() {
+        let k = KernelDesc::new("k", 0, 1, InstructionMix::default());
+        assert!(k.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "imbalance")]
+    fn builder_rejects_sub_unit_imbalance() {
+        KernelDesc::new("k", 1, 1, InstructionMix::default()).with_imbalance(0.5);
+    }
+}

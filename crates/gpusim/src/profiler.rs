@@ -1,0 +1,224 @@
+//! NVPROF-style profiling: per-kernel aggregation and report formatting.
+//!
+//! The paper collects SM utilization, stall breakdowns, L1 hit rates and
+//! memory traffic with NVPROF (§3, §4.5). [`Profiler`] aggregates the same
+//! observables across launches of each kernel name.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::stats::{KernelStats, StallBreakdown, StallCategory};
+
+/// Aggregated statistics for one kernel name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KernelAggregate {
+    /// Number of launches recorded.
+    pub invocations: u64,
+    /// Total execution time, seconds.
+    pub total_time: f64,
+    /// Total busy cycles.
+    pub busy_cycles: f64,
+    /// Total exposed stall cycles by category.
+    pub stalls: StallBreakdown,
+    /// Total L1 traffic, bytes.
+    pub l1_bytes: f64,
+    /// Total DRAM traffic, bytes.
+    pub dram_bytes: f64,
+    /// Time-weighted L1 hit rate accumulator.
+    weighted_l1: f64,
+}
+
+impl KernelAggregate {
+    /// Mean execution time per launch, seconds.
+    pub fn mean_time(&self) -> f64 {
+        if self.invocations > 0 {
+            self.total_time / self.invocations as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate SM utilization: busy / (busy + stalls).
+    pub fn sm_utilization(&self) -> f64 {
+        let denom = self.busy_cycles + self.stalls.total();
+        if denom > 0.0 {
+            self.busy_cycles / denom
+        } else {
+            0.0
+        }
+    }
+
+    /// Time-weighted mean L1 hit rate.
+    pub fn l1_hit_rate(&self) -> f64 {
+        if self.total_time > 0.0 {
+            self.weighted_l1 / self.total_time
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of stall cycles in a category (the NVPROF stall-reasons pie).
+    pub fn stall_fraction(&self, category: StallCategory) -> f64 {
+        self.stalls.fraction(category)
+    }
+}
+
+/// Aggregates [`KernelStats`] by kernel name.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_gpusim::{Device, InstructionMix, KernelDesc, Profiler};
+///
+/// let mut device = Device::xavier();
+/// let mut profiler = Profiler::new();
+/// let k = KernelDesc::new("scale", 64, 256, InstructionMix {
+///     flops: 4.0, loads: 1.0, stores: 1.0, ..Default::default()
+/// });
+/// profiler.record(&device.execute(&k));
+/// profiler.record(&device.execute(&k));
+/// assert_eq!(profiler.aggregate("scale").unwrap().invocations, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    kernels: BTreeMap<String, KernelAggregate>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one kernel execution.
+    pub fn record(&mut self, stats: &KernelStats) {
+        let agg = self.kernels.entry(stats.name.clone()).or_default();
+        agg.invocations += 1;
+        agg.total_time += stats.time;
+        agg.busy_cycles += stats.busy_cycles;
+        agg.stalls.merge(&stats.stalls);
+        agg.l1_bytes += stats.l1_bytes;
+        agg.dram_bytes += stats.dram_bytes;
+        agg.weighted_l1 += stats.l1_hit_rate * stats.time;
+    }
+
+    /// The aggregate for a kernel name, if recorded.
+    pub fn aggregate(&self, name: &str) -> Option<&KernelAggregate> {
+        self.kernels.get(name)
+    }
+
+    /// Iterates over `(name, aggregate)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &KernelAggregate)> {
+        self.kernels.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct kernel names recorded.
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Formats an NVPROF-like text report: one block per kernel with timing,
+    /// utilization, cache and stall-reason percentages.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "==== simulated profiler report ====");
+        for (name, agg) in self.iter() {
+            let _ = writeln!(
+                out,
+                "{name}: {} launches, total {:.3} ms, avg {:.3} ms",
+                agg.invocations,
+                agg.total_time * 1e3,
+                agg.mean_time() * 1e3
+            );
+            let _ = writeln!(
+                out,
+                "  sm_utilization {:>5.1}%   l1_hit {:>5.1}%   l1 {:.1} MB   dram {:.2} MB",
+                agg.sm_utilization() * 100.0,
+                agg.l1_hit_rate() * 100.0,
+                agg.l1_bytes / 1e6,
+                agg.dram_bytes / 1e6
+            );
+            let _ = write!(out, "  stalls:");
+            for cat in StallCategory::ALL {
+                let _ = write!(out, " {}={:.0}%", cat.name(), agg.stall_fraction(cat) * 100.0);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::kernel::{InstructionMix, KernelDesc};
+
+    fn run_one(name: &str) -> KernelStats {
+        let mut d = Device::xavier();
+        d.execute(&KernelDesc::new(
+            name,
+            32,
+            256,
+            InstructionMix { flops: 50.0, loads: 8.0, stores: 4.0, ..Default::default() },
+        ))
+    }
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut p = Profiler::new();
+        let s = run_one("a");
+        p.record(&s);
+        p.record(&s);
+        let agg = p.aggregate("a").unwrap();
+        assert_eq!(agg.invocations, 2);
+        assert!((agg.total_time - 2.0 * s.time).abs() < 1e-12);
+        assert!((agg.mean_time() - s.time).abs() < 1e-12);
+        assert_eq!(agg.l1_bytes, 2.0 * s.l1_bytes);
+    }
+
+    #[test]
+    fn distinct_kernels_tracked_separately() {
+        let mut p = Profiler::new();
+        p.record(&run_one("a"));
+        p.record(&run_one("b"));
+        assert_eq!(p.kernel_count(), 2);
+        assert!(p.aggregate("c").is_none());
+    }
+
+    #[test]
+    fn utilization_and_hit_rate_are_bounded() {
+        let mut p = Profiler::new();
+        p.record(&run_one("a"));
+        let agg = p.aggregate("a").unwrap();
+        assert!(agg.sm_utilization() > 0.0 && agg.sm_utilization() <= 1.0);
+        assert!((agg.l1_hit_rate() - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stall_fractions_sum_to_one_when_stalled() {
+        let mut p = Profiler::new();
+        p.record(&run_one("a"));
+        let agg = p.aggregate("a").unwrap();
+        let total: f64 = StallCategory::ALL.iter().map(|&c| agg.stall_fraction(c)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_aggregate_defaults() {
+        let agg = KernelAggregate::default();
+        assert_eq!(agg.mean_time(), 0.0);
+        assert_eq!(agg.sm_utilization(), 0.0);
+        assert_eq!(agg.l1_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn report_mentions_kernels_and_categories() {
+        let mut p = Profiler::new();
+        p.record(&run_one("fwd_prop"));
+        let report = p.report();
+        assert!(report.contains("fwd_prop"));
+        assert!(report.contains("sm_utilization"));
+        assert!(report.contains("Read-only Loads"));
+    }
+}

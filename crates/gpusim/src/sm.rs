@@ -1,0 +1,220 @@
+//! The streaming-multiprocessor cycle model.
+//!
+//! For each thread block the model computes:
+//!
+//! * **busy cycles** — the throughput-bound residency on the SM's issue
+//!   slots, ALUs, SFUs and L1 bandwidth (the max of those demands, since
+//!   real kernels are bound by their tightest resource), and
+//! * **raw stall cycles** per NVPROF category — memory latency, dependency
+//!   chains, instruction fetch and barrier waits — which are then divided by
+//!   the latency-hiding factor the resident-warp count affords before being
+//!   *exposed*.
+//!
+//! The exposed total `(busy + stalls) / kernel_efficiency` is what the
+//! device charges per block. `kernel_efficiency` is the single calibrated
+//! scale anchoring modeled time to the paper's measured 341.7 ms hologram
+//! (see `DeviceConfig::kernel_efficiency`).
+
+use crate::config::DeviceConfig;
+use crate::kernel::KernelDesc;
+use crate::stats::{StallBreakdown, StallCategory};
+
+/// Cycle cost of one thread block on one SM, before efficiency scaling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockCost {
+    /// Throughput-bound busy cycles.
+    pub busy_cycles: f64,
+    /// Stall cycles after latency hiding, by category.
+    pub exposed_stalls: StallBreakdown,
+}
+
+impl BlockCost {
+    /// Total cycles the block occupies (busy + exposed stalls).
+    pub fn total_cycles(&self) -> f64 {
+        self.busy_cycles + self.exposed_stalls.total()
+    }
+}
+
+/// Computes the cycle cost of one block of `kernel` on the configured SM.
+///
+/// # Panics
+///
+/// Panics if the kernel fails validation (call [`KernelDesc::validate`]
+/// first for a recoverable error).
+pub fn block_cost(kernel: &KernelDesc, config: &DeviceConfig) -> BlockCost {
+    if let Err(e) = kernel.validate() {
+        panic!("invalid kernel: {e}");
+    }
+    let sm = &config.sm;
+    let mem = &config.memory;
+    let threads = kernel.block_threads as f64;
+    let warps = kernel.warps_per_block(sm.warp_size) as f64;
+    let mix = &kernel.mix;
+
+    // ---- Throughput demands (cycles the block holds each resource) ----
+    let core_cycles = threads * mix.flops / sm.cores as f64;
+    // Transcendentals run on SFUs at a 4-cycle issue rate.
+    let sfu_cycles = threads * mix.transcendentals * 4.0 / sm.sfus as f64;
+    let issue_cycles = warps * mix.instructions() / sm.schedulers as f64;
+    let l1_cycles = threads * mix.bytes() / mem.l1_bytes_per_cycle_per_sm;
+    // DRAM bandwidth is shared: charge this SM its fair share of the misses.
+    let dram_bytes = threads * mix.bytes() * (1.0 - kernel.l1_hit_rate) * (1.0 - mem.l2_hit_rate);
+    let dram_cycles = dram_bytes / (mem.dram_bytes_per_cycle / config.sm_count as f64);
+    let busy = core_cycles.max(sfu_cycles).max(issue_cycles).max(l1_cycles).max(dram_cycles);
+
+    // ---- Raw stall cycles (before latency hiding) ----
+    let mut stalls = StallBreakdown::new();
+
+    // Memory latency: per warp, loads coalesce to one transaction; misses
+    // pay L2 or DRAM latency.
+    let miss_latency = (1.0 - kernel.l1_hit_rate)
+        * (mem.l2_hit_rate * mem.l2_latency + (1.0 - mem.l2_hit_rate) * mem.dram_latency);
+    let load_stall = warps * mix.loads * (miss_latency + 0.15 * mem.l1_latency);
+    stalls.add(StallCategory::ReadOnlyLoad, load_stall * mix.read_only_fraction);
+    let store_stall = warps * mix.stores * 2.0;
+    stalls.add(
+        StallCategory::DataRequest,
+        load_stall * (1.0 - mix.read_only_fraction) + store_stall,
+    );
+
+    // Dependency chains expose part of the arithmetic latency.
+    let dep_stall = kernel.dependency_factor * warps * (mix.flops + 4.0 * mix.transcendentals);
+    stalls.add(StallCategory::ExecutionDependency, dep_stall);
+
+    // Instruction fetch: scales with dynamic instruction count; control-heavy
+    // kernels (more integer ops) thrash the i-cache more.
+    let ifetch = warps * (0.02 * mix.instructions() + 0.25 * mix.integer_ops);
+    stalls.add(StallCategory::InstructionFetch, ifetch);
+
+    // Barriers: every warp waits for the slowest one at each sync point, and
+    // imbalance stretches the whole block.
+    let barrier_cost = 20.0;
+    let sync_stall = kernel.intra_block_syncs as f64 * warps * barrier_cost
+        + (kernel.imbalance - 1.0) * busy
+        + if kernel.inter_block_sync { warps * barrier_cost * 2.0 } else { 0.0 };
+    stalls.add(StallCategory::Sync, sync_stall);
+
+    // Residual: pipeline busy / not-selected.
+    stalls.add(StallCategory::Other, 0.35 * warps * mix.instructions() / sm.schedulers as f64);
+
+    // ---- Latency hiding ----
+    // More resident warps hide more latency. One block's warps plus however
+    // many co-resident blocks fit (capped by the SM's warp slots).
+    let resident_warps =
+        (warps * co_resident_blocks(kernel, config)).min(sm.max_resident_warps as f64);
+    // Read-only (LDG/texture) traffic hides especially well: its dedicated
+    // cache path and deep miss queues let streaming kernels keep issuing.
+    let hide = (resident_warps / 10.0).max(1.0) * (1.0 + 2.0 * mix.read_only_fraction);
+    let exposed = stalls.scaled(1.0 / hide);
+
+    BlockCost { busy_cycles: busy, exposed_stalls: exposed }
+}
+
+/// How many blocks of this kernel co-reside on one SM (register/thread-slot
+/// limited; simplified to the thread-capacity bound).
+pub fn co_resident_blocks(kernel: &KernelDesc, config: &DeviceConfig) -> f64 {
+    let capacity = (config.sm.max_resident_warps * config.sm.warp_size) as f64;
+    (capacity / kernel.block_threads as f64).clamp(1.0, 16.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::InstructionMix;
+
+    fn kernel(mix: InstructionMix) -> KernelDesc {
+        KernelDesc::new("test", 64, 256, mix)
+    }
+
+    #[test]
+    fn more_flops_cost_more() {
+        let cfg = DeviceConfig::default();
+        let light = block_cost(&kernel(InstructionMix { flops: 64.0, ..Default::default() }), &cfg);
+        let heavy =
+            block_cost(&kernel(InstructionMix { flops: 640.0, ..Default::default() }), &cfg);
+        assert!(heavy.total_cycles() > light.total_cycles());
+    }
+
+    #[test]
+    fn loads_create_memory_stalls() {
+        let cfg = DeviceConfig::default();
+        let k = kernel(InstructionMix { loads: 40.0, read_only_fraction: 0.25, ..Default::default() })
+            .with_l1_hit_rate(0.9);
+        let cost = block_cost(&k, &cfg);
+        let dr = cost.exposed_stalls.cycles(StallCategory::DataRequest);
+        let ro = cost.exposed_stalls.cycles(StallCategory::ReadOnlyLoad);
+        assert!(dr > 0.0 && ro > 0.0);
+        // 25% of load stalls are read-only.
+        assert!((ro / (ro + dr) - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn perfect_l1_removes_miss_latency() {
+        let cfg = DeviceConfig::default();
+        let hit = kernel(InstructionMix { loads: 40.0, ..Default::default() }).with_l1_hit_rate(1.0);
+        let miss = kernel(InstructionMix { loads: 40.0, ..Default::default() }).with_l1_hit_rate(0.5);
+        let ch = block_cost(&hit, &cfg);
+        let cm = block_cost(&miss, &cfg);
+        assert!(
+            cm.exposed_stalls.cycles(StallCategory::DataRequest)
+                > ch.exposed_stalls.cycles(StallCategory::DataRequest)
+        );
+    }
+
+    #[test]
+    fn syncs_add_sync_stalls() {
+        let cfg = DeviceConfig::default();
+        let none = kernel(InstructionMix { flops: 100.0, ..Default::default() });
+        let synced = kernel(InstructionMix { flops: 100.0, ..Default::default() }).with_intra_syncs(8);
+        let c0 = block_cost(&none, &cfg);
+        let c1 = block_cost(&synced, &cfg);
+        assert!(
+            c1.exposed_stalls.cycles(StallCategory::Sync)
+                > c0.exposed_stalls.cycles(StallCategory::Sync)
+        );
+    }
+
+    #[test]
+    fn imbalance_stretches_sync_time() {
+        let cfg = DeviceConfig::default();
+        let balanced =
+            kernel(InstructionMix { flops: 200.0, ..Default::default() }).with_imbalance(1.0);
+        let skewed =
+            kernel(InstructionMix { flops: 200.0, ..Default::default() }).with_imbalance(1.5);
+        assert!(
+            block_cost(&skewed, &cfg).exposed_stalls.cycles(StallCategory::Sync)
+                > block_cost(&balanced, &cfg).exposed_stalls.cycles(StallCategory::Sync)
+        );
+    }
+
+    #[test]
+    fn dependency_factor_drives_exec_dep() {
+        let cfg = DeviceConfig::default();
+        let streaming = kernel(InstructionMix { flops: 300.0, ..Default::default() })
+            .with_dependency_factor(0.02);
+        let chained = kernel(InstructionMix { flops: 300.0, ..Default::default() })
+            .with_dependency_factor(0.4);
+        assert!(
+            block_cost(&chained, &cfg).exposed_stalls.cycles(StallCategory::ExecutionDependency)
+                > block_cost(&streaming, &cfg)
+                    .exposed_stalls
+                    .cycles(StallCategory::ExecutionDependency)
+        );
+    }
+
+    #[test]
+    fn co_residency_is_thread_capacity_bound() {
+        let cfg = DeviceConfig::default();
+        let small = KernelDesc::new("s", 1, 128, InstructionMix::default());
+        let large = KernelDesc::new("l", 1, 1024, InstructionMix::default());
+        assert!(co_resident_blocks(&small, &cfg) > co_resident_blocks(&large, &cfg));
+        assert!(co_resident_blocks(&large, &cfg) >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid kernel")]
+    fn invalid_kernel_panics() {
+        let k = KernelDesc::new("bad", 0, 0, InstructionMix::default());
+        block_cost(&k, &DeviceConfig::default());
+    }
+}

@@ -1,0 +1,219 @@
+//! Execution statistics: the observables NVPROF exposed to the paper.
+
+use std::fmt;
+
+/// Instruction-stall categories, matching the NVPROF taxonomy the paper
+/// reports in §3 (Data Request, Execution Dependency, Instruction Fetch,
+/// Sync, Read-only Loads, plus an aggregate Other).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StallCategory {
+    /// Waiting on outstanding global loads/stores (non-read-only path).
+    DataRequest,
+    /// Waiting on a prior instruction's result.
+    ExecutionDependency,
+    /// Instruction-cache pressure.
+    InstructionFetch,
+    /// Barrier waits (`__syncthreads`, grid sync).
+    Sync,
+    /// Waiting on read-only (LDG/texture) loads.
+    ReadOnlyLoad,
+    /// Everything else (pipeline busy, not-selected, …).
+    Other,
+}
+
+impl StallCategory {
+    /// All categories in display order.
+    pub const ALL: [StallCategory; 6] = [
+        StallCategory::DataRequest,
+        StallCategory::ExecutionDependency,
+        StallCategory::InstructionFetch,
+        StallCategory::Sync,
+        StallCategory::ReadOnlyLoad,
+        StallCategory::Other,
+    ];
+
+    /// Human-readable name used by profiler reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCategory::DataRequest => "Data Request",
+            StallCategory::ExecutionDependency => "Execution Dependency",
+            StallCategory::InstructionFetch => "Instruction Fetch",
+            StallCategory::Sync => "Sync",
+            StallCategory::ReadOnlyLoad => "Read-only Loads",
+            StallCategory::Other => "Other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StallCategory::DataRequest => 0,
+            StallCategory::ExecutionDependency => 1,
+            StallCategory::InstructionFetch => 2,
+            StallCategory::Sync => 3,
+            StallCategory::ReadOnlyLoad => 4,
+            StallCategory::Other => 5,
+        }
+    }
+}
+
+impl fmt::Display for StallCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stall cycles broken down by category.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StallBreakdown {
+    cycles: [f64; 6],
+}
+
+impl StallBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `cycles` to a category.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is negative or non-finite.
+    pub fn add(&mut self, category: StallCategory, cycles: f64) {
+        assert!(cycles >= 0.0 && cycles.is_finite(), "stall cycles must be non-negative");
+        self.cycles[category.index()] += cycles;
+    }
+
+    /// Cycles attributed to a category.
+    pub fn cycles(&self, category: StallCategory) -> f64 {
+        self.cycles[category.index()]
+    }
+
+    /// Total stall cycles across categories.
+    pub fn total(&self) -> f64 {
+        self.cycles.iter().sum()
+    }
+
+    /// The fraction of total stalls in a category (0 when there are no
+    /// stalls) — the percentage NVPROF reports.
+    pub fn fraction(&self, category: StallCategory) -> f64 {
+        let total = self.total();
+        if total > 0.0 {
+            self.cycles(category) / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Scales all categories uniformly (used when exposing raw stalls after
+    /// latency hiding).
+    pub fn scaled(&self, factor: f64) -> StallBreakdown {
+        let mut out = *self;
+        for c in &mut out.cycles {
+            *c *= factor;
+        }
+        out
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        for (a, b) in self.cycles.iter_mut().zip(&other.cycles) {
+            *a += *b;
+        }
+    }
+}
+
+/// Per-kernel-launch statistics returned by the device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Kernel name.
+    pub name: String,
+    /// Wall-clock execution time in seconds (including launch overhead).
+    pub time: f64,
+    /// Total device cycles the kernel occupied.
+    pub cycles: f64,
+    /// Busy (issue/throughput) cycles.
+    pub busy_cycles: f64,
+    /// Exposed stall cycles by category.
+    pub stalls: StallBreakdown,
+    /// SM utilization in `[0, 1]` (busy / (busy + exposed stalls)) — the
+    /// `sm_efficiency`-style metric of §3.
+    pub sm_utilization: f64,
+    /// L1 hit rate observed.
+    pub l1_hit_rate: f64,
+    /// Bytes moved through L1 (total global traffic).
+    pub l1_bytes: f64,
+    /// Bytes reaching DRAM after caches.
+    pub dram_bytes: f64,
+}
+
+impl fmt::Display for KernelStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} ms, SM util {:.1}%, L1 hit {:.1}%",
+            self.name,
+            self.time * 1e3,
+            self.sm_utilization * 100.0,
+            self.l1_hit_rate * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_and_fractions() {
+        let mut b = StallBreakdown::new();
+        b.add(StallCategory::Sync, 30.0);
+        b.add(StallCategory::DataRequest, 70.0);
+        assert_eq!(b.total(), 100.0);
+        assert_eq!(b.fraction(StallCategory::Sync), 0.3);
+        assert_eq!(b.fraction(StallCategory::ReadOnlyLoad), 0.0);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_fractions() {
+        let b = StallBreakdown::new();
+        for c in StallCategory::ALL {
+            assert_eq!(b.fraction(c), 0.0);
+        }
+    }
+
+    #[test]
+    fn scaled_preserves_fractions() {
+        let mut b = StallBreakdown::new();
+        b.add(StallCategory::Sync, 10.0);
+        b.add(StallCategory::Other, 90.0);
+        let s = b.scaled(0.25);
+        assert_eq!(s.total(), 25.0);
+        assert!((s.fraction(StallCategory::Sync) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_categories() {
+        let mut a = StallBreakdown::new();
+        a.add(StallCategory::Sync, 5.0);
+        let mut b = StallBreakdown::new();
+        b.add(StallCategory::Sync, 7.0);
+        b.add(StallCategory::DataRequest, 1.0);
+        a.merge(&b);
+        assert_eq!(a.cycles(StallCategory::Sync), 12.0);
+        assert_eq!(a.total(), 13.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_stall_cycles_panic() {
+        StallBreakdown::new().add(StallCategory::Sync, -1.0);
+    }
+
+    #[test]
+    fn category_names_match_nvprof_taxonomy() {
+        assert_eq!(StallCategory::ReadOnlyLoad.name(), "Read-only Loads");
+        assert_eq!(StallCategory::ALL.len(), 6);
+        assert_eq!(StallCategory::Sync.to_string(), "Sync");
+    }
+}

@@ -1,0 +1,344 @@
+//! Sampled complex optical fields.
+//!
+//! A [`Field`] is a rectangular grid of complex amplitudes with physical
+//! sampling metadata ([`OpticalConfig`]): the wavelength of the coherent
+//! source and the pixel pitch of the hologram plane / SLM. Every propagation
+//! and reconstruction routine in this crate operates on `Field`s.
+
+use holoar_fft::Complex64;
+
+/// Physical sampling parameters shared by a hologram pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_optics::OpticalConfig;
+///
+/// let cfg = OpticalConfig::default(); // 532 nm green laser, 8 µm SLM pitch
+/// assert!((cfg.wavelength - 532e-9).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpticalConfig {
+    /// Source wavelength in meters.
+    pub wavelength: f64,
+    /// Sample (SLM pixel) pitch in meters.
+    pub pitch: f64,
+}
+
+impl OpticalConfig {
+    /// Creates a configuration from a wavelength and pixel pitch, both in
+    /// meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is not strictly positive and finite.
+    pub fn new(wavelength: f64, pitch: f64) -> Self {
+        assert!(
+            wavelength > 0.0 && wavelength.is_finite(),
+            "wavelength must be positive and finite"
+        );
+        assert!(pitch > 0.0 && pitch.is_finite(), "pitch must be positive and finite");
+        OpticalConfig { wavelength, pitch }
+    }
+
+    /// The wavenumber `k = 2π/λ`.
+    pub fn wavenumber(&self) -> f64 {
+        2.0 * std::f64::consts::PI / self.wavelength
+    }
+}
+
+impl Default for OpticalConfig {
+    /// A 532 nm source sampled at 8 µm — typical for SLM-based CGH setups
+    /// like the ones in the OpenHolo examples the paper renders with.
+    fn default() -> Self {
+        OpticalConfig { wavelength: 532e-9, pitch: 8e-6 }
+    }
+}
+
+/// A sampled complex field on a `rows × cols` grid.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_optics::{Field, OpticalConfig};
+///
+/// let mut f = Field::zeros(4, 4, OpticalConfig::default());
+/// f.set(2, 1, holoar_fft::Complex64::ONE);
+/// assert_eq!(f.intensity_at(2, 1), 1.0);
+/// assert_eq!(f.total_energy(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    rows: usize,
+    cols: usize,
+    config: OpticalConfig,
+    data: Vec<Complex64>,
+}
+
+impl Field {
+    /// Creates a field of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize, config: OpticalConfig) -> Self {
+        assert!(rows > 0 && cols > 0, "field dimensions must be non-zero");
+        Field { rows, cols, config, data: vec![Complex64::ZERO; rows * cols] }
+    }
+
+    /// Creates a field from an existing buffer of complex samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols` or either dimension is zero.
+    pub fn from_data(rows: usize, cols: usize, config: OpticalConfig, data: Vec<Complex64>) -> Self {
+        assert!(rows > 0 && cols > 0, "field dimensions must be non-zero");
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Field { rows, cols, config, data }
+    }
+
+    /// Creates a field whose amplitude is given per pixel with zero phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude.len() != rows * cols` or either dimension is zero.
+    pub fn from_amplitude(rows: usize, cols: usize, config: OpticalConfig, amplitude: &[f64]) -> Self {
+        assert_eq!(amplitude.len(), rows * cols, "amplitude length must equal rows*cols");
+        let data = amplitude.iter().map(|&a| Complex64::new(a, 0.0)).collect();
+        Field::from_data(rows, cols, config, data)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of samples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the field contains no samples (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The sampling configuration.
+    pub fn config(&self) -> OpticalConfig {
+        self.config
+    }
+
+    /// Physical width of the sampled aperture in meters.
+    pub fn physical_width(&self) -> f64 {
+        self.cols as f64 * self.config.pitch
+    }
+
+    /// Physical height of the sampled aperture in meters.
+    pub fn physical_height(&self) -> f64 {
+        self.rows as f64 * self.config.pitch
+    }
+
+    /// The sample at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> Complex64 {
+        assert!(row < self.rows && col < self.cols, "field index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets the sample at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: Complex64) {
+        assert!(row < self.rows && col < self.cols, "field index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrow the raw row-major sample buffer.
+    pub fn samples(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw row-major sample buffer.
+    pub fn samples_mut(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Consumes the field, returning the raw sample buffer.
+    pub fn into_samples(self) -> Vec<Complex64> {
+        self.data
+    }
+
+    /// Intensity `|u|²` at one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of bounds.
+    pub fn intensity_at(&self, row: usize, col: usize) -> f64 {
+        self.at(row, col).norm_sqr()
+    }
+
+    /// The per-pixel intensity image `|u|²`.
+    pub fn intensity(&self) -> Vec<f64> {
+        self.data.iter().map(|z| z.norm_sqr()).collect()
+    }
+
+    /// The per-pixel amplitude image `|u|`.
+    pub fn amplitude(&self) -> Vec<f64> {
+        self.data.iter().map(|z| z.norm()).collect()
+    }
+
+    /// The per-pixel phase image `arg(u)` in `(-π, π]`.
+    pub fn phase(&self) -> Vec<f64> {
+        self.data.iter().map(|z| z.arg()).collect()
+    }
+
+    /// Total optical energy `Σ|u|²`.
+    pub fn total_energy(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum()
+    }
+
+    /// Returns a phase-only copy: every sample normalized to unit amplitude
+    /// (zero samples stay zero). This models an ideal phase-type SLM, the
+    /// display technology the GSW algorithm targets.
+    pub fn to_phase_only(&self) -> Field {
+        let data = self
+            .data
+            .iter()
+            .map(|z| {
+                let r = z.norm();
+                if r > 0.0 {
+                    z.scale(1.0 / r)
+                } else {
+                    Complex64::ZERO
+                }
+            })
+            .collect();
+        Field { rows: self.rows, cols: self.cols, config: self.config, data }
+    }
+
+    /// Adds another field sample-wise (`self += other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn accumulate(&mut self, other: &Field) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "cannot accumulate fields of different shapes"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// Scales every sample by a real factor.
+    pub fn scale(&mut self, k: f64) {
+        for v in &mut self.data {
+            *v = v.scale(k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        let cfg = OpticalConfig::new(633e-9, 6.4e-6);
+        assert!((cfg.wavenumber() - 2.0 * std::f64::consts::PI / 633e-9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wavelength")]
+    fn rejects_bad_wavelength() {
+        OpticalConfig::new(0.0, 8e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "pitch")]
+    fn rejects_bad_pitch() {
+        OpticalConfig::new(532e-9, f64::NAN);
+    }
+
+    #[test]
+    fn zeros_and_indexing() {
+        let mut f = Field::zeros(3, 5, OpticalConfig::default());
+        assert_eq!(f.rows(), 3);
+        assert_eq!(f.cols(), 5);
+        assert_eq!(f.len(), 15);
+        assert!(!f.is_empty());
+        f.set(2, 4, Complex64::new(1.0, 1.0));
+        assert_eq!(f.at(2, 4), Complex64::new(1.0, 1.0));
+        assert_eq!(f.intensity_at(2, 4), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        Field::zeros(2, 2, OpticalConfig::default()).at(2, 0);
+    }
+
+    #[test]
+    fn from_amplitude_has_zero_phase() {
+        let f = Field::from_amplitude(1, 3, OpticalConfig::default(), &[0.0, 1.0, 2.0]);
+        assert_eq!(f.phase(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(f.amplitude(), vec![0.0, 1.0, 2.0]);
+        assert_eq!(f.total_energy(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn from_data_length_mismatch_panics() {
+        Field::from_data(2, 2, OpticalConfig::default(), vec![Complex64::ZERO; 3]);
+    }
+
+    #[test]
+    fn physical_extent() {
+        let f = Field::zeros(100, 200, OpticalConfig::new(532e-9, 8e-6));
+        assert!((f.physical_width() - 1.6e-3).abs() < 1e-12);
+        assert!((f.physical_height() - 0.8e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_only_preserves_phase_and_normalizes() {
+        let mut f = Field::zeros(1, 2, OpticalConfig::default());
+        f.set(0, 0, Complex64::from_polar(3.0, 0.5));
+        let p = f.to_phase_only();
+        assert!((p.at(0, 0).norm() - 1.0).abs() < 1e-12);
+        assert!((p.at(0, 0).arg() - 0.5).abs() < 1e-12);
+        assert_eq!(p.at(0, 1), Complex64::ZERO); // zero stays zero
+    }
+
+    #[test]
+    fn accumulate_and_scale() {
+        let cfg = OpticalConfig::default();
+        let mut a = Field::from_amplitude(1, 2, cfg, &[1.0, 2.0]);
+        let b = Field::from_amplitude(1, 2, cfg, &[0.5, 0.5]);
+        a.accumulate(&b);
+        assert_eq!(a.amplitude(), vec![1.5, 2.5]);
+        a.scale(2.0);
+        assert_eq!(a.amplitude(), vec![3.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shapes")]
+    fn accumulate_shape_mismatch_panics() {
+        let cfg = OpticalConfig::default();
+        let mut a = Field::zeros(2, 2, cfg);
+        a.accumulate(&Field::zeros(2, 3, cfg));
+    }
+}

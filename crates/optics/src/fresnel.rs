@@ -1,0 +1,224 @@
+//! Fresnel (paraxial) propagation — the second diffraction kernel of the
+//! CWO++-style toolbox.
+//!
+//! The Fresnel transfer function is the small-angle expansion of the angular
+//! spectrum:
+//!
+//! ```text
+//! H(fx, fy; z) = e^{ikz} · exp(−iπλz(fx² + fy²))
+//! ```
+//!
+//! It is cheaper to build (no square root per bin), exactly unitary
+//! (`|H| = 1` everywhere, no evanescent loss), and accurate whenever the
+//! field's spectrum stays paraxial. Hologram engines commonly offer both;
+//! this reproduction defaults to the angular-spectrum method
+//! ([`crate::propagate`]) and exposes Fresnel for comparison and for the
+//! regime tests in this module.
+
+use std::collections::HashMap;
+
+use holoar_fft::{Complex64, Fft2d};
+
+use crate::field::Field;
+
+/// Fresnel-kernel propagator with cached plans and transfer functions.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_optics::{Field, FresnelPropagator, OpticalConfig};
+///
+/// let cfg = OpticalConfig::default();
+/// let field = Field::from_amplitude(16, 16, cfg, &[1.0; 256]);
+/// let mut prop = FresnelPropagator::new();
+/// let out = prop.propagate(&field, 0.001);
+/// // Fresnel propagation is exactly unitary.
+/// assert!((out.total_energy() - field.total_energy()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Default)]
+pub struct FresnelPropagator {
+    ffts: HashMap<(usize, usize), Fft2d>,
+    transfer: HashMap<(usize, usize, u64, u64), Vec<Complex64>>,
+}
+
+impl FresnelPropagator {
+    /// Creates an empty propagator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Propagates `field` by a signed distance `z` (meters) under the
+    /// paraxial approximation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is not finite.
+    pub fn propagate(&mut self, field: &Field, z: f64) -> Field {
+        assert!(z.is_finite(), "propagation distance must be finite");
+        if z == 0.0 {
+            return field.clone();
+        }
+        let (rows, cols) = (field.rows(), field.cols());
+        let fft = self
+            .ffts
+            .entry((rows, cols))
+            .or_insert_with(|| Fft2d::new(rows, cols))
+            .clone();
+        let cfg = field.config();
+        let key = (rows, cols, z.to_bits(), cfg.wavelength.to_bits());
+        self.transfer.entry(key).or_insert_with(|| transfer_function(rows, cols, cfg.pitch, cfg.wavelength, z));
+        let h = &self.transfer[&key];
+
+        let mut spectrum = field.samples().to_vec();
+        fft.forward(&mut spectrum);
+        for (s, t) in spectrum.iter_mut().zip(h) {
+            *s *= *t;
+        }
+        fft.inverse(&mut spectrum);
+        Field::from_data(rows, cols, cfg, spectrum)
+    }
+
+    /// Number of cached transfer functions.
+    pub fn cached_transfer_count(&self) -> usize {
+        self.transfer.len()
+    }
+}
+
+/// The Fresnel number `a² / (λ·z)` for a half-aperture `a`: the standard
+/// validity gauge (paraxial Fresnel holds for moderate Fresnel numbers and
+/// small diffraction angles).
+///
+/// # Panics
+///
+/// Panics if any argument is not positive and finite.
+pub fn fresnel_number(half_aperture: f64, wavelength: f64, z: f64) -> f64 {
+    for (name, v) in [("half_aperture", half_aperture), ("wavelength", wavelength), ("z", z)] {
+        assert!(v > 0.0 && v.is_finite(), "{name} must be positive and finite");
+    }
+    half_aperture * half_aperture / (wavelength * z)
+}
+
+fn transfer_function(rows: usize, cols: usize, pitch: f64, wavelength: f64, z: f64) -> Vec<Complex64> {
+    let k = 2.0 * std::f64::consts::PI / wavelength;
+    let dfx = 1.0 / (cols as f64 * pitch);
+    let dfy = 1.0 / (rows as f64 * pitch);
+    let mut h = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        let fr = if r <= rows / 2 { r as f64 } else { r as f64 - rows as f64 } * dfy;
+        for c in 0..cols {
+            let fc = if c <= cols / 2 { c as f64 } else { c as f64 - cols as f64 } * dfx;
+            let phase = k * z - std::f64::consts::PI * wavelength * z * (fc * fc + fr * fr);
+            h.push(Complex64::cis(phase));
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::OpticalConfig;
+    use crate::propagate::Propagator;
+
+    fn gaussian(n: usize, sigma2: f64) -> Field {
+        let cfg = OpticalConfig::default();
+        let mut f = Field::zeros(n, n, cfg);
+        for r in 0..n {
+            for c in 0..n {
+                let dr = r as f64 - n as f64 / 2.0;
+                let dc = c as f64 - n as f64 / 2.0;
+                f.set(r, c, Complex64::new((-(dr * dr + dc * dc) / sigma2).exp(), 0.0));
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn zero_distance_is_identity() {
+        let f = gaussian(16, 20.0);
+        let out = FresnelPropagator::new().propagate(&f, 0.0);
+        assert_eq!(out.samples(), f.samples());
+    }
+
+    #[test]
+    fn exactly_unitary_for_any_field() {
+        // Unlike the band-limited ASM, |H| = 1 for every bin.
+        let f = gaussian(32, 10.0);
+        let e0 = f.total_energy();
+        let out = FresnelPropagator::new().propagate(&f, 0.004);
+        assert!((out.total_energy() - e0).abs() < 1e-9 * e0);
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let f = gaussian(32, 30.0);
+        let mut p = FresnelPropagator::new();
+        let fwd = p.propagate(&f, 0.002);
+        let back = p.propagate(&fwd, -0.002);
+        for (a, b) in back.samples().iter().zip(f.samples()) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn agrees_with_angular_spectrum_in_paraxial_regime() {
+        // A smooth (low-NA) field over a short distance: the paraxial
+        // expansion should match the exact kernel closely.
+        let f = gaussian(64, 120.0);
+        let z = 0.001;
+        let fresnel = FresnelPropagator::new().propagate(&f, z);
+        let asm = Propagator::new().propagate(&f, z);
+        let diff: f64 = fresnel
+            .samples()
+            .iter()
+            .zip(asm.samples())
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum();
+        let energy = f.total_energy();
+        assert!(diff / energy < 1e-3, "relative L2 gap {}", diff / energy);
+    }
+
+    #[test]
+    fn diverges_from_angular_spectrum_at_high_na() {
+        // A near-delta field (full-bandwidth spectrum) breaks the paraxial
+        // assumption; the kernels should now disagree noticeably more.
+        let mut near_delta = Field::zeros(64, 64, OpticalConfig::default());
+        near_delta.set(32, 32, Complex64::ONE);
+        let z = 0.001;
+        let gap = |f: &Field| {
+            let fres = FresnelPropagator::new().propagate(f, z);
+            let asm = Propagator::new().propagate(f, z);
+            fres.samples()
+                .iter()
+                .zip(asm.samples())
+                .map(|(a, b)| (*a - *b).norm_sqr())
+                .sum::<f64>()
+                / f.total_energy()
+        };
+        let smooth = gaussian(64, 120.0);
+        assert!(gap(&near_delta) > 10.0 * gap(&smooth));
+    }
+
+    #[test]
+    fn transfer_functions_are_cached() {
+        let f = gaussian(16, 20.0);
+        let mut p = FresnelPropagator::new();
+        p.propagate(&f, 0.001);
+        p.propagate(&f, 0.001);
+        assert_eq!(p.cached_transfer_count(), 1);
+    }
+
+    #[test]
+    fn fresnel_number_gauge() {
+        // 0.2 mm half-aperture, 532 nm, 10 mm: N_F ≈ 7.5 — comfortably
+        // within the Fresnel regime.
+        let nf = fresnel_number(0.2e-3, 532e-9, 0.01);
+        assert!((nf - 7.5).abs() < 0.1, "N_F = {nf}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn fresnel_number_validates() {
+        fresnel_number(0.0, 532e-9, 0.01);
+    }
+}

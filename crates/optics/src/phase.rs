@@ -1,0 +1,229 @@
+//! Phase-only encoding and SLM quantization.
+//!
+//! Electro-holographic displays (including the HORN-8 target class) drive
+//! *phase-type* spatial light modulators: the complex hologram must be
+//! encoded as pure phase, at the modulator's finite phase bit depth. This
+//! module provides the two standard encodings and the quantizer:
+//!
+//! * **Phase extraction** — keep `arg(u)`, discard amplitude (what GSW
+//!   optimizes for directly);
+//! * **Double-phase decomposition** — represent each complex sample exactly
+//!   as the average of two unit phasors, interleaved checkerboard-style
+//!   across neighbouring pixels (Hsueh & Sawchuk), trading resolution for
+//!   amplitude fidelity;
+//! * **Quantization** — snap phases to `2^bits` levels.
+
+use holoar_fft::Complex64;
+
+use crate::field::Field;
+
+/// Phase-only encodings supported by the SLM stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseEncoding {
+    /// Keep the phase, discard amplitude.
+    PhaseExtraction,
+    /// Double-phase (two-phasor) decomposition, checkerboard-interleaved.
+    DoublePhase,
+}
+
+/// Encodes a complex hologram as a phase-only field.
+///
+/// For [`PhaseEncoding::DoublePhase`], each sample's amplitude (normalized
+/// to the field maximum) is written as `cos(δ)` with the two phasors
+/// `φ ± δ` distributed on a checkerboard, so a *pair* of neighbouring pixels
+/// carries the exact complex value at half the spatial resolution.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_optics::{phase, Field, OpticalConfig, PhaseEncoding};
+///
+/// let f = Field::from_amplitude(4, 4, OpticalConfig::default(), &[0.5; 16]);
+/// let encoded = phase::encode_phase_only(&f, PhaseEncoding::PhaseExtraction);
+/// for s in encoded.samples() {
+///     assert!((s.norm() - 1.0).abs() < 1e-12 || s.norm() == 0.0);
+/// }
+/// ```
+pub fn encode_phase_only(hologram: &Field, encoding: PhaseEncoding) -> Field {
+    match encoding {
+        PhaseEncoding::PhaseExtraction => hologram.to_phase_only(),
+        PhaseEncoding::DoublePhase => double_phase(hologram),
+    }
+}
+
+fn double_phase(hologram: &Field) -> Field {
+    let peak = hologram
+        .samples()
+        .iter()
+        .map(|s| s.norm())
+        .fold(0.0, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let mut out = hologram.clone();
+    let cols = hologram.cols();
+    for (idx, s) in out.samples_mut().iter_mut().enumerate() {
+        let a = (s.norm() / peak).clamp(0.0, 1.0);
+        let phi = s.arg();
+        let delta = a.acos();
+        let (r, c) = (idx / cols, idx % cols);
+        // Checkerboard: even cells take φ+δ, odd cells φ−δ; a local 2-pixel
+        // average reconstructs a·e^{iφ}.
+        let theta = if (r + c) % 2 == 0 { phi + delta } else { phi - delta };
+        *s = Complex64::cis(theta);
+    }
+    out
+}
+
+/// Quantizes every sample's phase to `bits` bits (`2^bits` uniform levels
+/// over `[−π, π)`), preserving amplitude.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or greater than 16.
+pub fn quantize_phase(field: &Field, bits: u32) -> Field {
+    assert!((1..=16).contains(&bits), "phase depth must be 1..=16 bits");
+    let levels = (1u32 << bits) as f64;
+    let step = 2.0 * std::f64::consts::PI / levels;
+    let mut out = field.clone();
+    for s in out.samples_mut() {
+        let r = s.norm();
+        if r > 0.0 {
+            let q = (s.arg() / step).round() * step;
+            *s = Complex64::from_polar(r, q);
+        }
+    }
+    out
+}
+
+/// RMS phase error (radians, on non-zero samples) between an original field
+/// and its encoded/quantized version — the quality gauge for SLM depth
+/// decisions.
+///
+/// # Panics
+///
+/// Panics if the fields have different shapes.
+pub fn rms_phase_error(original: &Field, encoded: &Field) -> f64 {
+    assert_eq!(
+        (original.rows(), original.cols()),
+        (encoded.rows(), encoded.cols()),
+        "fields must share a shape"
+    );
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (a, b) in original.samples().iter().zip(encoded.samples()) {
+        if a.norm() > 0.0 && b.norm() > 0.0 {
+            let mut d = a.arg() - b.arg();
+            // Wrap to (−π, π].
+            while d > std::f64::consts::PI {
+                d -= 2.0 * std::f64::consts::PI;
+            }
+            while d <= -std::f64::consts::PI {
+                d += 2.0 * std::f64::consts::PI;
+            }
+            sum += d * d;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (sum / count as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::OpticalConfig;
+
+    fn complex_field(n: usize) -> Field {
+        let cfg = OpticalConfig::default();
+        let data: Vec<Complex64> = (0..n * n)
+            .map(|i| Complex64::from_polar(0.2 + 0.8 * ((i * 7) % 11) as f64 / 11.0, i as f64 * 0.37))
+            .collect();
+        Field::from_data(n, n, cfg, data)
+    }
+
+    #[test]
+    fn phase_extraction_keeps_phase() {
+        let f = complex_field(8);
+        let p = encode_phase_only(&f, PhaseEncoding::PhaseExtraction);
+        for (a, b) in f.samples().iter().zip(p.samples()) {
+            assert!((a.arg() - b.arg()).abs() < 1e-12);
+            assert!((b.norm() - 1.0).abs() < 1e-12);
+        }
+        assert!(rms_phase_error(&f, &p) < 1e-12);
+    }
+
+    #[test]
+    fn double_phase_is_unit_amplitude() {
+        let f = complex_field(8);
+        let d = encode_phase_only(&f, PhaseEncoding::DoublePhase);
+        for s in d.samples() {
+            assert!((s.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn double_phase_pair_average_reconstructs_value() {
+        // Build a constant complex field so each checkerboard pair sees the
+        // same target; the 2-pixel average must recover it (up to the global
+        // peak normalization).
+        let cfg = OpticalConfig::default();
+        let value = Complex64::from_polar(0.6, 1.1);
+        let f = Field::from_data(2, 2, cfg, vec![value; 4]);
+        let d = double_phase(&f);
+        // Pair (0,0)+(0,1): average of the two phasors.
+        let avg = (d.at(0, 0) + d.at(0, 1)).scale(0.5);
+        // Peak amplitude is 0.6, so normalized amplitude is 1 → δ = 0 →
+        // both phasors equal e^{iφ}; average has unit amplitude, phase 1.1.
+        assert!((avg.arg() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_phase_encodes_amplitude_in_phasor_split() {
+        // A field with half-peak amplitude: δ = acos(0.5) = 60°, so the two
+        // checkerboard phasors straddle φ by ±60° and average to 0.5·e^{iφ}.
+        let cfg = OpticalConfig::default();
+        let mut data = vec![Complex64::from_polar(1.0, 0.0); 4];
+        data[1] = Complex64::from_polar(0.5, 0.8);
+        let f = Field::from_data(2, 2, cfg, data);
+        let d = double_phase(&f);
+        let expected_delta = 0.5f64.acos();
+        // Index 1 is (0,1): odd cell → φ − δ.
+        assert!((d.at(0, 1).arg() - (0.8 - expected_delta)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_depth() {
+        let f = complex_field(16);
+        let e2 = rms_phase_error(&f, &quantize_phase(&f, 2));
+        let e4 = rms_phase_error(&f, &quantize_phase(&f, 4));
+        let e8 = rms_phase_error(&f, &quantize_phase(&f, 8));
+        assert!(e2 > e4 && e4 > e8, "{e2} > {e4} > {e8} expected");
+        // Uniform quantization RMS ≈ step/sqrt(12).
+        let step = 2.0 * std::f64::consts::PI / 16.0;
+        assert!((e4 - step / 12f64.sqrt()).abs() < 0.4 * e4, "e4 = {e4}");
+    }
+
+    #[test]
+    fn quantization_preserves_amplitude() {
+        let f = complex_field(8);
+        let q = quantize_phase(&f, 3);
+        for (a, b) in f.samples().iter().zip(q.samples()) {
+            assert!((a.norm() - b.norm()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "phase depth")]
+    fn zero_bit_quantization_panics() {
+        quantize_phase(&complex_field(4), 0);
+    }
+
+    #[test]
+    fn rms_error_ignores_dark_pixels() {
+        let cfg = OpticalConfig::default();
+        let dark = Field::zeros(4, 4, cfg);
+        assert_eq!(rms_phase_error(&dark, &dark), 0.0);
+    }
+}

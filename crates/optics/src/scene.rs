@@ -1,0 +1,265 @@
+//! Procedural virtual objects — the OpenHolo depthmap database substitute.
+//!
+//! The paper picks six virtual holograms from the OpenHolo depthmap DB
+//! (Sniper, Rock, Tree, Planet, Rabbit, Dice) and maps them randomly onto
+//! the real objects in each video (§5.2). The database is not redistributable
+//! here, so this module synthesizes deterministic depthmaps with the same six
+//! identities. What matters to every experiment is preserved: each object has
+//! a recognizable amplitude silhouette and a genuine *depth extent*, so that
+//! reducing the depth-plane count visibly degrades (and fewer planes suffice
+//! for smaller/farther instances).
+
+use crate::depthmap::DepthMap;
+
+/// The six virtual hologram identities used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VirtualObject {
+    /// A slanted rifle silhouette with a long thin barrel.
+    Sniper,
+    /// An irregular blob with hash-noise relief.
+    Rock,
+    /// A conical canopy over a trunk, depth increasing toward the top.
+    Tree,
+    /// A limb-darkened sphere; smooth quadratic depth relief.
+    Planet,
+    /// Body + head + ears built from ellipses.
+    Rabbit,
+    /// A rounded square with dark pips, slanted in depth.
+    Dice,
+}
+
+impl VirtualObject {
+    /// All six objects in a fixed order.
+    pub const ALL: [VirtualObject; 6] = [
+        VirtualObject::Sniper,
+        VirtualObject::Rock,
+        VirtualObject::Tree,
+        VirtualObject::Planet,
+        VirtualObject::Rabbit,
+        VirtualObject::Dice,
+    ];
+
+    /// The object's name as it appears in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            VirtualObject::Sniper => "Sniper",
+            VirtualObject::Rock => "Rock",
+            VirtualObject::Tree => "Tree",
+            VirtualObject::Planet => "Planet",
+            VirtualObject::Rabbit => "Rabbit",
+            VirtualObject::Dice => "Dice",
+        }
+    }
+
+    /// Renders the object into a `rows × cols` depthmap whose lit pixels span
+    /// depths `[z_center − depth_extent/2, z_center + depth_extent/2]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use holoar_optics::VirtualObject;
+    ///
+    /// let dm = VirtualObject::Planet.render(64, 64, 0.02, 0.01);
+    /// assert!(dm.lit_pixel_count() > 0);
+    /// let (near, far) = dm.depth_range().unwrap();
+    /// assert!(near >= 0.015 - 1e-9 && far <= 0.025 + 1e-9);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero, `depth_extent` is negative/non-finite,
+    /// or the nearest depth `z_center − depth_extent/2` is not positive.
+    pub fn render(self, rows: usize, cols: usize, z_center: f64, depth_extent: f64) -> DepthMap {
+        assert!(rows > 0 && cols > 0, "object dimensions must be non-zero");
+        assert!(
+            depth_extent >= 0.0 && depth_extent.is_finite(),
+            "depth extent must be non-negative and finite"
+        );
+        let z_near = z_center - depth_extent / 2.0;
+        assert!(z_near > 0.0, "object must sit strictly in front of the hologram plane");
+
+        let mut amp = vec![0.0; rows * cols];
+        let mut rel = vec![0.0; rows * cols]; // relative depth in [0, 1]
+        for r in 0..rows {
+            for c in 0..cols {
+                // Normalized coordinates in [-1, 1] with (0,0) at the center.
+                let y = 2.0 * (r as f64 + 0.5) / rows as f64 - 1.0;
+                let x = 2.0 * (c as f64 + 0.5) / cols as f64 - 1.0;
+                if let Some((a, d)) = self.sample(x, y) {
+                    amp[r * cols + c] = a;
+                    rel[r * cols + c] = d.clamp(0.0, 1.0);
+                }
+            }
+        }
+        let depth: Vec<f64> =
+            rel.iter().zip(&amp).map(|(&d, &a)| if a > 0.0 { z_near + d * depth_extent } else { z_center }).collect();
+        DepthMap::new(rows, cols, amp, depth).expect("procedural object produces a valid depthmap")
+    }
+
+    /// Samples amplitude and relative depth at normalized coordinates;
+    /// `None` outside the silhouette.
+    fn sample(self, x: f64, y: f64) -> Option<(f64, f64)> {
+        match self {
+            VirtualObject::Planet => {
+                let r2 = x * x + y * y;
+                if r2 <= 0.64 {
+                    // Limb darkening; depth = spherical cap (near at center).
+                    let h = (0.64 - r2).sqrt() / 0.8;
+                    let mut a = (1.0 - 0.5 * r2 / 0.64).max(0.1);
+                    // An off-center crater breaks the radial symmetry so
+                    // different pupil positions genuinely see different
+                    // views (Fig 9a).
+                    if ((x - 0.3).powi(2) + (y + 0.2).powi(2)).sqrt() < 0.18 {
+                        a *= 0.35;
+                    }
+                    Some((a, 1.0 - h))
+                } else {
+                    None
+                }
+            }
+            VirtualObject::Dice => {
+                if x.abs() <= 0.7 && y.abs() <= 0.7 {
+                    // Pips at the five-face layout carve dark spots.
+                    let pips = [(-0.35, -0.35), (0.35, -0.35), (0.0, 0.0), (-0.35, 0.35), (0.35, 0.35)];
+                    let in_pip = pips
+                        .iter()
+                        .any(|&(px, py)| ((x - px).powi(2) + (y - py).powi(2)).sqrt() < 0.12);
+                    let a = if in_pip { 0.15 } else { 0.9 };
+                    // Slanted in depth along the diagonal.
+                    Some((a, (x + y + 1.4) / 2.8))
+                } else {
+                    None
+                }
+            }
+            VirtualObject::Tree => {
+                let canopy = y < 0.35 && y > -0.85 && x.abs() < 0.55 * (y + 0.9) / 1.25;
+                let trunk = (0.35..=0.9).contains(&y) && x.abs() < 0.1;
+                if canopy {
+                    // Depth recedes toward the top of the canopy.
+                    Some((0.8, (y + 0.85) / 1.2))
+                } else if trunk {
+                    Some((0.5, 0.95))
+                } else {
+                    None
+                }
+            }
+            VirtualObject::Rock => {
+                // A lumpy ellipse: perturb the radius with deterministic hash
+                // noise by angle.
+                let ang = y.atan2(x);
+                let n = hash_noise((ang * 4.0).floor() as i64);
+                let radius = 0.6 + 0.18 * n;
+                let rr = (x * x / (radius * radius) + y * y / (0.7 * radius * 0.7 * radius)).sqrt();
+                if rr <= 1.0 {
+                    let tex = 0.6 + 0.4 * hash_noise(((x * 7.0).floor() as i64) ^ (((y * 7.0).floor() as i64) << 8));
+                    Some((tex, 0.5 + 0.5 * hash_noise((x * 5.0 + y * 3.0).floor() as i64)))
+                } else {
+                    None
+                }
+            }
+            VirtualObject::Rabbit => {
+                let body = (x / 0.45).powi(2) + ((y - 0.3) / 0.45).powi(2) <= 1.0;
+                let head = (x / 0.28).powi(2) + ((y + 0.25) / 0.28).powi(2) <= 1.0;
+                let ear_l = ((x + 0.15) / 0.08).powi(2) + ((y + 0.7) / 0.28).powi(2) <= 1.0;
+                let ear_r = ((x - 0.15) / 0.08).powi(2) + ((y + 0.7) / 0.28).powi(2) <= 1.0;
+                if body {
+                    Some((0.85, 0.6 + 0.4 * (x * x + (y - 0.3) * (y - 0.3))))
+                } else if head {
+                    Some((0.9, 0.3))
+                } else if ear_l || ear_r {
+                    Some((0.7, 0.1))
+                } else {
+                    None
+                }
+            }
+            VirtualObject::Sniper => {
+                let body = y.abs() < 0.12 && x > -0.9 && x < 0.3;
+                let barrel = y.abs() < 0.05 && (0.3..0.95).contains(&x);
+                let stock = y > 0.1 && y < 0.45 && x > -0.9 && x < -0.55;
+                let scope = y < -0.12 && y > -0.3 && x > -0.35 && x < 0.1;
+                if body || barrel || stock || scope {
+                    // Depth runs along the weapon length.
+                    Some((0.8, (x + 0.9) / 1.85))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic pseudo-noise in `[0, 1]` from an integer key (splitmix-style
+/// avalanche), so procedural textures never depend on an RNG.
+fn hash_noise(key: i64) -> f64 {
+    let mut z = (key as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = z ^ (z >> 31);
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_objects_render_nonempty() {
+        for obj in VirtualObject::ALL {
+            let dm = obj.render(48, 48, 0.03, 0.01);
+            assert!(dm.lit_pixel_count() > 20, "{} too sparse", obj.name());
+        }
+    }
+
+    #[test]
+    fn depth_spans_requested_extent() {
+        for obj in VirtualObject::ALL {
+            let dm = obj.render(64, 64, 0.05, 0.02);
+            let (near, far) = dm.depth_range().unwrap();
+            assert!(near >= 0.04 - 1e-9, "{}: near {near}", obj.name());
+            assert!(far <= 0.06 + 1e-9, "{}: far {far}", obj.name());
+            // Real 3-D content: depth extent actually used.
+            assert!(far - near > 0.005, "{}: flat object", obj.name());
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let a = VirtualObject::Rock.render(32, 32, 0.02, 0.01);
+        let b = VirtualObject::Rock.render(32, 32, 0.02, 0.01);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_extent_is_flat() {
+        let dm = VirtualObject::Planet.render(32, 32, 0.02, 0.0);
+        let (near, far) = dm.depth_range().unwrap();
+        assert_eq!(near, far);
+    }
+
+    #[test]
+    #[should_panic(expected = "in front of the hologram plane")]
+    fn object_behind_hologram_panics() {
+        VirtualObject::Dice.render(16, 16, 0.001, 0.01);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = VirtualObject::ALL.iter().map(|o| o.name()).collect();
+        assert_eq!(names, ["Sniper", "Rock", "Tree", "Planet", "Rabbit", "Dice"]);
+    }
+
+    #[test]
+    fn objects_differ_from_each_other() {
+        let planet = VirtualObject::Planet.render(32, 32, 0.02, 0.01);
+        let dice = VirtualObject::Dice.render(32, 32, 0.02, 0.01);
+        assert_ne!(planet.amplitude(), dice.amplitude());
+    }
+
+    #[test]
+    fn hash_noise_is_in_unit_interval() {
+        for k in -100..100 {
+            let v = hash_noise(k);
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Viewing-window sub-holograms (Reichelt et al. \[52\]) — the paper's
+//! *Baseline* design.
+//!
+//! A tracked viewing window means only the hologram region steering light
+//! into the user's eye box needs computing. This module provides the region
+//! arithmetic (intersection with the hologram aperture, coverage fractions —
+//! what the performance model scales work by) and the field clipping used by
+//! the quality path.
+
+use crate::field::Field;
+use holoar_fft::Complex64;
+
+/// A rectangular pixel region of the hologram plane.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_optics::Region;
+///
+/// let full = Region::new(0, 0, 100, 100);
+/// let window = Region::new(25, 25, 50, 50);
+/// assert_eq!(window.intersect(&full), Some(window));
+/// assert!((window.coverage_of(&full) - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Top row (inclusive).
+    pub row: usize,
+    /// Left column (inclusive).
+    pub col: usize,
+    /// Height in pixels.
+    pub rows: usize,
+    /// Width in pixels.
+    pub cols: usize,
+}
+
+impl Region {
+    /// Creates a region from its top-left corner and extent.
+    pub const fn new(row: usize, col: usize, rows: usize, cols: usize) -> Self {
+        Region { row, col, rows, cols }
+    }
+
+    /// The full aperture of a `rows × cols` hologram.
+    pub const fn full(rows: usize, cols: usize) -> Self {
+        Region { row: 0, col: 0, rows, cols }
+    }
+
+    /// Pixel count.
+    pub fn area(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the region contains no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Exclusive bottom row.
+    pub fn row_end(&self) -> usize {
+        self.row + self.rows
+    }
+
+    /// Exclusive right column.
+    pub fn col_end(&self) -> usize {
+        self.col + self.cols
+    }
+
+    /// Whether `(row, col)` lies inside.
+    pub fn contains(&self, row: usize, col: usize) -> bool {
+        row >= self.row && row < self.row_end() && col >= self.col && col < self.col_end()
+    }
+
+    /// The intersection with another region, or `None` when disjoint.
+    pub fn intersect(&self, other: &Region) -> Option<Region> {
+        let row = self.row.max(other.row);
+        let col = self.col.max(other.col);
+        let row_end = self.row_end().min(other.row_end());
+        let col_end = self.col_end().min(other.col_end());
+        if row < row_end && col < col_end {
+            Some(Region::new(row, col, row_end - row, col_end - col))
+        } else {
+            None
+        }
+    }
+
+    /// Fraction of `other`'s area this region covers after intersection, in
+    /// `[0, 1]`. This is the work-scaling factor for sub-hologram computation:
+    /// an object halfway out of the viewing window only computes the inside
+    /// half (Fig 5a, Frame-II's football).
+    pub fn coverage_of(&self, other: &Region) -> f64 {
+        if other.area() == 0 {
+            return 0.0;
+        }
+        match self.intersect(other) {
+            Some(r) => r.area() as f64 / other.area() as f64,
+            None => 0.0,
+        }
+    }
+}
+
+/// Zeroes every sample of `field` outside `region`, returning the clipped
+/// field — the optical effect of computing only the sub-hologram.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_optics::{subhologram, Field, OpticalConfig, Region};
+///
+/// let f = Field::from_amplitude(4, 4, OpticalConfig::default(), &[1.0; 16]);
+/// let clipped = subhologram::clip_to_region(&f, Region::new(0, 0, 2, 2));
+/// assert_eq!(clipped.total_energy(), 4.0);
+/// ```
+pub fn clip_to_region(field: &Field, region: Region) -> Field {
+    let mut out = field.clone();
+    for r in 0..field.rows() {
+        for c in 0..field.cols() {
+            if !region.contains(r, c) {
+                out.set(r, c, Complex64::ZERO);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::OpticalConfig;
+
+    #[test]
+    fn region_geometry() {
+        let r = Region::new(2, 3, 4, 5);
+        assert_eq!(r.area(), 20);
+        assert_eq!(r.row_end(), 6);
+        assert_eq!(r.col_end(), 8);
+        assert!(r.contains(2, 3));
+        assert!(r.contains(5, 7));
+        assert!(!r.contains(6, 3));
+        assert!(!r.contains(2, 8));
+        assert!(!Region::new(0, 0, 0, 5).area() > 0);
+        assert!(Region::new(0, 0, 0, 5).is_empty());
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Region::new(0, 0, 10, 10);
+        let b = Region::new(5, 5, 10, 10);
+        assert_eq!(a.intersect(&b), Some(Region::new(5, 5, 5, 5)));
+        let c = Region::new(20, 20, 2, 2);
+        assert_eq!(a.intersect(&c), None);
+        // Intersection is symmetric.
+        assert_eq!(a.intersect(&b), b.intersect(&a));
+        // Self-intersection is identity.
+        assert_eq!(a.intersect(&a), Some(a));
+    }
+
+    #[test]
+    fn coverage_fractions() {
+        let window = Region::new(0, 0, 10, 10);
+        let inside = Region::new(2, 2, 4, 4);
+        let partial = Region::new(5, 5, 10, 10);
+        let outside = Region::new(50, 50, 5, 5);
+        assert_eq!(window.coverage_of(&inside), 1.0);
+        assert_eq!(window.coverage_of(&partial), 0.25);
+        assert_eq!(window.coverage_of(&outside), 0.0);
+        assert_eq!(window.coverage_of(&Region::new(0, 0, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn clipping_preserves_inside_and_zeroes_outside() {
+        let f = Field::from_amplitude(4, 4, OpticalConfig::default(), &[2.0; 16]);
+        let clipped = clip_to_region(&f, Region::new(1, 1, 2, 2));
+        assert_eq!(clipped.total_energy(), 4.0 * 4.0);
+        assert_eq!(clipped.at(0, 0), Complex64::ZERO);
+        assert_eq!(clipped.at(1, 1), Complex64::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn full_region_clipping_is_identity() {
+        let f = Field::from_amplitude(3, 5, OpticalConfig::default(), &[1.5; 15]);
+        let clipped = clip_to_region(&f, Region::full(3, 5));
+        assert_eq!(clipped, f);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the wave-optics engine: physical invariants that must
+//! hold for arbitrary fields, depthmaps and distances.
+
+use holoar_fft::Complex64;
+use holoar_optics::{
+    algorithm1, phase, subhologram, DepthMap, Field, FresnelPropagator, OpticalConfig,
+    PhaseEncoding, Propagator, Region,
+};
+use proptest::prelude::*;
+
+fn arb_smooth_field() -> impl Strategy<Value = Field> {
+    // Gaussian blobs of varying width/position: band-limited content that
+    // stays inside the propagating band.
+    (4.0f64..60.0, -6.0f64..6.0, -6.0f64..6.0).prop_map(|(sigma2, ox, oy)| {
+        let n = 32;
+        let cfg = OpticalConfig::default();
+        let mut f = Field::zeros(n, n, cfg);
+        for r in 0..n {
+            for c in 0..n {
+                let dr = r as f64 - n as f64 / 2.0 - oy;
+                let dc = c as f64 - n as f64 / 2.0 - ox;
+                f.set(r, c, Complex64::new((-(dr * dr + dc * dc) / sigma2).exp(), 0.0));
+            }
+        }
+        f
+    })
+}
+
+fn arb_depthmap() -> impl Strategy<Value = DepthMap> {
+    prop::collection::vec((0.0f64..1.0, 0.004f64..0.01), 16 * 16).prop_map(|cells| {
+        let amp: Vec<f64> =
+            cells.iter().map(|&(a, _)| if a > 0.6 { a } else { 0.0 }).collect();
+        let depth: Vec<f64> = cells.iter().map(|&(_, d)| d).collect();
+        DepthMap::new(16, 16, amp, depth).expect("generated buffers are valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Angular-spectrum propagation approximately conserves energy for
+    /// band-limited fields, at any modest distance.
+    #[test]
+    fn asm_conserves_energy(field in arb_smooth_field(), z_um in 100.0f64..4000.0) {
+        let z = z_um * 1e-6;
+        let e0 = field.total_energy();
+        prop_assume!(e0 > 1e-6);
+        let out = Propagator::new().propagate(&field, z);
+        let e1 = out.total_energy();
+        prop_assert!((e0 - e1).abs() / e0 < 0.05, "energy {e0} -> {e1} at z={z}");
+    }
+
+    /// Fresnel propagation is exactly unitary for any field and distance.
+    #[test]
+    fn fresnel_is_unitary(field in arb_smooth_field(), z_um in -4000.0f64..4000.0) {
+        let z = z_um * 1e-6;
+        let e0 = field.total_energy();
+        let out = FresnelPropagator::new().propagate(&field, z);
+        prop_assert!((out.total_energy() - e0).abs() <= 1e-9 * e0.max(1.0));
+    }
+
+    /// Forward-then-backward propagation recovers the field (reciprocity).
+    #[test]
+    fn propagation_reciprocity(field in arb_smooth_field(), z_um in 100.0f64..3000.0) {
+        let z = z_um * 1e-6;
+        let mut prop = Propagator::new();
+        let fwd = prop.propagate(&field, z);
+        let back = prop.propagate(&fwd, -z);
+        let err: f64 = back
+            .samples()
+            .iter()
+            .zip(field.samples())
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum();
+        prop_assert!(err / field.total_energy().max(1e-9) < 0.02);
+    }
+
+    /// Depthmap slicing conserves lit pixels and energy for any map and any
+    /// plane count, and never moves a pixel outside the depth range.
+    #[test]
+    fn slicing_conserves_content(dm in arb_depthmap(), planes in 1usize..24) {
+        let stack = dm.slice(planes, OpticalConfig::default());
+        prop_assert_eq!(stack.len(), planes);
+        prop_assert_eq!(stack.lit_pixel_count(), dm.lit_pixel_count());
+        let stack_energy: f64 = stack.iter().map(|p| p.field.total_energy()).sum();
+        let map_energy: f64 = dm.amplitude().iter().map(|a| a * a).sum();
+        prop_assert!((stack_energy - map_energy).abs() < 1e-9 * map_energy.max(1.0));
+        if let Some((near, far)) = dm.depth_range() {
+            for plane in stack.iter() {
+                prop_assert!(plane.z >= near - 1e-12 && plane.z <= far + 1e-12);
+            }
+        }
+    }
+
+    /// Algorithm 1's instrumentation is exact: propagation counts equal the
+    /// plane count per step, sync counts follow the algorithm structure.
+    #[test]
+    fn algorithm1_instrumentation(dm in arb_depthmap(), planes in 1usize..12) {
+        let result = algorithm1::depthmap_hologram(&dm, planes, OpticalConfig::default());
+        prop_assert_eq!(result.stats.plane_count, planes);
+        prop_assert_eq!(result.stats.forward_propagations, planes);
+        prop_assert_eq!(result.stats.backward_propagations, planes);
+        prop_assert_eq!(result.stats.intra_block_syncs, 2 * planes);
+        prop_assert_eq!(result.stats.inter_block_syncs, 2);
+        prop_assert_eq!(result.stats.pixels_per_plane, 256);
+    }
+
+    /// Phase quantization error is bounded by half a step for any field.
+    #[test]
+    fn quantization_error_is_bounded(field in arb_smooth_field(), bits in 1u32..10) {
+        let shifted = {
+            // Give the field non-trivial phases.
+            let mut f = field.clone();
+            for (i, s) in f.samples_mut().iter_mut().enumerate() {
+                *s *= Complex64::cis(i as f64 * 0.13);
+            }
+            f
+        };
+        let q = phase::quantize_phase(&shifted, bits);
+        let step = 2.0 * std::f64::consts::PI / (1u64 << bits) as f64;
+        for (a, b) in shifted.samples().iter().zip(q.samples()) {
+            if a.norm() > 1e-9 {
+                let mut d = (a.arg() - b.arg()).abs();
+                if d > std::f64::consts::PI {
+                    d = 2.0 * std::f64::consts::PI - d;
+                }
+                prop_assert!(d <= step / 2.0 + 1e-9);
+            }
+        }
+    }
+
+    /// Phase-only encodings always emit unit-amplitude (or dark) samples.
+    #[test]
+    fn encodings_are_phase_only(field in arb_smooth_field(), use_double in any::<bool>()) {
+        let encoding =
+            if use_double { PhaseEncoding::DoublePhase } else { PhaseEncoding::PhaseExtraction };
+        let encoded = phase::encode_phase_only(&field, encoding);
+        for s in encoded.samples() {
+            let r = s.norm();
+            prop_assert!(r == 0.0 || (r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Region coverage is always in [0, 1] and monotone under containment.
+    #[test]
+    fn region_coverage_bounds(
+        row in 0usize..40, col in 0usize..40,
+        rows in 1usize..30, cols in 1usize..30,
+    ) {
+        let window = Region::new(5, 5, 20, 20);
+        let obj = Region::new(row, col, rows, cols);
+        let cov = window.coverage_of(&obj);
+        prop_assert!((0.0..=1.0).contains(&cov));
+        // A bigger window covers at least as much.
+        let bigger = Region::new(0, 0, 40, 40);
+        prop_assert!(bigger.coverage_of(&obj) >= cov);
+    }
+
+    /// Clipping to a region never increases energy, and full-region clipping
+    /// is the identity.
+    #[test]
+    fn clipping_energy(field in arb_smooth_field(), row in 0usize..16, size in 1usize..32) {
+        let clipped = subhologram::clip_to_region(&field, Region::new(row, row, size, size));
+        prop_assert!(clipped.total_energy() <= field.total_energy() + 1e-12);
+        let full = subhologram::clip_to_region(&field, Region::full(32, 32));
+        prop_assert_eq!(full.total_energy(), field.total_energy());
+    }
+}

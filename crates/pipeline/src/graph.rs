@@ -1,0 +1,326 @@
+//! The AR pipeline as an executable task graph (Fig 1c).
+//!
+//! The paper's pipeline has three stages — Inputs → Perception (pose, eye,
+//! scene reconstruction) → Visual (hologram, display) — with dependencies
+//! *between* stages and parallelism *within* them, all contending for two
+//! resources (CPU and GPU). This module schedules one frame of that graph:
+//! list scheduling over the dependency order, serializing tasks that share
+//! a resource, and reporting the frame makespan, the critical path and
+//! per-resource busy time.
+
+use std::collections::HashMap;
+
+/// The execution resource a task occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Host CPU (sensor handling, scheduling).
+    Cpu,
+    /// The GPU (perception networks, hologram kernels).
+    Gpu,
+}
+
+/// One node of the frame graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphTask {
+    /// Unique task name.
+    pub name: String,
+    /// Execution latency, seconds.
+    pub latency: f64,
+    /// Resource the task occupies while running.
+    pub resource: Resource,
+    /// Names of tasks that must complete first.
+    pub deps: Vec<String>,
+}
+
+impl GraphTask {
+    /// Creates a task.
+    pub fn new(
+        name: impl Into<String>,
+        latency: f64,
+        resource: Resource,
+        deps: &[&str],
+    ) -> Self {
+        GraphTask {
+            name: name.into(),
+            latency,
+            resource,
+            deps: deps.iter().map(|d| d.to_string()).collect(),
+        }
+    }
+}
+
+/// A scheduled task instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledTask {
+    /// Task name.
+    pub name: String,
+    /// Start time within the frame, seconds.
+    pub start: f64,
+    /// End time within the frame, seconds.
+    pub end: f64,
+    /// Resource used.
+    pub resource: Resource,
+}
+
+/// The result of scheduling one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameSchedule {
+    /// Tasks in start order.
+    pub tasks: Vec<ScheduledTask>,
+    /// Frame makespan, seconds.
+    pub makespan: f64,
+    /// Name of the task finishing last (the end of the critical path).
+    pub critical_task: String,
+    /// Busy seconds per resource.
+    pub busy: HashMap<Resource, f64>,
+}
+
+impl FrameSchedule {
+    /// Utilization of a resource over the makespan.
+    pub fn utilization(&self, resource: Resource) -> f64 {
+        if self.makespan > 0.0 {
+            self.busy.get(&resource).copied().unwrap_or(0.0) / self.makespan
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Error scheduling a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A dependency names a task that does not exist.
+    UnknownDependency {
+        /// The task declaring the dependency.
+        task: String,
+        /// The missing dependency name.
+        dependency: String,
+    },
+    /// The graph contains a cycle (or a duplicate name shadowing a node).
+    Cycle,
+    /// Two tasks share a name.
+    DuplicateName(String),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::UnknownDependency { task, dependency } => {
+                write!(f, "task '{task}' depends on unknown task '{dependency}'")
+            }
+            ScheduleError::Cycle => write!(f, "task graph contains a cycle"),
+            ScheduleError::DuplicateName(n) => write!(f, "duplicate task name '{n}'"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Schedules one frame: dependency-ordered, earliest-start list scheduling
+/// with one task at a time per resource.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] for unknown dependencies, duplicate names or
+/// cycles.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_pipeline::graph::{schedule_frame, GraphTask, Resource};
+///
+/// let tasks = vec![
+///     GraphTask::new("imu", 0.001, Resource::Cpu, &[]),
+///     GraphTask::new("pose", 0.0138, Resource::Gpu, &["imu"]),
+///     GraphTask::new("hologram", 0.10, Resource::Gpu, &["pose"]),
+/// ];
+/// let schedule = schedule_frame(&tasks)?;
+/// assert!((schedule.makespan - 0.1148).abs() < 1e-9);
+/// # Ok::<(), holoar_pipeline::graph::ScheduleError>(())
+/// ```
+pub fn schedule_frame(tasks: &[GraphTask]) -> Result<FrameSchedule, ScheduleError> {
+    let mut index: HashMap<&str, usize> = HashMap::new();
+    for (i, t) in tasks.iter().enumerate() {
+        if index.insert(t.name.as_str(), i).is_some() {
+            return Err(ScheduleError::DuplicateName(t.name.clone()));
+        }
+    }
+    for t in tasks {
+        for d in &t.deps {
+            if !index.contains_key(d.as_str()) {
+                return Err(ScheduleError::UnknownDependency {
+                    task: t.name.clone(),
+                    dependency: d.clone(),
+                });
+            }
+        }
+    }
+
+    let n = tasks.len();
+    let mut finished: Vec<Option<f64>> = vec![None; n]; // end times
+    let mut resource_free: HashMap<Resource, f64> = HashMap::new();
+    let mut scheduled: Vec<ScheduledTask> = Vec::with_capacity(n);
+    let mut remaining: Vec<usize> = (0..n).collect();
+
+    while !remaining.is_empty() {
+        // Among ready tasks, start the one that can begin earliest
+        // (ties broken by declaration order for determinism).
+        let mut best: Option<(usize, f64)> = None; // (remaining-index, start)
+        for (ri, &ti) in remaining.iter().enumerate() {
+            let task = &tasks[ti];
+            let deps_done: Option<f64> = task.deps.iter().try_fold(0.0f64, |acc, d| {
+                finished[index[d.as_str()]].map(|e| acc.max(e))
+            });
+            if let Some(ready_at) = deps_done {
+                let start = ready_at.max(resource_free.get(&task.resource).copied().unwrap_or(0.0));
+                if best.is_none_or(|(_, s)| start < s) {
+                    best = Some((ri, start));
+                }
+            }
+        }
+        let Some((ri, start)) = best else {
+            return Err(ScheduleError::Cycle);
+        };
+        let ti = remaining.remove(ri);
+        let task = &tasks[ti];
+        let end = start + task.latency;
+        finished[ti] = Some(end);
+        resource_free.insert(task.resource, end);
+        scheduled.push(ScheduledTask {
+            name: task.name.clone(),
+            start,
+            end,
+            resource: task.resource,
+        });
+    }
+
+    scheduled.sort_by(|a, b| a.start.total_cmp(&b.start));
+    let (makespan, critical_task) = scheduled
+        .iter()
+        .map(|t| (t.end, t.name.clone()))
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .unwrap_or((0.0, String::new()));
+    let mut busy: HashMap<Resource, f64> = HashMap::new();
+    for t in &scheduled {
+        *busy.entry(t.resource).or_insert(0.0) += t.end - t.start;
+    }
+    Ok(FrameSchedule { tasks: scheduled, makespan, critical_task, busy })
+}
+
+/// The paper's frame graph (Fig 1c) with a given hologram latency: sensor
+/// input on the CPU, perception tasks on the GPU (pose, eye tracking, scene
+/// reconstruction when due), then the hologram and display composition.
+pub fn ar_frame_graph(hologram_latency: f64, scene_reconstruct_due: bool) -> Vec<GraphTask> {
+    let mut tasks = vec![
+        GraphTask::new("sensor_input", 0.002, Resource::Cpu, &[]),
+        GraphTask::new("pose_estimate", 0.01375, Resource::Gpu, &["sensor_input"]),
+        GraphTask::new("eye_track", 0.0044, Resource::Gpu, &["sensor_input"]),
+        GraphTask::new(
+            "hologram",
+            hologram_latency,
+            Resource::Gpu,
+            &["pose_estimate", "eye_track"],
+        ),
+        GraphTask::new("display_compose", 0.004, Resource::Cpu, &["hologram"]),
+    ];
+    if scene_reconstruct_due {
+        tasks.insert(
+            3,
+            GraphTask::new("scene_reconstruct", 0.120, Resource::Gpu, &["sensor_input"]),
+        );
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_chain_adds_latencies() {
+        let tasks = vec![
+            GraphTask::new("a", 0.01, Resource::Cpu, &[]),
+            GraphTask::new("b", 0.02, Resource::Gpu, &["a"]),
+            GraphTask::new("c", 0.03, Resource::Cpu, &["b"]),
+        ];
+        let s = schedule_frame(&tasks).unwrap();
+        assert!((s.makespan - 0.06).abs() < 1e-12);
+        assert_eq!(s.critical_task, "c");
+    }
+
+    #[test]
+    fn independent_tasks_on_different_resources_overlap() {
+        let tasks = vec![
+            GraphTask::new("cpu_work", 0.05, Resource::Cpu, &[]),
+            GraphTask::new("gpu_work", 0.05, Resource::Gpu, &[]),
+        ];
+        let s = schedule_frame(&tasks).unwrap();
+        assert!((s.makespan - 0.05).abs() < 1e-12, "parallel resources should overlap");
+    }
+
+    #[test]
+    fn shared_resource_serializes() {
+        let tasks = vec![
+            GraphTask::new("k1", 0.05, Resource::Gpu, &[]),
+            GraphTask::new("k2", 0.05, Resource::Gpu, &[]),
+        ];
+        let s = schedule_frame(&tasks).unwrap();
+        assert!((s.makespan - 0.10).abs() < 1e-12, "single GPU must serialize");
+        assert!((s.utilization(Resource::Gpu) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_cases() {
+        let unknown = vec![GraphTask::new("a", 0.01, Resource::Cpu, &["ghost"])];
+        assert!(matches!(
+            schedule_frame(&unknown),
+            Err(ScheduleError::UnknownDependency { .. })
+        ));
+
+        let cyclic = vec![
+            GraphTask::new("a", 0.01, Resource::Cpu, &["b"]),
+            GraphTask::new("b", 0.01, Resource::Cpu, &["a"]),
+        ];
+        assert_eq!(schedule_frame(&cyclic), Err(ScheduleError::Cycle));
+
+        let dup = vec![
+            GraphTask::new("a", 0.01, Resource::Cpu, &[]),
+            GraphTask::new("a", 0.01, Resource::Gpu, &[]),
+        ];
+        assert!(matches!(schedule_frame(&dup), Err(ScheduleError::DuplicateName(_))));
+
+        let err = schedule_frame(&unknown).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn ar_graph_baseline_is_hologram_bound() {
+        let s = schedule_frame(&ar_frame_graph(0.3417, false)).unwrap();
+        // Perception (GPU) serializes before the hologram; display follows.
+        assert_eq!(s.critical_task, "display_compose");
+        assert!(s.makespan > 0.3417);
+        assert!(s.makespan < 0.3417 + 0.03);
+        assert!(s.utilization(Resource::Gpu) > 0.9);
+    }
+
+    #[test]
+    fn ar_graph_speeds_up_with_approximated_hologram() {
+        let slow = schedule_frame(&ar_frame_graph(0.3417, false)).unwrap();
+        let fast = schedule_frame(&ar_frame_graph(0.120, false)).unwrap();
+        assert!(slow.makespan / fast.makespan > 2.0);
+    }
+
+    #[test]
+    fn scene_reconstruction_extends_gpu_serialization() {
+        let without = schedule_frame(&ar_frame_graph(0.1, false)).unwrap();
+        let with = schedule_frame(&ar_frame_graph(0.1, true)).unwrap();
+        assert!((with.makespan - without.makespan - 0.120).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_is_trivial() {
+        let s = schedule_frame(&[]).unwrap();
+        assert_eq!(s.makespan, 0.0);
+        assert!(s.tasks.is_empty());
+    }
+}

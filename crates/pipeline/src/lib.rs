@@ -1,0 +1,36 @@
+//! The full AR pipeline harness — the ILLIXR-testbed substitute.
+//!
+//! Covers the paper's pipeline-level analysis: Table 1's task deadlines
+//! ([`task`]), the Fig 2 measured-versus-ideal characterization
+//! ([`mod@characterize`]), a serial frame-loop scheduler with per-task cadences
+//! and QoS accounting ([`schedule`]), a pipelined (stage-overlapping)
+//! throughput model ([`pipelined`]), and a battery-life model
+//! ([`battery`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use holoar_gpusim::Device;
+//! use holoar_pipeline::{characterize::characterize, task::TaskKind};
+//!
+//! let rows = characterize(&mut Device::xavier());
+//! let bottleneck = rows
+//!     .iter()
+//!     .max_by(|a, b| a.gap().total_cmp(&b.gap()))
+//!     .unwrap();
+//! assert_eq!(bottleneck.kind, TaskKind::Hologram);
+//! ```
+
+pub mod battery;
+pub mod characterize;
+pub mod graph;
+pub mod pipelined;
+pub mod schedule;
+pub mod task;
+
+pub use battery::Battery;
+pub use characterize::{characterize, TaskCharacterization};
+pub use graph::{ar_frame_graph, schedule_frame, FrameSchedule, GraphTask, Resource};
+pub use pipelined::{run_pipelined, PipelinedReport};
+pub use schedule::{run_loop, FrameLatencies, QosReport};
+pub use task::TaskKind;

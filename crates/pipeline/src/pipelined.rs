@@ -1,0 +1,124 @@
+//! Pipelined stage execution: overlapping perception and visual stages
+//! across consecutive frames.
+//!
+//! The serial loop in [`crate::schedule`] charges a frame the *sum* of its
+//! stage latencies — the conservative model matching the paper's
+//! single-GPU measurements. Real XR runtimes (ILLIXR among them) also run
+//! stages as concurrent tasks, where steady-state **throughput** is set by
+//! the slowest stage while **motion-to-photon latency** is still the sum.
+//! This module models that regime, exposing both numbers so HoloAR's
+//! improvements can be read either way: with a 341.7 ms hologram, the
+//! hologram is the throughput bottleneck regardless; once approximated, the
+//! pipeline becomes sensor/display bound.
+
+use crate::schedule::FrameLatencies;
+use crate::task::TaskKind;
+
+/// Steady-state behaviour of a pipelined execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelinedReport {
+    /// Frames simulated.
+    pub frames: u64,
+    /// Steady-state throughput, frames per second (bounded by the slowest
+    /// stage).
+    pub throughput_fps: f64,
+    /// Mean motion-to-photon latency, seconds (the full stage sum — a
+    /// sample still traverses every stage).
+    pub mean_latency: f64,
+    /// The stage that bounds throughput.
+    pub bottleneck: TaskKind,
+}
+
+/// Runs the pipelined model over per-frame latencies from `frame_fn`.
+///
+/// Scene reconstruction's 1-in-N cadence is amortized into its effective
+/// stage time (`latency / cadence`), since a pipelined runtime overlaps it
+/// across the frames in between.
+///
+/// # Panics
+///
+/// Panics if `frames == 0`.
+pub fn run_pipelined<F: FnMut(u64) -> FrameLatencies>(
+    frames: u64,
+    mut frame_fn: F,
+) -> PipelinedReport {
+    assert!(frames > 0, "need at least one frame");
+    let cadence = TaskKind::SceneReconstruct.frame_cadence() as f64;
+    let mut stage_sums = [0.0f64; 4]; // pose, eye, scene (amortized), hologram
+    let mut latency_sum = 0.0;
+    for i in 0..frames {
+        let lat = frame_fn(i);
+        stage_sums[0] += lat.pose;
+        stage_sums[1] += lat.eye;
+        stage_sums[2] += lat.scene / cadence;
+        stage_sums[3] += lat.hologram;
+        // Motion-to-photon: the serial traversal of one sample (scene
+        // reconstruction is off the critical path when it has a fresh map).
+        latency_sum += lat.pose + lat.eye + lat.hologram;
+    }
+    let n = frames as f64;
+    let means = [stage_sums[0] / n, stage_sums[1] / n, stage_sums[2] / n, stage_sums[3] / n];
+    let (bottleneck_idx, &slowest) = means
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("four stages");
+    let bottleneck = [
+        TaskKind::PoseEstimate,
+        TaskKind::EyeTrack,
+        TaskKind::SceneReconstruct,
+        TaskKind::Hologram,
+    ][bottleneck_idx];
+    PipelinedReport {
+        frames,
+        throughput_fps: 1.0 / slowest.max(f64::MIN_POSITIVE),
+        mean_latency: latency_sum / n,
+        bottleneck,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latencies(hologram: f64) -> FrameLatencies {
+        FrameLatencies { pose: 0.0138, eye: 0.0044, scene: 0.120, hologram }
+    }
+
+    #[test]
+    fn baseline_hologram_bounds_throughput() {
+        let report = run_pipelined(30, |_| latencies(0.3417));
+        assert_eq!(report.bottleneck, TaskKind::Hologram);
+        assert!((report.throughput_fps - 1.0 / 0.3417).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximated_hologram_shifts_the_bottleneck() {
+        // HoloAR-level hologram latency (~130 ms/frame across objects) still
+        // bottlenecks; at aggressive approximation (~35 ms) scene
+        // reconstruction's amortized 40 ms takes over.
+        let fast = run_pipelined(30, |_| latencies(0.035));
+        assert_eq!(fast.bottleneck, TaskKind::SceneReconstruct);
+        assert!(fast.throughput_fps > 20.0);
+    }
+
+    #[test]
+    fn pipelining_beats_serial_throughput() {
+        let lat = latencies(0.100);
+        let pipelined = run_pipelined(30, |_| lat);
+        let serial = crate::schedule::run_loop(30, |_| lat);
+        assert!(pipelined.throughput_fps > serial.fps);
+    }
+
+    #[test]
+    fn motion_to_photon_is_the_stage_sum() {
+        let report = run_pipelined(10, |_| latencies(0.1));
+        assert!((report.mean_latency - (0.0138 + 0.0044 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_panics() {
+        run_pipelined(0, |_| latencies(0.1));
+    }
+}

@@ -1,0 +1,131 @@
+//! The frame loop: scheduling pipeline tasks at their cadences and
+//! measuring achieved frame rate and per-stage slack.
+//!
+//! This is the ILLIXR-style harness the paper builds on (§4.5): every frame
+//! runs pose estimation, eye tracking (when the configuration uses it) and
+//! the hologram; scene reconstruction runs at its 1-in-3 cadence. The frame
+//! period is bounded below by the slowest stage, which is how the paper's
+//! <1 fps smartphone observation and the post-optimization QoS both fall
+//! out.
+
+use crate::task::TaskKind;
+
+/// Latencies of one frame's stage executions, seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrameLatencies {
+    /// Pose estimation.
+    pub pose: f64,
+    /// Eye tracking (0 when unused).
+    pub eye: f64,
+    /// Scene reconstruction (0 on frames where it is not scheduled).
+    pub scene: f64,
+    /// Hologram computation.
+    pub hologram: f64,
+}
+
+impl FrameLatencies {
+    /// Total serial frame latency. The paper's pipeline runs perception and
+    /// visual stages back-to-back on the shared edge GPU, so stages add.
+    pub fn total(&self) -> f64 {
+        self.pose + self.eye + self.scene + self.hologram
+    }
+}
+
+/// Aggregate QoS over a run of frames.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosReport {
+    /// Frames simulated.
+    pub frames: u64,
+    /// Mean frame latency, seconds.
+    pub mean_frame_latency: f64,
+    /// Achieved frames per second (1 / mean latency).
+    pub fps: f64,
+    /// Fraction of frames meeting the 30 fps (33 ms) deadline.
+    pub deadline_hit_rate: f64,
+}
+
+/// Runs a frame loop over per-frame latencies supplied by `frame_fn`
+/// (called with the frame index; scene reconstruction cadence is handled
+/// here by zeroing the stage on off-frames).
+///
+/// # Panics
+///
+/// Panics if `frames == 0`.
+pub fn run_loop<F: FnMut(u64) -> FrameLatencies>(frames: u64, mut frame_fn: F) -> QosReport {
+    assert!(frames > 0, "need at least one frame");
+    let mut total = 0.0;
+    let mut hits = 0u64;
+    for i in 0..frames {
+        let mut lat = frame_fn(i);
+        if i % TaskKind::SceneReconstruct.frame_cadence() != 0 {
+            lat.scene = 0.0;
+        }
+        let t = lat.total();
+        total += t;
+        if t <= TaskKind::Hologram.ideal_latency() {
+            hits += 1;
+        }
+    }
+    let mean = total / frames as f64;
+    QosReport {
+        frames,
+        mean_frame_latency: mean,
+        fps: 1.0 / mean,
+        deadline_hit_rate: hits as f64 / frames as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_stages() {
+        let f = FrameLatencies { pose: 0.01, eye: 0.004, scene: 0.1, hologram: 0.3 };
+        assert!((f.total() - 0.414).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scene_reconstruct_runs_at_cadence() {
+        // Frame 0, 3, 6, … include the 120 ms scene stage.
+        let report = run_loop(6, |_| FrameLatencies {
+            pose: 0.01,
+            eye: 0.0,
+            scene: 0.12,
+            hologram: 0.01,
+        });
+        // 2 of 6 frames pay scene reconstruction.
+        let expected = (6.0 * 0.02 + 2.0 * 0.12) / 6.0;
+        assert!((report.mean_frame_latency - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_frames_hit_deadline() {
+        let report = run_loop(10, |_| FrameLatencies {
+            pose: 0.005,
+            eye: 0.004,
+            scene: 0.0,
+            hologram: 0.02,
+        });
+        assert_eq!(report.deadline_hit_rate, 1.0);
+        assert!(report.fps > 30.0);
+    }
+
+    #[test]
+    fn slow_holograms_tank_fps() {
+        let report = run_loop(10, |_| FrameLatencies {
+            pose: 0.0138,
+            eye: 0.0044,
+            scene: 0.0,
+            hologram: 0.3417,
+        });
+        assert!(report.fps < 3.0, "fps {}", report.fps);
+        assert_eq!(report.deadline_hit_rate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_panics() {
+        run_loop(0, |_| FrameLatencies::default());
+    }
+}

@@ -1,0 +1,171 @@
+//! Angular geometry shared by the gaze, pose and dataset models.
+//!
+//! Everything the HoloAR schemes consume is angular: gaze directions, head
+//! orientations, object positions in the field of view. An
+//! [`AngularPoint`] is an (azimuth, elevation) pair in radians, with azimuth
+//! positive rightward and elevation positive upward.
+
+/// Converts degrees to radians.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_sensors::angles::deg;
+/// assert!((deg(180.0) - std::f64::consts::PI).abs() < 1e-12);
+/// ```
+pub const fn deg(degrees: f64) -> f64 {
+    degrees * std::f64::consts::PI / 180.0
+}
+
+/// A direction expressed as azimuth/elevation, radians.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AngularPoint {
+    /// Azimuth (yaw), positive rightward.
+    pub azimuth: f64,
+    /// Elevation (pitch), positive upward.
+    pub elevation: f64,
+}
+
+impl AngularPoint {
+    /// The straight-ahead direction.
+    pub const CENTER: AngularPoint = AngularPoint { azimuth: 0.0, elevation: 0.0 };
+
+    /// Creates a direction.
+    pub const fn new(azimuth: f64, elevation: f64) -> Self {
+        AngularPoint { azimuth, elevation }
+    }
+
+    /// Small-angle angular distance to another direction, radians.
+    ///
+    /// For the narrow fields of view AR headsets use (≲ 60°), the Euclidean
+    /// approximation on the azimuth/elevation plane is accurate to well under
+    /// the eye-tracker noise floor.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use holoar_sensors::angles::{deg, AngularPoint};
+    /// let a = AngularPoint::new(0.0, 0.0);
+    /// let b = AngularPoint::new(deg(3.0), deg(4.0));
+    /// assert!((a.distance_to(b) - deg(5.0)).abs() < 1e-9);
+    /// ```
+    pub fn distance_to(self, other: AngularPoint) -> f64 {
+        (self.azimuth - other.azimuth).hypot(self.elevation - other.elevation)
+    }
+
+    /// Component-wise offset.
+    pub fn offset(self, d_azimuth: f64, d_elevation: f64) -> AngularPoint {
+        AngularPoint { azimuth: self.azimuth + d_azimuth, elevation: self.elevation + d_elevation }
+    }
+}
+
+/// An axis-aligned angular rectangle — the viewing window the head pose
+/// defines (Fig 5a), or the display's field of view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AngularRect {
+    /// Center direction.
+    pub center: AngularPoint,
+    /// Full width (azimuth extent), radians.
+    pub width: f64,
+    /// Full height (elevation extent), radians.
+    pub height: f64,
+}
+
+impl AngularRect {
+    /// Creates a rectangle centered on `center`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if width or height is not positive and finite.
+    pub fn new(center: AngularPoint, width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && width.is_finite(), "width must be positive");
+        assert!(height > 0.0 && height.is_finite(), "height must be positive");
+        AngularRect { center, width, height }
+    }
+
+    /// Whether a direction falls inside the rectangle.
+    pub fn contains(&self, p: AngularPoint) -> bool {
+        (p.azimuth - self.center.azimuth).abs() <= self.width / 2.0
+            && (p.elevation - self.center.elevation).abs() <= self.height / 2.0
+    }
+
+    /// The fraction of a disc of angular radius `radius` centered at `p`
+    /// that lies inside the rectangle, in `[0, 1]`.
+    ///
+    /// Approximated by the 1-D overlap product along each axis, which is
+    /// exact for fully-in / fully-out and smooth for edge crossings — the
+    /// partial-object coverage of Fig 5a Frame-II.
+    pub fn coverage_of_disc(&self, p: AngularPoint, radius: f64) -> f64 {
+        assert!(radius >= 0.0, "disc radius must be non-negative");
+        if radius == 0.0 {
+            return if self.contains(p) { 1.0 } else { 0.0 };
+        }
+        let overlap = |delta: f64, half_extent: f64| -> f64 {
+            // Overlap of [delta-radius, delta+radius] with [-half, half],
+            // normalized by the disc diameter.
+            let lo = (delta - radius).max(-half_extent);
+            let hi = (delta + radius).min(half_extent);
+            ((hi - lo) / (2.0 * radius)).clamp(0.0, 1.0)
+        };
+        overlap(p.azimuth - self.center.azimuth, self.width / 2.0)
+            * overlap(p.elevation - self.center.elevation, self.height / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = AngularPoint::new(0.1, -0.2);
+        let b = AngularPoint::new(-0.3, 0.4);
+        assert_eq!(a.distance_to(b), b.distance_to(a));
+        assert_eq!(a.distance_to(a), 0.0);
+    }
+
+    #[test]
+    fn rect_containment() {
+        let r = AngularRect::new(AngularPoint::CENTER, deg(40.0), deg(30.0));
+        assert!(r.contains(AngularPoint::CENTER));
+        assert!(r.contains(AngularPoint::new(deg(19.9), deg(14.9))));
+        assert!(!r.contains(AngularPoint::new(deg(20.1), 0.0)));
+        assert!(!r.contains(AngularPoint::new(0.0, deg(-15.1))));
+    }
+
+    #[test]
+    fn disc_coverage_extremes() {
+        let r = AngularRect::new(AngularPoint::CENTER, deg(40.0), deg(30.0));
+        // Fully inside.
+        assert_eq!(r.coverage_of_disc(AngularPoint::CENTER, deg(5.0)), 1.0);
+        // Fully outside.
+        assert_eq!(r.coverage_of_disc(AngularPoint::new(deg(60.0), 0.0), deg(5.0)), 0.0);
+        // Straddling the right edge: about half covered.
+        let half = r.coverage_of_disc(AngularPoint::new(deg(20.0), 0.0), deg(5.0));
+        assert!((half - 0.5).abs() < 0.05, "edge coverage {half}");
+    }
+
+    #[test]
+    fn zero_radius_disc_degenerates_to_containment() {
+        let r = AngularRect::new(AngularPoint::CENTER, 1.0, 1.0);
+        assert_eq!(r.coverage_of_disc(AngularPoint::CENTER, 0.0), 1.0);
+        assert_eq!(r.coverage_of_disc(AngularPoint::new(2.0, 0.0), 0.0), 0.0);
+    }
+
+    #[test]
+    fn coverage_decreases_moving_out() {
+        let r = AngularRect::new(AngularPoint::CENTER, deg(40.0), deg(30.0));
+        let mut last = 1.1;
+        for az_deg in [0.0, 10.0, 18.0, 20.0, 22.0, 30.0] {
+            let c = r.coverage_of_disc(AngularPoint::new(deg(az_deg), 0.0), deg(4.0));
+            assert!(c <= last + 1e-12, "coverage should not increase moving out");
+            last = c;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn rect_rejects_bad_width() {
+        AngularRect::new(AngularPoint::CENTER, 0.0, 1.0);
+    }
+}

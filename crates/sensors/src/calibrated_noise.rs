@@ -1,0 +1,58 @@
+//! Noise calibration helpers shared by the sensor substitutes.
+
+use crate::angles::deg;
+
+/// Converts a published *mean* angular error (degrees) into the per-axis
+/// Gaussian σ (radians) that produces it.
+///
+/// With independent Gaussian error on each axis, the angular error magnitude
+/// is Rayleigh-distributed with mean `σ·√(π/2)`, so `σ = mean / √(π/2)`.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_sensors::calibrated_noise::angular_error_sigma;
+/// let sigma = angular_error_sigma(2.06);
+/// assert!(sigma > 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `mean_error_deg` is negative or non-finite.
+pub fn angular_error_sigma(mean_error_deg: f64) -> f64 {
+    assert!(
+        mean_error_deg >= 0.0 && mean_error_deg.is_finite(),
+        "mean error must be non-negative and finite"
+    );
+    deg(mean_error_deg) / (std::f64::consts::PI / 2.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn sigma_reproduces_mean_error() {
+        let mean_deg = 2.06;
+        let sigma = angular_error_sigma(mean_deg);
+        let mut rng = Rng::seeded(77);
+        let n = 50_000;
+        let mean: f64 = (0..n)
+            .map(|_| rng.normal_with(0.0, sigma).hypot(rng.normal_with(0.0, sigma)))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean.to_degrees() - mean_deg).abs() < 0.05, "mean {}°", mean.to_degrees());
+    }
+
+    #[test]
+    fn zero_error_gives_zero_sigma() {
+        assert_eq!(angular_error_sigma(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_error_panics() {
+        angular_error_sigma(-1.0);
+    }
+}

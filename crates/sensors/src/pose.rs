@@ -1,0 +1,182 @@
+//! Pose estimation — the Kimera-VIO \[53\] substitute.
+//!
+//! HoloAR needs two things from pose estimation (§4.4): the user's head
+//! orientation (which defines the viewing window) and the camera-to-object
+//! distances. The estimator here integrates the synthetic gyro stream with a
+//! complementary-filter correction toward sporadic "visual" fixes — the same
+//! role VIO plays — and reports the paper's measured 13.75 ms latency.
+
+use crate::angles::{deg, AngularPoint, AngularRect};
+use crate::imu::ImuSample;
+use crate::rng::Rng;
+
+/// Published characteristics of the substituted estimator.
+pub mod spec {
+    /// Kimera-VIO execution latency on the edge GPU, seconds (§4.4).
+    pub const LATENCY: f64 = 0.01375;
+    /// The paper's Table 1 deadline for pose estimation, seconds.
+    pub const DEADLINE: f64 = 0.033;
+}
+
+/// The AR display's field of view, which the estimated head orientation
+/// positions in the world — HoloLens-2-class optics.
+pub const DISPLAY_FOV_WIDTH: f64 = deg(43.0);
+/// Vertical field of view of the display.
+pub const DISPLAY_FOV_HEIGHT: f64 = deg(29.0);
+
+/// One pose estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoseEstimate {
+    /// Estimated head orientation.
+    pub orientation: AngularPoint,
+    /// Modeled estimation latency, seconds.
+    pub latency: f64,
+}
+
+impl PoseEstimate {
+    /// The viewing window this head orientation defines (Fig 5a): the
+    /// display FoV centered on the estimated orientation.
+    pub fn viewing_window(&self) -> AngularRect {
+        AngularRect::new(self.orientation, DISPLAY_FOV_WIDTH, DISPLAY_FOV_HEIGHT)
+    }
+}
+
+/// Complementary-filter pose estimator fed by IMU samples.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_sensors::imu::HeadMotion;
+/// use holoar_sensors::pose::PoseEstimator;
+///
+/// let mut imu = HeadMotion::new(200.0, 1);
+/// let mut vio = PoseEstimator::new(2);
+/// let mut estimate = None;
+/// for sample in imu.samples(200) {
+///     estimate = Some(vio.update(&sample));
+/// }
+/// assert!(estimate.unwrap().latency > 0.01);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoseEstimator {
+    rng: Rng,
+    estimate: AngularPoint,
+    last_time: f64,
+    /// Visual fixes arrive at camera rate; fraction of drift corrected each
+    /// fix.
+    correction_gain: f64,
+    samples_since_fix: u32,
+    samples_per_fix: u32,
+}
+
+impl PoseEstimator {
+    /// Creates an estimator with a deterministic noise stream.
+    pub fn new(seed: u64) -> Self {
+        PoseEstimator {
+            rng: Rng::seeded(seed.wrapping_mul(0x53A1_D90F)),
+            estimate: AngularPoint::CENTER,
+            last_time: 0.0,
+            correction_gain: 0.25,
+            samples_since_fix: 0,
+            samples_per_fix: 7, // ~30 Hz camera against a 200 Hz IMU
+        }
+    }
+
+    /// Folds in one IMU sample and returns the current estimate.
+    pub fn update(&mut self, sample: &ImuSample) -> PoseEstimate {
+        let dt = (sample.time - self.last_time).max(0.0);
+        self.last_time = sample.time;
+        // Dead-reckon on the gyro.
+        self.estimate = self
+            .estimate
+            .offset(sample.angular_rate.0 * dt, sample.angular_rate.1 * dt);
+        // Periodic visual correction toward truth, with feature-matching
+        // noise.
+        self.samples_since_fix += 1;
+        if self.samples_since_fix >= self.samples_per_fix {
+            self.samples_since_fix = 0;
+            let vis_noise = deg(0.3);
+            let observed = sample.true_orientation.offset(
+                self.rng.normal_with(0.0, vis_noise),
+                self.rng.normal_with(0.0, vis_noise),
+            );
+            self.estimate = AngularPoint::new(
+                self.estimate.azimuth
+                    + self.correction_gain * (observed.azimuth - self.estimate.azimuth),
+                self.estimate.elevation
+                    + self.correction_gain * (observed.elevation - self.estimate.elevation),
+            );
+        }
+        PoseEstimate { orientation: self.estimate, latency: spec::LATENCY }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imu::HeadMotion;
+
+    fn run(seed: u64, n: usize) -> (Vec<AngularPoint>, Vec<PoseEstimate>) {
+        let mut imu = HeadMotion::new(200.0, seed);
+        let mut vio = PoseEstimator::new(seed + 100);
+        let mut truth = Vec::new();
+        let mut est = Vec::new();
+        for s in imu.samples(n) {
+            truth.push(s.true_orientation);
+            est.push(vio.update(&s));
+        }
+        (truth, est)
+    }
+
+    #[test]
+    fn estimate_tracks_truth() {
+        let (truth, est) = run(1, 4000);
+        // After warm-up, the error should stay small.
+        let errs: Vec<f64> = truth
+            .iter()
+            .zip(&est)
+            .skip(400)
+            .map(|(t, e)| t.distance_to(e.orientation))
+            .collect();
+        let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean_err < deg(1.5), "mean pose error {:.2}°", mean_err.to_degrees());
+        let max_err = errs.iter().cloned().fold(0.0, f64::max);
+        assert!(max_err < deg(6.0), "max pose error {:.2}°", max_err.to_degrees());
+    }
+
+    #[test]
+    fn latency_meets_table1_deadline() {
+        let (_, est) = run(2, 10);
+        assert!(est[0].latency < spec::DEADLINE);
+        assert_eq!(est[0].latency, 0.01375);
+    }
+
+    #[test]
+    fn viewing_window_is_centered_on_orientation() {
+        let (_, est) = run(3, 500);
+        let e = est.last().unwrap();
+        let w = e.viewing_window();
+        assert_eq!(w.center, e.orientation);
+        assert!(w.contains(e.orientation));
+        assert!((w.width - DISPLAY_FOV_WIDTH).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (_, a) = run(4, 100);
+        let (_, b) = run(4, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn window_moves_when_head_moves() {
+        // Fig 5a: lifting the head shifts the window.
+        let (truth, est) = run(5, 6000);
+        let first = est[500].viewing_window().center;
+        let last = est[5999].viewing_window().center;
+        let truth_moved = truth[500].distance_to(truth[5999]);
+        if truth_moved > deg(2.0) {
+            assert!(first.distance_to(last) > deg(0.5));
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The paper's dataset study (Fig 3, Table 2) computed over the synthetic
+//! substitutes.
+
+use crate::angles::deg;
+use crate::gaze::{GazeModel, GazeTrace, UserProfile};
+use crate::objectron::{sample_stats, SampleStats, VideoCategory};
+
+/// Summary of one category's object statistics — a Fig 3a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoryStudy {
+    /// Category studied.
+    pub category: VideoCategory,
+    /// Measured statistics over the sampled frames.
+    pub measured: SampleStats,
+    /// Published Table 2 expectations.
+    pub expected_objects_per_frame: f64,
+    /// Published mean distance, meters.
+    pub expected_distance: f64,
+    /// Published mean size, meters.
+    pub expected_size: f64,
+}
+
+/// Runs the Fig 3a study: per-category distance and size statistics.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_sensors::stats::dataset_study;
+/// let rows = dataset_study(17, 500);
+/// assert_eq!(rows.len(), 6);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `frames == 0`.
+pub fn dataset_study(seed: u64, frames: u64) -> Vec<CategoryStudy> {
+    VideoCategory::ALL
+        .iter()
+        .map(|&category| {
+            let spec = category.spec();
+            CategoryStudy {
+                category,
+                measured: sample_stats(category, seed, frames),
+                expected_objects_per_frame: spec.objects_per_frame,
+                expected_distance: spec.distance,
+                expected_size: spec.size,
+            }
+        })
+        .collect()
+}
+
+/// One user's 10-second gaze study — a Fig 3b panel.
+#[derive(Debug, Clone)]
+pub struct GazeStudy {
+    /// User index (1-based, as in the figure).
+    pub user: usize,
+    /// The recorded trace.
+    pub trace: GazeTrace,
+    /// Normalized heatmap over the viewing window.
+    pub heatmap: Vec<f64>,
+    /// Temporal locality: fraction of samples within 5° of the 1-second
+    /// running centroid.
+    pub locality: f64,
+}
+
+/// Heatmap side length used by the study.
+pub const HEATMAP_BINS: usize = 12;
+
+/// Runs the Fig 3b study: three users viewing the same scene for
+/// `seconds` at 30 Hz.
+///
+/// # Panics
+///
+/// Panics if `seconds` is not positive.
+pub fn gaze_study(seed: u64, seconds: f64) -> Vec<GazeStudy> {
+    assert!(seconds > 0.0, "study duration must be positive");
+    let samples = (seconds * 30.0).ceil() as usize;
+    UserProfile::study_users()
+        .into_iter()
+        .enumerate()
+        .map(|(i, profile)| {
+            let mut model = GazeModel::new(profile, 30.0, seed.wrapping_add(i as u64));
+            let trace = GazeTrace::record(&mut model, samples);
+            let heatmap = trace.heatmap(HEATMAP_BINS, deg(25.0));
+            let locality = trace.temporal_locality(30, deg(5.0));
+            GazeStudy { user: i + 1, trace, heatmap, locality }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaze::heatmap_overlap;
+
+    #[test]
+    fn dataset_study_covers_all_categories() {
+        let rows = dataset_study(3, 400);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(row.measured.objects_per_frame > 0.0);
+            // Bike should be the farthest/biggest; verify ordering vs cup.
+        }
+        let bike = rows.iter().find(|r| r.category == VideoCategory::Bike).unwrap();
+        let cup = rows.iter().find(|r| r.category == VideoCategory::Cup).unwrap();
+        assert!(bike.measured.mean_distance > cup.measured.mean_distance);
+        assert!(bike.measured.mean_size > cup.measured.mean_size);
+    }
+
+    #[test]
+    fn gaze_study_reproduces_fig3b_structure() {
+        let studies = gaze_study(5, 10.0);
+        assert_eq!(studies.len(), 3);
+        for s in &studies {
+            assert_eq!(s.trace.samples.len(), 300);
+            assert!(s.locality > 0.7, "user {} locality {}", s.user, s.locality);
+        }
+        // User1 resembles User3 more than User2.
+        let sim13 = heatmap_overlap(&studies[0].heatmap, &studies[2].heatmap);
+        let sim12 = heatmap_overlap(&studies[0].heatmap, &studies[1].heatmap);
+        assert!(sim13 > sim12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_study_panics() {
+        gaze_study(1, 0.0);
+    }
+}

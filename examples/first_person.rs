@@ -1,0 +1,91 @@
+//! First-person view: what the AR user actually sees, composed from every
+//! object's hologram at its planned budget — baseline versus HoloAR side by
+//! side, with the gaze marker showing where the fovea rests.
+//!
+//! Run with: `cargo run --release --example first_person`
+
+use holoar::core::{render_view, HoloArConfig, Planner, Scheme};
+use holoar::sensors::angles::{deg, AngularPoint};
+use holoar::sensors::objectron::{Frame, ObjectAnnotation};
+use holoar::sensors::pose::PoseEstimate;
+
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+fn ascii(pixels: &[f64], rows: usize, cols: usize, gaze_px: (usize, usize)) -> Vec<String> {
+    let peak = pixels.iter().cloned().fold(0.0, f64::max).max(f64::MIN_POSITIVE);
+    (0..rows)
+        .map(|r| {
+            (0..cols)
+                .map(|c| {
+                    if (r, c) == gaze_px {
+                        '+'
+                    } else {
+                        let v = (pixels[r * cols + c] / peak).powf(0.5);
+                        RAMP[((v * (RAMP.len() - 1) as f64).round() as usize)
+                            .min(RAMP.len() - 1)] as char
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn main() {
+    // A desk scene: a near book (attended), a far planet model on a shelf,
+    // and a cup at the edge of view.
+    let objects = vec![
+        ObjectAnnotation {
+            track_id: 1, // Rock-shaped stand-in for the book
+            direction: AngularPoint::new(deg(-6.0), deg(-3.0)),
+            distance: 0.5,
+            size: 0.28,
+        },
+        ObjectAnnotation {
+            track_id: 3, // Planet
+            direction: AngularPoint::new(deg(10.0), deg(6.0)),
+            distance: 1.8,
+            size: 0.30,
+        },
+        ObjectAnnotation {
+            track_id: 5, // Dice-shaped cup stand-in
+            direction: AngularPoint::new(deg(17.0), deg(-8.0)),
+            distance: 0.9,
+            size: 0.16,
+        },
+    ];
+    let frame = Frame { index: 0, objects };
+    let pose = PoseEstimate { orientation: AngularPoint::CENTER, latency: 0.01375 };
+    let gaze = AngularPoint::new(deg(-6.0), deg(-3.0)); // on the book
+    let window = pose.viewing_window();
+    let (rows, cols) = (26, 52);
+    // Gaze marker position in viewport pixels.
+    let gaze_px = (
+        (((-(gaze.elevation) + window.height / 2.0) / window.height) * rows as f64) as usize,
+        (((gaze.azimuth + window.width / 2.0) / window.width) * cols as f64) as usize,
+    );
+
+    let mut panels = Vec::new();
+    let mut captions = Vec::new();
+    for scheme in [Scheme::Baseline, Scheme::InterIntraHolo] {
+        let mut planner = Planner::new(HoloArConfig::for_scheme(scheme)).unwrap();
+        let plan = planner.plan_frame(&frame, &pose, gaze, 0.0044);
+        let view = render_view(&plan.items, &window, rows, cols);
+        panels.push(ascii(&view.pixels, rows, cols, gaze_px));
+        let budgets: Vec<String> = plan.items.iter().map(|i| i.planes.to_string()).collect();
+        captions.push(format!(
+            "{}: {} planes total (per object: {})",
+            scheme.name(),
+            plan.total_planes(),
+            budgets.join("/")
+        ));
+    }
+
+    println!("{:<width$}   {}", captions[0], captions[1], width = cols);
+    println!("{:-<width$}   {:-<width$}", "", "", width = cols);
+    for (l, r) in panels[0].iter().zip(&panels[1]) {
+        println!("{l}   {r}");
+    }
+    println!("\n'+' marks the gaze. Under HoloAR the attended book keeps its budget while");
+    println!("the far planet and peripheral cup drop to a few planes — the right panel");
+    println!("costs a fraction of the left one to compute.");
+}

@@ -1,0 +1,88 @@
+//! End-to-end tests of the `holoar` command-line tool, driving the real
+//! binary the way a user would.
+
+use std::process::Command;
+
+fn holoar(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_holoar"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (ok, stdout, _) = holoar(&["--help"]);
+    assert!(ok);
+    for word in ["simulate", "trace", "profile", "schemes"] {
+        assert!(stdout.contains(word), "help missing '{word}':\n{stdout}");
+    }
+}
+
+#[test]
+fn simulate_reports_the_key_metrics() {
+    let (ok, stdout, _) =
+        holoar(&["simulate", "--video", "cup", "--scheme", "inter-intra", "--frames", "15"]);
+    assert!(ok, "{stdout}");
+    for word in ["latency", "power", "energy", "planes", "battery", "vs baseline"] {
+        assert!(stdout.contains(word), "simulate missing '{word}':\n{stdout}");
+    }
+}
+
+#[test]
+fn trace_record_info_replay_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("holoar_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.trace");
+    let path_str = path.to_str().unwrap();
+
+    let (ok, stdout, stderr) = holoar(&[
+        "trace", "record", "--video", "book", "--frames", "12", "--seed", "3", "--out", path_str,
+    ]);
+    assert!(ok, "record failed: {stderr}");
+    assert!(stdout.contains("recorded 12 frames"));
+
+    let (ok, stdout, _) = holoar(&["trace", "info", path_str]);
+    assert!(ok);
+    assert!(stdout.contains("12 frames"));
+
+    let (ok, stdout, _) = holoar(&["trace", "replay", path_str, "--scheme", "intra"]);
+    assert!(ok);
+    assert!(stdout.contains("replayed 12 frames"));
+    assert!(stdout.contains("ms/frame"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_prints_nvprof_style_report() {
+    let (ok, stdout, _) = holoar(&["profile", "--planes", "4"]);
+    assert!(ok);
+    assert!(stdout.contains("sm_utilization"));
+    assert!(stdout.contains("hp2dp_forward"));
+    assert!(stdout.contains("4 planes"));
+}
+
+#[test]
+fn bad_inputs_fail_with_useful_errors() {
+    let (ok, _, stderr) = holoar(&["simulate", "--video", "spaceship"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown video"));
+
+    let (ok, _, stderr) = holoar(&["simulate", "--scheme", "magic"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown scheme"));
+
+    let (ok, _, stderr) = holoar(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (ok, _, stderr) = holoar(&["trace", "info", "/nonexistent/file.trace"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"));
+}

@@ -1,0 +1,88 @@
+//! Quality-path integration: the approximation schemes must not push
+//! reconstruction quality below what AR applications tolerate (§5.4), and
+//! quality must respond to the knobs in the expected direction.
+
+use holoar::core::{quality, HoloArConfig, Scheme};
+use holoar::sensors::angles::AngularPoint;
+use holoar::sensors::objectron::{ObjectAnnotation, VideoCategory};
+
+fn object(track_id: u64, distance: f64, size: f64) -> ObjectAnnotation {
+    ObjectAnnotation { track_id, direction: AngularPoint::CENTER, distance, size }
+}
+
+#[test]
+fn inter_intra_keeps_acceptable_average_quality() {
+    // Fig 10a: the paper reports ~30.7 dB average under Inter-Intra-Holo.
+    let config = HoloArConfig::for_scheme(Scheme::InterIntraHolo);
+    let mut sum = 0.0;
+    let mut count = 0;
+    for &v in &VideoCategory::ALL {
+        if let Some(p) = quality::video_quality(v, config, 3, 42).mean_psnr_capped() {
+            sum += p;
+            count += 1;
+        }
+    }
+    let mean = sum / count as f64;
+    assert!(
+        (26.0..40.0).contains(&mean),
+        "fleet mean PSNR {mean:.1} dB should be near the paper's 30.7 dB"
+    );
+}
+
+#[test]
+fn psnr_ladder_is_monotone_for_every_virtual_object() {
+    let config = HoloArConfig::default();
+    for track_id in 0..6u64 {
+        let obj = object(track_id, 0.6, 0.25);
+        let p12 = quality::object_psnr(&obj, 12, &config);
+        let p6 = quality::object_psnr(&obj, 6, &config);
+        let p2 = quality::object_psnr(&obj, 2, &config);
+        // Allow a small tolerance: quantization ties can leave neighbouring
+        // budgets within fractions of a dB of each other.
+        assert!(
+            p12 >= p6 - 0.5 && p6 >= p2 - 0.5,
+            "object {track_id}: PSNR ladder not monotone ({p12:.1} / {p6:.1} / {p2:.1})"
+        );
+        assert!(p12 > p2, "object {track_id}: extremes must differ ({p12:.1} vs {p2:.1})");
+        assert!(p2 > 10.0, "object {track_id}: even 2 planes should stay above 10 dB, got {p2:.1}");
+    }
+}
+
+#[test]
+fn farther_objects_tolerate_approximation_better() {
+    // The Intra-Holo premise: the same plane cut hurts a near, deep object
+    // more than a far, shallow one.
+    let config = HoloArConfig::default();
+    let near_deep = object(3, 0.45, 0.40);
+    let far_shallow = object(3, 2.0, 0.15);
+    let near_psnr = quality::object_psnr(&near_deep, 4, &config);
+    let far_psnr = quality::object_psnr(&far_shallow, 4, &config);
+    assert!(
+        far_psnr > near_psnr,
+        "far/shallow ({far_psnr:.1} dB) should beat near/deep ({near_psnr:.1} dB) at 4 planes"
+    );
+}
+
+#[test]
+fn baseline_and_inter_in_rof_are_lossless() {
+    // Baseline never approximates; Inter-Holo never approximates attended
+    // objects. Both must report infinite PSNR for the full budget.
+    let config = HoloArConfig::default();
+    let obj = object(1, 0.5, 0.2);
+    assert!(quality::object_psnr(&obj, config.full_planes, &config).is_infinite());
+}
+
+#[test]
+fn design_points_trade_planes_for_quality_monotonically() {
+    let points = quality::design_sweep(&quality::DesignPoint::fig10b_points(), 2, 7);
+    // Plane budgets must be non-increasing along the aggressiveness axis.
+    for pair in points.windows(2) {
+        assert!(
+            pair[1].mean_planes <= pair[0].mean_planes + 0.3,
+            "planes should shrink along the sweep: {:?}",
+            points.iter().map(|p| p.mean_planes).collect::<Vec<_>>()
+        );
+    }
+    // The extremes must actually differ (the knob does something).
+    assert!(points[0].mean_planes > points.last().unwrap().mean_planes + 0.5);
+}
