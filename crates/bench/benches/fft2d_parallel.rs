@@ -1,0 +1,40 @@
+//! Serial vs parallel 2-D FFT at hologram-scale grids (the tentpole of the
+//! parallel execution engine). The parallel transform is bit-identical to
+//! the serial one; this bench measures what that determinism costs and what
+//! the fan-out buys at 256×256 and 512×512.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use holoar_fft::{Complex64, Fft2d, Parallelism};
+use std::hint::black_box;
+
+fn bench_fft2d_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2d_parallel");
+    group.sample_size(10);
+    let pool = Parallelism::auto();
+    for n in [256usize, 512] {
+        let data: Vec<Complex64> = (0..n * n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+            .collect();
+        let serial = Fft2d::new(n, n);
+        let parallel = Fft2d::with_parallelism(n, n, pool.clone());
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                serial.forward(black_box(&mut buf));
+                buf
+            })
+        });
+        let label = format!("parallel_x{}", pool.workers());
+        group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                parallel.forward(black_box(&mut buf));
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft2d_parallel);
+criterion_main!(benches);

@@ -10,12 +10,18 @@ fn main() {
     let mut cfg = ExperimentConfig::default();
     let mut ids: Vec<String> = Vec::new();
     let mut csv_path: Option<String> = None;
+    let mut bench_json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--csv" => {
                 csv_path =
                     Some(args.next().unwrap_or_else(|| die("--csv requires a file path")));
+            }
+            "--bench-json" => {
+                bench_json_path = Some(
+                    args.next().unwrap_or_else(|| die("--bench-json requires a file path")),
+                );
             }
             "--frames" => {
                 cfg.frames = args
@@ -31,9 +37,11 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [<experiment>...] [--frames N] [--seed S] [--csv FILE]\n\
+                    "usage: repro [<experiment>...] [--frames N] [--seed S] [--csv FILE] \
+                     [--bench-json FILE]\n\
                      experiments: {} all\n\
-                     --csv writes the Fig 7/8 evaluation matrix as CSV to FILE",
+                     --csv writes the Fig 7/8 evaluation matrix as CSV to FILE\n\
+                     --bench-json writes the parallel-engine timing cells as JSON to FILE",
                     experiments::ALL_EXPERIMENTS.join(" ")
                 );
                 return;
@@ -49,6 +57,13 @@ fn main() {
             Ok(report) => println!("{report}"),
             Err(e) => die(&e),
         }
+    }
+    if let Some(path) = bench_json_path {
+        let json = experiments::parallel_bench_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote parallel bench cells to {path}");
     }
     if let Some(path) = csv_path {
         let matrix = holoar_core::evaluation::evaluate_matrix(

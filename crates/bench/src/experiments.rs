@@ -644,10 +644,145 @@ pub fn streams(_cfg: &ExperimentConfig) -> String {
     )
 }
 
+/// One serial-vs-parallel timing cell of the [`parallel`] experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelCell {
+    /// What was measured (workload and size).
+    pub label: String,
+    /// Best-of-three serial wall time, milliseconds.
+    pub serial_ms: f64,
+    /// Best-of-three pooled wall time, milliseconds.
+    pub parallel_ms: f64,
+    /// Whether the pooled output matched the serial output bit-for-bit.
+    pub bit_identical: bool,
+}
+
+impl ParallelCell {
+    /// Serial time over parallel time.
+    pub fn speedup(&self) -> f64 {
+        self.serial_ms / self.parallel_ms.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Best-of-three wall time of `f`, in milliseconds.
+fn best_of_three_ms<F: FnMut()>(mut f: F) -> f64 {
+    (0..3)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measures the parallel execution engine: serial vs pooled 2-D FFT and GSW
+/// synthesis, verifying bit-identity on every cell. Returns the pool's
+/// worker count alongside the cells.
+pub fn parallel_measurements() -> (usize, Vec<ParallelCell>) {
+    use holoar_fft::{Complex64, Fft2d, Parallelism};
+    use holoar_optics::gsw;
+    let pool = Parallelism::auto();
+    let mut cells = Vec::new();
+
+    for n in [128usize, 256] {
+        let data: Vec<Complex64> = (0..n * n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.91).cos()))
+            .collect();
+        let serial_fft = Fft2d::new(n, n);
+        let pooled_fft = Fft2d::with_parallelism(n, n, pool.clone());
+        let mut serial_out = data.clone();
+        serial_fft.forward(&mut serial_out);
+        let mut pooled_out = data.clone();
+        pooled_fft.forward(&mut pooled_out);
+        let serial_ms = best_of_three_ms(|| {
+            let mut buf = data.clone();
+            serial_fft.forward(&mut buf);
+        });
+        let parallel_ms = best_of_three_ms(|| {
+            let mut buf = data.clone();
+            pooled_fft.forward(&mut buf);
+        });
+        cells.push(ParallelCell {
+            label: format!("fft2d {n}x{n}"),
+            serial_ms,
+            parallel_ms,
+            bit_identical: serial_out == pooled_out,
+        });
+    }
+
+    let optics = OpticalConfig::default();
+    let gsw_cfg = holoar_optics::GswConfig { iterations: 2, adaptivity: 1.0 };
+    let stack = VirtualObject::Dice.render(48, 48, 0.006, 0.002).slice(8, optics);
+    let serial_result = gsw::run(&stack, optics, gsw_cfg);
+    let pooled_result = gsw::run_with(&stack, optics, gsw_cfg, &pool);
+    let serial_ms = best_of_three_ms(|| {
+        gsw::run(&stack, optics, gsw_cfg);
+    });
+    let parallel_ms = best_of_three_ms(|| {
+        gsw::run_with(&stack, optics, gsw_cfg, &pool);
+    });
+    cells.push(ParallelCell {
+        label: "gsw 48x48 8 planes".to_string(),
+        serial_ms,
+        parallel_ms,
+        bit_identical: serial_result.hologram.samples() == pooled_result.hologram.samples(),
+    });
+
+    (pool.workers(), cells)
+}
+
+/// Tentpole self-check: the parallel FFT/propagation engine against its
+/// serial twin — wall time plus the determinism guarantee, on this machine's
+/// pool (`HOLOAR_THREADS` overrides the sizing).
+pub fn parallel(_cfg: &ExperimentConfig) -> String {
+    let (workers, cells) = parallel_measurements();
+    let mut t = Table::new(["Workload", "Serial (ms)", "Parallel (ms)", "Speedup", "Identical?"]);
+    for cell in &cells {
+        t.row([
+            cell.label.clone(),
+            format!("{:.3}", cell.serial_ms),
+            format!("{:.3}", cell.parallel_ms),
+            format!("{:.2}x", cell.speedup()),
+            if cell.bit_identical { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    format!(
+        "== supplementary: parallel execution engine ({workers} workers) ==\n{}\
+         outputs are bit-identical by construction (chunked row/column/plane fan-out, \
+         serial reductions); speedups track the worker count on multi-core hosts\n",
+        t.render()
+    )
+}
+
+/// The [`parallel`] experiment's measurements as a JSON artifact
+/// (`BENCH_parallel.json`), hand-serialized to keep the workspace
+/// dependency-free.
+pub fn parallel_bench_json() -> String {
+    let (workers, cells) = parallel_measurements();
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"parallel\",\n");
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"serial_ms\": {:.4}, \"parallel_ms\": {:.4}, \
+             \"speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
+            cell.label,
+            cell.serial_ms,
+            cell.parallel_ms,
+            cell.speedup(),
+            cell.bit_identical,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Names of all experiments, in run order.
-pub const ALL_EXPERIMENTS: [&str; 17] = [
+pub const ALL_EXPERIMENTS: [&str; 18] = [
     "table1", "fig2", "fig3", "fig4", "fig5", "sec3", "table2", "fig7", "fig8", "fig9", "fig10",
-    "horn8", "hybrid", "gating", "reuse", "fusion", "streams",
+    "horn8", "hybrid", "gating", "reuse", "fusion", "streams", "parallel",
 ];
 
 /// Runs one experiment by id.
@@ -674,6 +809,7 @@ pub fn run(id: &str, cfg: &ExperimentConfig) -> Result<String, String> {
         "reuse" => Ok(reuse(cfg)),
         "fusion" => Ok(fusion(cfg)),
         "streams" => Ok(streams(cfg)),
+        "parallel" => Ok(parallel(cfg)),
         "psnr" => Ok(psnr_ladder(cfg)),
         other => Err(format!(
             "unknown experiment '{other}'; valid: {} (or 'all')",
@@ -698,6 +834,15 @@ mod tests {
             assert!(!report.is_empty(), "{id} produced no report");
             assert!(report.contains("=="), "{id} report lacks a header");
         }
+    }
+
+    #[test]
+    fn parallel_bench_json_is_well_formed_and_identical() {
+        let json = parallel_bench_json();
+        assert!(json.contains("\"bench\": \"parallel\""));
+        assert!(json.contains("\"workers\""));
+        assert!(json.contains("\"bit_identical\": true"));
+        assert!(!json.contains("\"bit_identical\": false"));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::config::HoloArConfig;
 use crate::planner::Planner;
+use holoar_fft::Parallelism;
 use holoar_metrics::{psnr, Image};
 use holoar_optics::{reconstruct, OpticalConfig, Propagator, VirtualObject};
 use std::collections::HashMap;
@@ -91,6 +92,21 @@ pub fn virtual_object_for(track_id: u64) -> VirtualObject {
 ///
 /// Panics if `planes == 0`.
 pub fn object_psnr(obj: &ObjectAnnotation, planes: u32, config: &HoloArConfig) -> f64 {
+    object_psnr_with(obj, planes, config, &Parallelism::serial())
+}
+
+/// [`object_psnr`] with reconstruction propagations fanned out over `par`.
+/// Bit-identical to the serial path for every worker count.
+///
+/// # Panics
+///
+/// Panics if `planes == 0`.
+pub fn object_psnr_with(
+    obj: &ObjectAnnotation,
+    planes: u32,
+    config: &HoloArConfig,
+    par: &Parallelism,
+) -> f64 {
     assert!(planes > 0, "cannot evaluate a skipped object");
     if planes >= config.full_planes {
         return f64::INFINITY;
@@ -110,7 +126,7 @@ pub fn object_psnr(obj: &ObjectAnnotation, planes: u32, config: &HoloArConfig) -
     // pixel is read from the reconstruction focused at its true depth.
     let base_stack = depthmap.slice(config.full_planes as usize, optics);
     let approx_stack = depthmap.slice(planes as usize, optics);
-    let mut prop = Propagator::new();
+    let mut prop = Propagator::with_parallelism(par.clone());
     let img_base = all_in_focus(&base_stack, &depthmap, z_center, &mut prop);
     let img_approx = all_in_focus(&approx_stack, &depthmap, z_center, &mut prop);
 
@@ -183,6 +199,21 @@ pub fn frame_psnr(items: &[crate::planner::PlanItem], config: &HoloArConfig) -> 
 ///
 /// Panics if `planes == 0`.
 pub fn object_psnr_coherent(obj: &ObjectAnnotation, planes: u32, config: &HoloArConfig) -> f64 {
+    object_psnr_coherent_with(obj, planes, config, &Parallelism::serial())
+}
+
+/// [`object_psnr_coherent`] with hologram synthesis and reconstruction
+/// fanned out over `par`. Bit-identical to the serial path.
+///
+/// # Panics
+///
+/// Panics if `planes == 0`.
+pub fn object_psnr_coherent_with(
+    obj: &ObjectAnnotation,
+    planes: u32,
+    config: &HoloArConfig,
+    par: &Parallelism,
+) -> f64 {
     assert!(planes > 0, "cannot evaluate a skipped object");
     if planes >= config.full_planes {
         return f64::INFINITY;
@@ -193,10 +224,15 @@ pub fn object_psnr_coherent(obj: &ObjectAnnotation, planes: u32, config: &HoloAr
     let depth_extent = quantize_mm((obj.size * OPTICAL_SCALE).min(z_center * 0.8));
     let depthmap = virtual_object_for(obj.track_id).render(n, n, z_center, depth_extent);
 
-    let baseline =
-        holoar_optics::algorithm1::depthmap_hologram(&depthmap, config.full_planes as usize, optics);
-    let approx = holoar_optics::algorithm1::depthmap_hologram(&depthmap, planes as usize, optics);
-    let mut prop = Propagator::new();
+    let baseline = holoar_optics::algorithm1::depthmap_hologram_with(
+        &depthmap,
+        config.full_planes as usize,
+        optics,
+        par,
+    );
+    let approx =
+        holoar_optics::algorithm1::depthmap_hologram_with(&depthmap, planes as usize, optics, par);
+    let mut prop = Propagator::with_parallelism(par.clone());
     let img_base = reconstruct::reconstruct_intensity(&baseline.hologram, z_center, &mut prop);
     let img_approx = reconstruct::reconstruct_intensity(&approx.hologram, z_center, &mut prop);
     psnr_between(&img_base, &img_approx, n)
@@ -214,6 +250,21 @@ pub fn object_psnr_coherent(obj: &ObjectAnnotation, planes: u32, config: &HoloAr
 ///
 /// Panics if `planes == 0`.
 pub fn object_psnr_gsw(obj: &ObjectAnnotation, planes: u32, config: &HoloArConfig) -> f64 {
+    object_psnr_gsw_with(obj, planes, config, &Parallelism::serial())
+}
+
+/// [`object_psnr_gsw`] with the GSW plane sweeps fanned out over `par`.
+/// Bit-identical to the serial path.
+///
+/// # Panics
+///
+/// Panics if `planes == 0`.
+pub fn object_psnr_gsw_with(
+    obj: &ObjectAnnotation,
+    planes: u32,
+    config: &HoloArConfig,
+    par: &Parallelism,
+) -> f64 {
     assert!(planes > 0, "cannot evaluate a skipped object");
     if planes >= config.full_planes {
         return f64::INFINITY;
@@ -225,14 +276,19 @@ pub fn object_psnr_gsw(obj: &ObjectAnnotation, planes: u32, config: &HoloArConfi
     let depthmap = virtual_object_for(obj.track_id).render(n, n, z_center, depth_extent);
 
     let gsw_cfg = holoar_optics::GswConfig::default();
-    let full = holoar_optics::gsw::run(
+    let full = holoar_optics::gsw::run_with(
         &depthmap.slice(config.full_planes as usize, optics),
         optics,
         gsw_cfg,
+        par,
     );
-    let approx =
-        holoar_optics::gsw::run(&depthmap.slice(planes as usize, optics), optics, gsw_cfg);
-    let mut prop = Propagator::new();
+    let approx = holoar_optics::gsw::run_with(
+        &depthmap.slice(planes as usize, optics),
+        optics,
+        gsw_cfg,
+        par,
+    );
+    let mut prop = Propagator::with_parallelism(par.clone());
     let img_base = reconstruct::reconstruct_intensity(&full.hologram, z_center, &mut prop);
     let img_approx = reconstruct::reconstruct_intensity(&approx.hologram, z_center, &mut prop);
     psnr_between(&img_base, &img_approx, n)
@@ -329,6 +385,23 @@ pub fn video_quality(
     frames: u64,
     seed: u64,
 ) -> VideoQuality {
+    video_quality_with(category, config, frames, seed, &Parallelism::serial())
+}
+
+/// [`video_quality`] with each object evaluation's plane propagations fanned
+/// out over `par`. The frame walk, planning and PSNR cache stay serial, so
+/// results are bit-identical to the serial path.
+///
+/// # Panics
+///
+/// Panics if `frames == 0`.
+pub fn video_quality_with(
+    category: VideoCategory,
+    config: HoloArConfig,
+    frames: u64,
+    seed: u64,
+    par: &Parallelism,
+) -> VideoQuality {
     assert!(frames > 0, "need at least one frame");
     let mut planner = Planner::new(config).expect("configuration must be valid");
     let mut tracker = EyeTracker::new(seed ^ 0x5EED);
@@ -355,7 +428,7 @@ pub fn video_quality(
             );
             let psnr_db = *cache
                 .entry(key)
-                .or_insert_with(|| object_psnr(&item.object, item.planes, &config));
+                .or_insert_with(|| object_psnr_with(&item.object, item.planes, &config, par));
             objects.push(ObjectQuality { object: item.object, planes: item.planes, psnr_db });
         }
     }
@@ -593,6 +666,22 @@ mod tests {
         let p = object_psnr_gsw(&o, 8, &cfg);
         assert!(p.is_finite() && p > 5.0, "GSW PSNR {p:.1}");
         assert!(object_psnr_gsw(&o, 16, &cfg).is_infinite());
+    }
+
+    #[test]
+    fn parallel_quality_is_bit_identical_to_serial() {
+        let cfg = HoloArConfig::default();
+        let o = obj(3, 0.6, 0.25);
+        let serial = object_psnr(&o, 8, &cfg);
+        for workers in [2usize, 7] {
+            let par = Parallelism::new(workers);
+            assert_eq!(object_psnr_with(&o, 8, &cfg, &par).to_bits(), serial.to_bits());
+        }
+        let par = Parallelism::new(3);
+        assert_eq!(
+            object_psnr_gsw_with(&o, 8, &cfg, &par).to_bits(),
+            object_psnr_gsw(&o, 8, &cfg).to_bits()
+        );
     }
 
     #[test]

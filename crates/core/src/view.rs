@@ -10,6 +10,7 @@
 
 use crate::planner::PlanItem;
 use crate::quality::{virtual_object_for, OPTICAL_SCALE};
+use holoar_fft::Parallelism;
 use holoar_optics::{reconstruct, OpticalConfig, Propagator};
 use holoar_sensors::angles::AngularRect;
 
@@ -63,24 +64,53 @@ pub fn render_view(
     rows: usize,
     cols: usize,
 ) -> ViewportImage {
+    render_view_with(items, window, rows, cols, &Parallelism::serial())
+}
+
+/// [`render_view`] with per-object reconstruction fanned out over `par` —
+/// whole-frame synthesis parallelizes across objects while the viewport
+/// splat stays serial in plan order, so the image is bit-identical to the
+/// serial path for every worker count.
+///
+/// # Panics
+///
+/// Panics if viewport dimensions are zero.
+pub fn render_view_with(
+    items: &[PlanItem],
+    window: &AngularRect,
+    rows: usize,
+    cols: usize,
+    par: &Parallelism,
+) -> ViewportImage {
     assert!(rows > 0 && cols > 0, "viewport must be non-empty");
     let mut pixels = vec![0.0f64; rows * cols];
     let optics = OpticalConfig::default();
-    let mut prop = Propagator::new();
+    const TILE: usize = 24;
+    // Workers run serial FFTs (the fan-out is across objects) but share one
+    // transfer-function cache through cloned propagators.
+    let prop = Propagator::new();
 
-    for item in items {
+    // Stage 1: reconstruct every displayed object's tile concurrently.
+    let tiles: Vec<Option<Vec<f64>>> = par.map(items, |item| {
         if item.planes == 0 || item.coverage <= 0.0 {
-            continue;
+            return None;
         }
         let obj = &item.object;
-        // Reconstruct the object at its budget (small tile).
-        const TILE: usize = 24;
         let z = (obj.distance * OPTICAL_SCALE).max(0.001);
         let extent = (obj.size * OPTICAL_SCALE).min(z * 0.8);
         let depthmap = virtual_object_for(obj.track_id).render(TILE, TILE, z, extent);
         let stack = depthmap.slice(item.planes as usize, optics);
-        let images = reconstruct::incoherent_focal_stack(&stack, &[z], &mut prop);
-        let tile = &images[0];
+        let mut prop = prop.clone();
+        let mut images = reconstruct::incoherent_focal_stack(&stack, &[z], &mut prop);
+        Some(images.swap_remove(0))
+    });
+
+    // Stage 2: splat serially, in plan order.
+    for (item, tile) in items.iter().zip(&tiles) {
+        let Some(tile) = tile else {
+            continue;
+        };
+        let obj = &item.object;
         let peak = tile.iter().cloned().fold(0.0, f64::max).max(f64::MIN_POSITIVE);
 
         // Angular footprint → pixel footprint.
@@ -219,6 +249,16 @@ mod tests {
         // Both sides of the view carry light.
         assert!(v.luminance_in(0, 0, 32, 24) > 0.0);
         assert!(v.luminance_in(0, 24, 32, 24) > 0.0);
+    }
+
+    #[test]
+    fn parallel_render_is_bit_identical_to_serial() {
+        let items = [item(-8.0, 0.0, 8), item(8.0, 3.0, 4), item(0.0, -5.0, 2)];
+        let serial = render_view(&items, &window(), 32, 48);
+        for workers in [2usize, 7] {
+            let par = render_view_with(&items, &window(), 32, 48, &Parallelism::new(workers));
+            assert_eq!(par, serial, "workers {workers}");
+        }
     }
 
     #[test]

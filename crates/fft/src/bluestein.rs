@@ -8,8 +8,17 @@
 //! The identity used: `nk = (n² + k² − (k−n)²) / 2`, which rewrites the DFT as
 //! a convolution of the chirp-premultiplied input with the conjugate chirp.
 
+use std::cell::RefCell;
+
 use crate::complex::Complex64;
 use crate::radix2::Radix2Plan;
+
+thread_local! {
+    /// Per-thread convolution workspace, recycled across calls so the hot
+    /// propagation loops never allocate per transform. Thread-local (rather
+    /// than plan-local) because plans are shared immutably across workers.
+    static CONV_WORK: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Precomputed state for arbitrary-length transforms of one fixed size.
 #[derive(Debug, Clone)]
@@ -91,18 +100,24 @@ impl BluesteinPlan {
                 *v = v.conj();
             }
         }
-        let mut work = vec![Complex64::ZERO; m];
-        for k in 0..n {
-            work[k] = buf[k] * self.chirp[k];
-        }
-        self.inner.forward(&mut work);
-        for (w, k) in work.iter_mut().zip(&self.kernel_fft) {
-            *w *= *k;
-        }
-        self.inner.inverse(&mut work);
-        for k in 0..n {
-            buf[k] = work[k] * self.chirp[k];
-        }
+        // The inner transform is always radix-2, never another Bluestein
+        // plan, so this thread-local borrow cannot re-enter.
+        CONV_WORK.with(|cell| {
+            let mut work = cell.borrow_mut();
+            work.clear();
+            work.resize(m, Complex64::ZERO);
+            for k in 0..n {
+                work[k] = buf[k] * self.chirp[k];
+            }
+            self.inner.forward(&mut work);
+            for (w, k) in work.iter_mut().zip(&self.kernel_fft) {
+                *w *= *k;
+            }
+            self.inner.inverse(&mut work);
+            for k in 0..n {
+                buf[k] = work[k] * self.chirp[k];
+            }
+        });
         if invert {
             let s = 1.0 / n as f64;
             for v in buf.iter_mut() {

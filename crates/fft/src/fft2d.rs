@@ -1,14 +1,21 @@
 //! Two-dimensional FFT over row-major buffers, plus the `fftshift` helpers
 //! wave-optics code leans on.
 //!
-//! The 2-D transform is separable: FFT every row, then FFT every column. The
-//! column pass gathers each column into a contiguous scratch buffer so the
-//! 1-D kernels stay cache-friendly.
+//! The 2-D transform is separable: FFT every row, then FFT every column.
+//! The column pass transposes through a scratch buffer (borrowed from the
+//! pool's [`ScratchArena`]) so the 1-D kernels always run on contiguous
+//! memory. Both passes fan out over the transform's [`Parallelism`] handle —
+//! rows (and transposed columns) are independent, so the parallel result is
+//! bit-identical to the serial one regardless of worker count.
 
 use crate::complex::Complex64;
+use crate::parallel::Parallelism;
 use crate::plan::{FftPlan, FftPlanner};
 
 /// A planned 2-D FFT for a fixed `(rows, cols)` shape.
+///
+/// [`Fft2d::new`] plans a serial transform; [`Fft2d::with_parallelism`]
+/// attaches a worker pool that the row and column passes fan out over.
 ///
 /// # Examples
 ///
@@ -28,20 +35,30 @@ pub struct Fft2d {
     cols: usize,
     row_plan: FftPlan,
     col_plan: FftPlan,
+    par: Parallelism,
 }
 
 impl Fft2d {
-    /// Plans a transform for a `rows × cols` row-major buffer.
+    /// Plans a serial transform for a `rows × cols` row-major buffer.
     ///
     /// # Panics
     ///
     /// Panics if either dimension is zero.
     pub fn new(rows: usize, cols: usize) -> Self {
+        Self::with_parallelism(rows, cols, Parallelism::serial())
+    }
+
+    /// Plans a transform whose passes fan out over `par`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_parallelism(rows: usize, cols: usize, par: Parallelism) -> Self {
         assert!(rows > 0 && cols > 0, "2-D FFT dimensions must be non-zero");
         let mut planner = FftPlanner::new();
         let row_plan = planner.plan(cols);
         let col_plan = planner.plan(rows);
-        Fft2d { rows, cols, row_plan, col_plan }
+        Fft2d { rows, cols, row_plan, col_plan, par }
     }
 
     /// Number of rows.
@@ -62,6 +79,25 @@ impl Fft2d {
     /// Whether the buffer shape is empty (never true for constructed plans).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The pool this transform fans out over.
+    pub fn parallelism(&self) -> &Parallelism {
+        &self.par
+    }
+
+    /// A copy of this transform that runs serially (shares the cached
+    /// plans). Used by callers that parallelize at a coarser granularity —
+    /// e.g. across depth planes — and must not oversubscribe with a nested
+    /// fan-out.
+    pub fn serial_equivalent(&self) -> Fft2d {
+        Fft2d {
+            rows: self.rows,
+            cols: self.cols,
+            row_plan: self.row_plan.clone(),
+            col_plan: self.col_plan.clone(),
+            par: Parallelism::serial(),
+        }
     }
 
     /// Forward 2-D FFT, in place.
@@ -91,27 +127,55 @@ impl Fft2d {
             self.rows,
             self.cols
         );
-        for row in buf.chunks_exact_mut(self.cols) {
-            if forward {
-                self.row_plan.forward(row);
-            } else {
-                self.row_plan.inverse(row);
+        let (rows, cols) = (self.rows, self.cols);
+
+        // Row pass: rows are independent; each worker transforms a
+        // contiguous block of whole rows.
+        self.par.for_each_chunk(buf, cols, |_, span| {
+            for row in span.chunks_exact_mut(cols) {
+                if forward {
+                    self.row_plan.forward(row);
+                } else {
+                    self.row_plan.inverse(row);
+                }
             }
+        });
+
+        // Column pass: gather each column into the transposed scratch
+        // buffer, transform it contiguously, then scatter back. Both halves
+        // split the work by whole columns (then whole rows), so workers
+        // never share an output element.
+        let mut transposed = self.par.arena().take(rows * cols);
+        {
+            let source: &[Complex64] = buf;
+            self.par.for_each_chunk(&mut transposed, rows, |offset, span| {
+                let first_col = offset / rows;
+                for (i, column) in span.chunks_exact_mut(rows).enumerate() {
+                    let c = first_col + i;
+                    for (r, sample) in column.iter_mut().enumerate() {
+                        *sample = source[r * cols + c];
+                    }
+                    if forward {
+                        self.col_plan.forward(column);
+                    } else {
+                        self.col_plan.inverse(column);
+                    }
+                }
+            });
         }
-        let mut scratch = vec![Complex64::ZERO; self.rows];
-        for c in 0..self.cols {
-            for r in 0..self.rows {
-                scratch[r] = buf[r * self.cols + c];
-            }
-            if forward {
-                self.col_plan.forward(&mut scratch);
-            } else {
-                self.col_plan.inverse(&mut scratch);
-            }
-            for r in 0..self.rows {
-                buf[r * self.cols + c] = scratch[r];
-            }
+        {
+            let transposed: &[Complex64] = &transposed;
+            self.par.for_each_chunk(buf, cols, |offset, span| {
+                let first_row = offset / cols;
+                for (i, row) in span.chunks_exact_mut(cols).enumerate() {
+                    let r = first_row + i;
+                    for (c, sample) in row.iter_mut().enumerate() {
+                        *sample = transposed[c * rows + r];
+                    }
+                }
+            });
         }
+        self.par.arena().give(transposed);
     }
 }
 
@@ -136,18 +200,36 @@ pub fn ifftshift(buf: &mut [Complex64], rows: usize, cols: usize) {
     shift(buf, rows, cols, rows / 2, cols / 2);
 }
 
-/// Rotates rows up by `row_by` and columns left by `col_by`.
+/// Rotates rows up by `row_by` and columns left by `col_by`, entirely in
+/// place. Even dimensions take the half-swap fast path (a quadrant swap);
+/// odd dimensions fall back to slice rotation, which is also allocation-free.
 fn shift(buf: &mut [Complex64], rows: usize, cols: usize, row_by: usize, col_by: usize) {
     assert_eq!(buf.len(), rows * cols, "buffer length does not match shape");
     if rows == 0 || cols == 0 {
         return;
     }
-    for row in buf.chunks_exact_mut(cols) {
-        row.rotate_left(col_by % cols.max(1));
+    let col_by = col_by % cols;
+    if col_by > 0 {
+        if cols.is_multiple_of(2) && col_by == cols / 2 {
+            for row in buf.chunks_exact_mut(cols) {
+                let (left, right) = row.split_at_mut(col_by);
+                left.swap_with_slice(right);
+            }
+        } else {
+            for row in buf.chunks_exact_mut(cols) {
+                row.rotate_left(col_by);
+            }
+        }
     }
-    let mut tmp = buf.to_vec();
-    tmp.rotate_left((row_by % rows) * cols);
-    buf.copy_from_slice(&tmp);
+    let row_by = row_by % rows;
+    if row_by > 0 {
+        if rows.is_multiple_of(2) && row_by == rows / 2 {
+            let (top, bottom) = buf.split_at_mut(row_by * cols);
+            top.swap_with_slice(bottom);
+        } else {
+            buf.rotate_left(row_by * cols);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +300,49 @@ mod tests {
     }
 
     #[test]
+    fn parallel_output_is_bit_identical_to_serial() {
+        for (rows, cols) in [(4usize, 4usize), (8, 6), (5, 7), (16, 16), (12, 20)] {
+            let x = image(rows, cols);
+            let mut serial = x.clone();
+            let serial_fft = Fft2d::new(rows, cols);
+            serial_fft.forward(&mut serial);
+            for workers in [2usize, 3, 7] {
+                let mut parallel = x.clone();
+                let fft = Fft2d::with_parallelism(rows, cols, Parallelism::new(workers));
+                fft.forward(&mut parallel);
+                assert_eq!(serial, parallel, "forward {rows}x{cols} workers={workers}");
+                fft.inverse(&mut parallel);
+                let mut roundtrip = serial.clone();
+                serial_fft.inverse(&mut roundtrip);
+                assert_eq!(roundtrip, parallel, "inverse {rows}x{cols} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn serial_equivalent_matches_parallel_plan() {
+        let fft = Fft2d::with_parallelism(8, 8, Parallelism::new(4));
+        let serial = fft.serial_equivalent();
+        assert!(serial.parallelism().is_serial());
+        let x = image(8, 8);
+        let mut a = x.clone();
+        let mut b = x;
+        fft.forward(&mut a);
+        serial.forward(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_arena_is_reused_across_calls() {
+        let fft = Fft2d::new(8, 8);
+        let mut buf = image(8, 8);
+        fft.forward(&mut buf);
+        assert_eq!(fft.parallelism().arena().pooled(), 1);
+        fft.inverse(&mut buf);
+        assert_eq!(fft.parallelism().arena().pooled(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "does not match shape")]
     fn wrong_buffer_shape_panics() {
         Fft2d::new(4, 4).forward(&mut vec![Complex64::ZERO; 15]);
@@ -240,6 +365,22 @@ mod tests {
             fftshift(&mut buf, rows, cols);
             ifftshift(&mut buf, rows, cols);
             assert_eq!(buf, x, "shape {rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn even_fast_path_matches_rotation_semantics() {
+        // The quadrant-swap fast path must agree with plain rotation.
+        for (rows, cols) in [(4usize, 4usize), (6, 8), (2, 10)] {
+            let x = image(rows, cols);
+            let mut fast = x.clone();
+            fftshift(&mut fast, rows, cols);
+            let mut reference = x.clone();
+            for row in reference.chunks_exact_mut(cols) {
+                row.rotate_left(cols / 2);
+            }
+            reference.rotate_left((rows / 2) * cols);
+            assert_eq!(fast, reference, "shape {rows}x{cols}");
         }
     }
 }

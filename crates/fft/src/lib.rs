@@ -32,11 +32,13 @@ pub mod bluestein;
 pub mod complex;
 pub mod dft;
 pub mod fft2d;
+pub mod parallel;
 pub mod plan;
 pub mod radix2;
 
 pub use bluestein::BluesteinPlan;
 pub use complex::Complex64;
 pub use fft2d::{fftshift, ifftshift, Fft2d};
+pub use parallel::{Parallelism, ScratchArena};
 pub use plan::{fft_forward, fft_inverse, FftPlan, FftPlanner};
 pub use radix2::Radix2Plan;

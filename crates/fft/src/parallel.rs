@@ -1,0 +1,342 @@
+//! Pure-std worker-pool abstraction and the shared scratch arena.
+//!
+//! [`Parallelism`] is the handle the whole workspace threads through its hot
+//! paths: the 2-D FFT passes, batched depth-plane propagation and
+//! whole-frame hologram synthesis all fan work out over it with
+//! [`std::thread::scope`]. The design constraints, in order:
+//!
+//! 1. **Determinism** — results must be *bit-identical* to the serial path.
+//!    Work is split into contiguous chunks whose boundaries depend only on
+//!    the input size and worker count, every chunk runs exactly the code the
+//!    serial loop would, and no floating-point reduction ever crosses a
+//!    chunk boundary. Callers keep their accumulations serial.
+//! 2. **No steady-state allocation** — workers borrow scratch buffers from
+//!    a [`ScratchArena`] that recycles them across calls.
+//! 3. **No new dependencies** — scoped threads only; threads live for one
+//!    fan-out, which keeps the implementation trivially correct (no queue,
+//!    no shutdown protocol) at the cost of ~10 µs spawn overhead per chunk,
+//!    negligible against the millisecond-scale FFT work it amortizes.
+//!
+//! Sizing: [`Parallelism::auto`] reads the `HOLOAR_THREADS` environment
+//! variable once per process, falling back to
+//! [`std::thread::available_parallelism`]. `HOLOAR_THREADS=1` (or
+//! [`Parallelism::serial`]) degenerates every fan-out to an inline loop on
+//! the calling thread.
+
+use std::num::NonZeroUsize;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::complex::Complex64;
+
+/// Environment variable overriding the worker count for [`Parallelism::auto`].
+pub const THREADS_ENV_VAR: &str = "HOLOAR_THREADS";
+
+/// Upper bound on buffers the arena retains, to bound memory between bursts.
+const ARENA_POOL_CAP: usize = 64;
+
+/// A recycling pool of `Vec<Complex64>` scratch buffers.
+///
+/// Workers [`take`](ScratchArena::take) a zeroed buffer of the length they
+/// need and [`give`](ScratchArena::give) it back when done; the allocation
+/// survives for the next caller. The arena is shared (behind an `Arc`) by
+/// every clone of the owning [`Parallelism`], so one pool serves all FFT
+/// instances driven by the same handle.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    pool: Mutex<Vec<Vec<Complex64>>>,
+}
+
+impl ScratchArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a buffer of exactly `len` zeros, reusing a pooled
+    /// allocation when one is available.
+    pub fn take(&self, len: usize) -> Vec<Complex64> {
+        let mut buf = self.pool.lock().expect("arena lock").pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, Complex64::ZERO);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn give(&self, buf: Vec<Complex64>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.pool.lock().expect("arena lock");
+        if pool.len() < ARENA_POOL_CAP {
+            pool.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled (diagnostic).
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().expect("arena lock").len()
+    }
+}
+
+/// A worker-pool handle: how many threads to fan out over, plus the shared
+/// [`ScratchArena`].
+///
+/// Cloning is cheap and clones share the arena. The handle is `Send + Sync`
+/// and carries no live threads — workers are scoped to each call.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_fft::Parallelism;
+///
+/// let par = Parallelism::new(4);
+/// let squares = par.map(&[1u64, 2, 3, 4, 5], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+/// assert!(Parallelism::serial().is_serial());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Parallelism {
+    workers: usize,
+    arena: Arc<ScratchArena>,
+}
+
+impl Default for Parallelism {
+    /// Defaults to [`Parallelism::serial`] — parallel execution is opt-in.
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+impl Parallelism {
+    /// A single-worker handle: every fan-out runs inline on the caller.
+    pub fn serial() -> Self {
+        Parallelism { workers: 1, arena: Arc::new(ScratchArena::new()) }
+    }
+
+    /// A handle with an explicit worker count (the programmatic override).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "worker count must be at least 1");
+        Parallelism { workers, arena: Arc::new(ScratchArena::new()) }
+    }
+
+    /// Builds a handle from the environment: `HOLOAR_THREADS` when set to a
+    /// positive integer, otherwise [`std::thread::available_parallelism`].
+    ///
+    /// Unlike [`Parallelism::auto`] this re-reads the environment on every
+    /// call and returns a fresh arena.
+    pub fn from_env() -> Self {
+        Parallelism::new(worker_count_from_env())
+    }
+
+    /// The process-wide default handle: sized once from the environment
+    /// (see [`Parallelism::from_env`]) and sharing one global arena.
+    pub fn auto() -> Self {
+        static GLOBAL: OnceLock<Parallelism> = OnceLock::new();
+        GLOBAL.get_or_init(Parallelism::from_env).clone()
+    }
+
+    /// Number of workers fan-outs may use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether every fan-out runs inline on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.workers == 1
+    }
+
+    /// The scratch arena shared by all clones of this handle.
+    pub fn arena(&self) -> &ScratchArena {
+        &self.arena
+    }
+
+    /// Splits `data` into at most [`workers`](Self::workers) contiguous
+    /// spans — each a whole multiple of `unit` elements — and runs `f` on
+    /// every span, passing the span's element offset within `data`.
+    ///
+    /// With one worker (or one unit) this is an inline call; chunk
+    /// boundaries depend only on `data.len()`, `unit` and the worker count,
+    /// never on timing, so any per-unit computation is scheduled
+    /// deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit == 0` or `data.len()` is not a multiple of `unit`.
+    pub fn for_each_chunk<T, F>(&self, data: &mut [T], unit: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(unit > 0, "chunk unit must be non-zero");
+        assert_eq!(data.len() % unit, 0, "data length must be a multiple of the unit");
+        let units = data.len() / unit;
+        let pieces = self.workers.min(units);
+        if pieces <= 1 {
+            f(0, data);
+            return;
+        }
+        let per_piece = units.div_ceil(pieces) * unit;
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            let mut offset = 0;
+            while !rest.is_empty() {
+                let take = per_piece.min(rest.len());
+                let (span, tail) = rest.split_at_mut(take);
+                let f = &f;
+                scope.spawn(move || f(offset, span));
+                offset += take;
+                rest = tail;
+            }
+        });
+    }
+
+    /// Maps `f` over `items` on the worker pool, returning results in input
+    /// order. Each item is processed exactly as an inline `iter().map()`
+    /// would process it; only the interleaving across items changes.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.workers <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let mut out: Vec<Option<R>> = Vec::new();
+        out.resize_with(items.len(), || None);
+        let per_piece = items.len().div_ceil(self.workers.min(items.len()));
+        std::thread::scope(|scope| {
+            for (item_chunk, out_chunk) in items.chunks(per_piece).zip(out.chunks_mut(per_piece)) {
+                let f = &f;
+                scope.spawn(move || {
+                    for (item, slot) in item_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|slot| slot.expect("every slot is filled by a worker")).collect()
+    }
+}
+
+/// Resolves the worker count: `HOLOAR_THREADS` if set to a positive
+/// integer, else the machine's available parallelism, else 1.
+fn worker_count_from_env() -> usize {
+    if let Ok(value) = std::env::var(THREADS_ENV_VAR) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_default_are_one_worker() {
+        assert_eq!(Parallelism::serial().workers(), 1);
+        assert!(Parallelism::default().is_serial());
+        assert!(!Parallelism::new(3).is_serial());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_workers_panics() {
+        Parallelism::new(0);
+    }
+
+    #[test]
+    fn clones_share_the_arena() {
+        let par = Parallelism::new(2);
+        let clone = par.clone();
+        clone.arena().give(vec![Complex64::ZERO; 8]);
+        assert_eq!(par.arena().pooled(), 1);
+    }
+
+    #[test]
+    fn arena_recycles_capacity() {
+        let arena = ScratchArena::new();
+        let buf = arena.take(32);
+        assert!(buf.iter().all(|z| *z == Complex64::ZERO));
+        let ptr = buf.as_ptr();
+        arena.give(buf);
+        let again = arena.take(16);
+        assert_eq!(again.len(), 16);
+        assert_eq!(again.as_ptr(), ptr, "allocation should be reused");
+        arena.give(again);
+    }
+
+    #[test]
+    fn for_each_chunk_covers_every_unit_once() {
+        for workers in [1usize, 2, 3, 7] {
+            let par = Parallelism::new(workers);
+            let mut data = vec![0u32; 6 * 5];
+            par.for_each_chunk(&mut data, 5, |offset, span| {
+                assert_eq!(offset % 5, 0);
+                assert_eq!(span.len() % 5, 0);
+                for v in span.iter_mut() {
+                    *v += 1;
+                }
+            });
+            assert!(data.iter().all(|&v| v == 1), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_offsets_address_the_parent_buffer() {
+        let par = Parallelism::new(4);
+        let mut data: Vec<u32> = vec![0; 24];
+        par.for_each_chunk(&mut data, 2, |offset, span| {
+            for (i, v) in span.iter_mut().enumerate() {
+                *v = (offset + i) as u32;
+            }
+        });
+        let expect: Vec<u32> = (0..24).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        for workers in [1usize, 2, 7] {
+            let par = Parallelism::new(workers);
+            let items: Vec<u64> = (0..17).collect();
+            let doubled = par.map(&items, |&x| x * 2);
+            assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single_inputs() {
+        let par = Parallelism::new(4);
+        assert_eq!(par.map(&[] as &[u8], |&x| x), Vec::<u8>::new());
+        assert_eq!(par.map(&[9u8], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn env_override_controls_auto_sizing() {
+        // from_env re-reads; exercise the parse paths via a guard variable.
+        std::env::set_var(THREADS_ENV_VAR, "3");
+        assert_eq!(Parallelism::from_env().workers(), 3);
+        std::env::set_var(THREADS_ENV_VAR, "not-a-number");
+        assert!(Parallelism::from_env().workers() >= 1);
+        std::env::set_var(THREADS_ENV_VAR, "0");
+        assert!(Parallelism::from_env().workers() >= 1);
+        std::env::remove_var(THREADS_ENV_VAR);
+        assert!(Parallelism::from_env().workers() >= 1);
+    }
+
+    #[test]
+    fn handle_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Parallelism>();
+        assert_send_sync::<ScratchArena>();
+    }
+}

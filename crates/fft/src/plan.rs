@@ -6,7 +6,7 @@
 //! of rows/columns of the same length through it.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::bluestein::BluesteinPlan;
 use crate::complex::Complex64;
@@ -103,28 +103,57 @@ impl FftPlanner {
 
     /// Returns a plan for length `n`, building and caching it on first use.
     ///
+    /// Plans come from a process-wide thread-safe cache: the twiddle and
+    /// chirp tables for each length are computed exactly once per process
+    /// and shared (behind an [`Arc`]) by every planner and every worker
+    /// thread. The planner keeps a local lock-free mirror so repeated
+    /// `plan()` calls on a hot path touch no lock after first use.
+    ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn plan(&mut self, n: usize) -> FftPlan {
         assert!(n > 0, "cannot plan a zero-length transform");
-        self.cache
-            .entry(n)
-            .or_insert_with(|| {
-                let algo = if n.is_power_of_two() {
-                    Algo::Radix2(Radix2Plan::new(n))
-                } else {
-                    Algo::Bluestein(BluesteinPlan::new(n))
-                };
-                FftPlan { algo: Arc::new(algo) }
-            })
-            .clone()
+        if let Some(plan) = self.cache.get(&n) {
+            return plan.clone();
+        }
+        let plan = global_plan(n);
+        self.cache.insert(n, plan.clone());
+        plan
     }
 
-    /// Number of distinct lengths currently cached.
+    /// Number of distinct lengths this planner has handed out.
     pub fn cached_len_count(&self) -> usize {
         self.cache.len()
     }
+}
+
+/// The process-wide plan cache behind [`FftPlanner::plan`].
+static GLOBAL_PLANS: OnceLock<Mutex<HashMap<usize, FftPlan>>> = OnceLock::new();
+
+/// Fetches (building once, process-wide) the shared plan for length `n`.
+fn global_plan(n: usize) -> FftPlan {
+    let cache = GLOBAL_PLANS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut cache = cache.lock().expect("plan cache lock");
+    cache
+        .entry(n)
+        .or_insert_with(|| {
+            let algo = if n.is_power_of_two() {
+                Algo::Radix2(Radix2Plan::new(n))
+            } else {
+                Algo::Bluestein(BluesteinPlan::new(n))
+            };
+            FftPlan { algo: Arc::new(algo) }
+        })
+        .clone()
+}
+
+/// Number of distinct lengths in the process-wide plan cache.
+pub fn global_cached_len_count() -> usize {
+    GLOBAL_PLANS
+        .get()
+        .map(|cache| cache.lock().expect("plan cache lock").len())
+        .unwrap_or(0)
 }
 
 /// One-shot forward FFT convenience for callers without a planner.
@@ -217,5 +246,27 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FftPlan>();
         assert_send_sync::<FftPlanner>();
+    }
+
+    #[test]
+    fn global_cache_shares_tables_across_planners() {
+        let a = FftPlanner::new().plan(4096);
+        let b = FftPlanner::new().plan(4096);
+        // Same Arc, not merely equal contents: the tables were built once.
+        assert!(Arc::ptr_eq(&a.algo, &b.algo));
+        assert!(global_cached_len_count() >= 1);
+    }
+
+    #[test]
+    fn concurrent_planning_is_safe_and_converges() {
+        let plans: Vec<FftPlan> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| FftPlanner::new().plan(1234)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        });
+        for pair in plans.windows(2) {
+            assert!(Arc::ptr_eq(&pair[0].algo, &pair[1].algo));
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Property-based tests for the FFT substrate: algebraic identities that must
 //! hold for every length and every input, fast path or slow path.
 
-use holoar_fft::{dft, fftshift, ifftshift, Complex64, Fft2d, FftPlanner};
+use holoar_fft::{dft, fftshift, ifftshift, Complex64, Fft2d, FftPlanner, Parallelism};
 use proptest::prelude::*;
 
 fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
@@ -121,6 +121,66 @@ proptest! {
                 -2.0 * std::f64::consts::PI * (k * shift % n) as f64 / n as f64,
             );
             prop_assert!((*s - *f * phase).norm() <= 1e-8 * mag);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution: the fan-out must be a pure execution detail. Every
+// worker count (including over-subscribed ones) must produce bit-identical
+// buffers for every shape — radix-2 and Bluestein, forward and inverse.
+// ---------------------------------------------------------------------------
+
+fn shape_and_data() -> impl Strategy<Value = (usize, usize, Vec<Complex64>)> {
+    (1usize..20, 1usize..20).prop_flat_map(|(rows, cols)| {
+        prop::collection::vec(
+            (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(re, im)| Complex64::new(re, im)),
+            rows * cols..=rows * cols,
+        )
+        .prop_map(move |data| (rows, cols, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Parallel 2-D FFT output is bit-identical to serial for any shape
+    /// (non-powers of two exercise the Bluestein path) and worker count.
+    #[test]
+    fn parallel_fft2d_is_bit_identical(
+        (rows, cols, x) in shape_and_data(),
+        workers in prop::sample::select(vec![1usize, 2, 7]),
+    ) {
+        let serial = Fft2d::new(rows, cols);
+        let parallel = Fft2d::with_parallelism(rows, cols, Parallelism::new(workers));
+
+        let mut want = x.clone();
+        serial.forward(&mut want);
+        let mut got = x.clone();
+        parallel.forward(&mut got);
+        prop_assert_eq!(&got, &want);
+
+        serial.inverse(&mut want);
+        parallel.inverse(&mut got);
+        prop_assert_eq!(&got, &want);
+    }
+
+    /// The in-place fftshift/ifftshift fast paths keep their inverse
+    /// relationship under parallel 2-D transforms around them.
+    #[test]
+    fn parallel_transform_with_shift_roundtrip(
+        (rows, cols, x) in shape_and_data(),
+        workers in prop::sample::select(vec![2usize, 7]),
+    ) {
+        let fft = Fft2d::with_parallelism(rows, cols, Parallelism::new(workers));
+        let mut buf = x.clone();
+        fft.forward(&mut buf);
+        fftshift(&mut buf, rows, cols);
+        ifftshift(&mut buf, rows, cols);
+        fft.inverse(&mut buf);
+        let scale: f64 = x.iter().map(|z| z.norm()).fold(1.0, f64::max);
+        for (a, b) in buf.iter().zip(&x) {
+            prop_assert!((*a - *b).norm() <= 1e-8 * scale * (rows * cols) as f64);
         }
     }
 }

@@ -21,6 +21,7 @@
 use crate::depthmap::{DepthMap, PlaneStack};
 use crate::field::{Field, OpticalConfig};
 use crate::propagate::Propagator;
+use holoar_fft::Parallelism;
 
 /// Instrumentation counters for one hologram computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,6 +87,22 @@ pub fn depthmap_hologram(
     hologram_from_planes(&stack, config)
 }
 
+/// [`depthmap_hologram`] with the per-plane propagations fanned out over
+/// `par`. Bit-identical to the serial entry point for every worker count.
+///
+/// # Panics
+///
+/// Panics if `plane_count == 0`.
+pub fn depthmap_hologram_with(
+    depthmap: &DepthMap,
+    plane_count: usize,
+    config: OpticalConfig,
+    par: &Parallelism,
+) -> HologramResult {
+    let stack = depthmap.slice(plane_count, config);
+    hologram_from_planes_with(&stack, config, par)
+}
+
 /// Computes a hologram from an already-sliced plane stack.
 ///
 /// Exposed separately so S-CGH (Fig 9c) can pass a [`PlaneStack::subset`].
@@ -94,10 +111,32 @@ pub fn depthmap_hologram(
 ///
 /// Panics if the stack is empty.
 pub fn hologram_from_planes(stack: &PlaneStack, config: OpticalConfig) -> HologramResult {
+    hologram_from_planes_with(stack, config, &Parallelism::serial())
+}
+
+/// [`hologram_from_planes`] with the backward `DP2HP` sweep fanned out over
+/// `par`.
+///
+/// The forward compositing walk is inherently sequential (the occlusion mask
+/// carries across planes) and cheap, so it stays serial. Back-propagations
+/// are independent and run concurrently; the hologram accumulation is a
+/// floating-point reduction and stays serial in stack order, so the result
+/// is bit-identical to the serial path for every worker count. All counters
+/// in [`HologramStats`] are unchanged — parallelism is an execution detail,
+/// not a change to the modeled work.
+///
+/// # Panics
+///
+/// Panics if the stack is empty.
+pub fn hologram_from_planes_with(
+    stack: &PlaneStack,
+    config: OpticalConfig,
+    par: &Parallelism,
+) -> HologramResult {
     assert!(!stack.is_empty(), "hologram requires at least one depth plane");
     let rows = stack.plane(0).field.rows();
     let cols = stack.plane(0).field.cols();
-    let mut prop = Propagator::new();
+    let mut prop = Propagator::with_parallelism(par.clone());
 
     // ---- Step 1: forward propagation with occlusion compositing ----
     // Walk nearest-first; pixels covered by a nearer plane are removed from
@@ -124,16 +163,23 @@ pub fn hologram_from_planes(stack: &PlaneStack, config: OpticalConfig) -> Hologr
     // ---- Step 2: backward propagation, accumulating onto the hologram ----
     let mut hologram = Field::zeros(rows, cols, config);
     let mut backward_propagations = 0usize;
-    for (plane, composited) in stack.iter().zip(&intra_planes) {
+    let mut lit_fields: Vec<Field> = Vec::with_capacity(intra_planes.len());
+    let mut lit_zs: Vec<f64> = Vec::with_capacity(intra_planes.len());
+    for (plane, composited) in stack.iter().zip(intra_planes) {
+        backward_propagations += 1;
         if plane.lit_pixels == 0 && composited.total_energy() == 0.0 {
             // The kernel still launches for empty planes on real hardware,
             // but contributes nothing optically; skip the math, count the work.
-            backward_propagations += 1;
             continue;
         }
-        let contribution = prop.dp2hp(composited, plane.z);
-        hologram.accumulate(&contribution);
-        backward_propagations += 1;
+        // `dp2hp` is propagation by `-z`.
+        lit_fields.push(composited);
+        lit_zs.push(-plane.z);
+    }
+    // Independent back-propagations fan out; accumulation stays serial, in
+    // stack order.
+    for contribution in &prop.propagate_planes(&lit_fields, &lit_zs) {
+        hologram.accumulate(contribution);
     }
 
     let stats = HologramStats {
@@ -235,6 +281,22 @@ mod tests {
         let both = DepthMap::new(n, n, amp, depth).unwrap();
         let two = depthmap_hologram(&both, 2, cfg);
         assert!(two.hologram.total_energy() > near.hologram.total_energy());
+    }
+
+    #[test]
+    fn parallel_hologram_is_bit_identical_to_serial() {
+        let dm = two_point_map(16);
+        let cfg = OpticalConfig::default();
+        let serial = depthmap_hologram(&dm, 6, cfg);
+        for workers in [1usize, 2, 7] {
+            let par = depthmap_hologram_with(&dm, 6, cfg, &Parallelism::new(workers));
+            assert_eq!(
+                par.hologram.samples(),
+                serial.hologram.samples(),
+                "workers {workers}"
+            );
+            assert_eq!(par.stats, serial.stats);
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::depthmap::PlaneStack;
 use crate::field::{Field, OpticalConfig};
 use crate::propagate::Propagator;
-use holoar_fft::Complex64;
+use holoar_fft::{Complex64, Parallelism};
 
 /// Configuration for the GSW loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,11 +67,32 @@ pub struct GswResult {
 ///
 /// Panics if the stack is empty or `config.iterations == 0`.
 pub fn run(stack: &PlaneStack, optics: OpticalConfig, config: GswConfig) -> GswResult {
+    run_with(stack, optics, config, &Parallelism::serial())
+}
+
+/// [`run`] with depth planes fanned out over `par`.
+///
+/// Per-plane field construction and both propagation sweeps run
+/// concurrently; every floating-point reduction (hologram accumulation,
+/// energy totals, weight statistics) stays serial in plane order, so the
+/// result is bit-identical to [`run`] for every worker count.
+///
+/// # Panics
+///
+/// Panics if the stack is empty or `config.iterations == 0`.
+pub fn run_with(
+    stack: &PlaneStack,
+    optics: OpticalConfig,
+    config: GswConfig,
+    par: &Parallelism,
+) -> GswResult {
     assert!(!stack.is_empty(), "GSW requires at least one depth plane");
     assert!(config.iterations > 0, "GSW requires at least one iteration");
     let rows = stack.plane(0).field.rows();
     let cols = stack.plane(0).field.cols();
-    let mut prop = Propagator::new();
+    let mut prop = Propagator::with_parallelism(par.clone());
+    let plane_indices: Vec<usize> = (0..stack.len()).collect();
+    let zs: Vec<f64> = stack.iter().map(|p| p.z).collect();
 
     // Target amplitudes and lit-pixel masks per plane.
     let targets: Vec<Vec<f64>> = stack.iter().map(|p| p.field.amplitude()).collect();
@@ -88,9 +109,10 @@ pub fn run(stack: &PlaneStack, optics: OpticalConfig, config: GswConfig) -> GswR
     let mut final_efficiency = 0.0;
 
     for _ in 0..config.iterations {
-        // Backward: superpose weighted targets on the hologram plane.
-        let mut acc = Field::zeros(rows, cols, optics);
-        for (i, plane) in stack.iter().enumerate() {
+        // Backward: superpose weighted targets on the hologram plane. The
+        // per-plane fields only read targets/weights/phases, so construction
+        // fans out; dark planes are skipped exactly like the serial loop.
+        let fields: Vec<Field> = par.map(&plane_indices, |&i| {
             let mut f = Field::zeros(rows, cols, optics);
             for idx in 0..rows * cols {
                 let a = targets[i][idx] * weights[i][idx];
@@ -98,20 +120,34 @@ pub fn run(stack: &PlaneStack, optics: OpticalConfig, config: GswConfig) -> GswR
                     f.samples_mut()[idx] = Complex64::from_polar(a, phases[i][idx]);
                 }
             }
+            f
+        });
+        let mut lit_fields: Vec<Field> = Vec::with_capacity(fields.len());
+        let mut lit_zs: Vec<f64> = Vec::with_capacity(fields.len());
+        for (f, &z) in fields.into_iter().zip(&zs) {
             if f.total_energy() > 0.0 {
-                acc.accumulate(&prop.dp2hp(&f, plane.z));
+                lit_fields.push(f);
+                // `dp2hp` is propagation by `-z`.
+                lit_zs.push(-z);
             }
+        }
+        let mut acc = Field::zeros(rows, cols, optics);
+        // Accumulation stays serial, in plane order.
+        for contribution in &prop.propagate_planes(&lit_fields, &lit_zs) {
+            acc.accumulate(contribution);
         }
         // Phase-only constraint (SLM projection).
         hologram = acc.to_phase_only();
 
         // Forward: measure achieved amplitudes, update phases and weights.
+        // Propagation to every plane is independent; the measurement loop
+        // below is a reduction and stays serial in plane order.
+        let reconstructions = prop.propagate_batch(&hologram, &zs);
         let mut achieved_min = f64::INFINITY;
         let mut achieved_max = 0.0f64;
         let mut on_target = 0.0;
         let mut total = 0.0;
-        for (i, plane) in stack.iter().enumerate() {
-            let u = prop.hp2dp(&hologram, plane.z);
+        for (i, u) in reconstructions.iter().enumerate() {
             total += u.total_energy();
             let mut rels: Vec<(usize, f64)> = Vec::new();
             for idx in 0..rows * cols {
@@ -225,6 +261,24 @@ mod tests {
         let result = run(&dm.slice(1, cfg), cfg, GswConfig { iterations: 2, adaptivity: 1.0 });
         assert!(result.efficiency > 0.0);
         assert!(result.efficiency <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let dm = spots_map(32, &[(8, 8, 0.01), (24, 24, 0.02), (16, 8, 0.03)]);
+        let cfg = OpticalConfig::default();
+        let gsw_cfg = GswConfig { iterations: 3, adaptivity: 1.0 };
+        let serial = run(&dm.slice(3, cfg), cfg, gsw_cfg);
+        for workers in [1usize, 2, 7] {
+            let par = run_with(&dm.slice(3, cfg), cfg, gsw_cfg, &Parallelism::new(workers));
+            assert_eq!(par.hologram.samples(), serial.hologram.samples(), "workers {workers}");
+            assert_eq!(par.uniformity.to_bits(), serial.uniformity.to_bits());
+            assert_eq!(par.efficiency.to_bits(), serial.efficiency.to_bits());
+            assert_eq!(par.uniformity_trace.len(), serial.uniformity_trace.len());
+            for (a, b) in par.uniformity_trace.iter().zip(&serial.uniformity_trace) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -13,16 +13,34 @@
 //! hologram plane) procedures are thin directional wrappers over this
 //! operator.
 //!
-//! A [`Propagator`] caches FFT plans and transfer functions, because the
-//! hologram pipeline propagates dozens of planes of identical shape per frame.
+//! A [`Propagator`] caches FFT plans and transfer functions behind shared
+//! thread-safe maps (clones of a propagator share one cache), because the
+//! hologram pipeline propagates dozens of planes of identical shape per
+//! frame. Independent planes can be propagated concurrently through the
+//! batch APIs ([`Propagator::propagate_batch`] /
+//! [`Propagator::propagate_planes`]); the batch results are bit-identical
+//! to the equivalent serial loop for every worker count.
 
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
-use holoar_fft::{Complex64, Fft2d};
+use holoar_fft::{Complex64, Fft2d, Parallelism};
 
-use crate::field::Field;
+use crate::field::{Field, OpticalConfig};
+
+/// Cache key for a transfer function: shape plus the bit patterns of the
+/// distance, wavelength and pixel pitch that define it.
+type TransferKey = (usize, usize, u64, u64, u64);
+
+/// A plane's prepared propagation inputs: a serial FFT twin plus the shared
+/// transfer function, or `None` for the zero-distance identity.
+type PreparedPlane = Option<(Fft2d, Arc<Vec<Complex64>>)>;
 
 /// Angular-spectrum propagator with cached plans and transfer functions.
+///
+/// The caches live behind `Arc<Mutex<…>>`, so cloning a propagator is cheap
+/// and the clones *share* cached transfer functions — workers propagating
+/// different depth planes of the same frame reuse one table per distance.
 ///
 /// # Examples
 ///
@@ -39,17 +57,30 @@ use crate::field::Field;
 /// // Forward then backward recovers the point source.
 /// assert!(back.intensity_at(16, 16) > 0.9);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Propagator {
-    ffts: HashMap<(usize, usize), Fft2d>,
-    /// Transfer functions keyed by shape and the bit pattern of `z`.
-    transfer: HashMap<(usize, usize, u64, u64), Vec<Complex64>>,
+    ffts: Arc<Mutex<HashMap<(usize, usize), Fft2d>>>,
+    /// Transfer functions, `Arc`-shared so batch workers borrow them
+    /// without copying.
+    transfer: Arc<Mutex<HashMap<TransferKey, Arc<Vec<Complex64>>>>>,
+    par: Parallelism,
 }
 
 impl Propagator {
-    /// Creates an empty propagator.
+    /// Creates an empty serial propagator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty propagator that fans FFT passes and batch
+    /// propagation out over `par`.
+    pub fn with_parallelism(par: Parallelism) -> Self {
+        Propagator { par, ..Self::default() }
+    }
+
+    /// The pool handle this propagator fans out over.
+    pub fn parallelism(&self) -> &Parallelism {
+        &self.par
     }
 
     /// Propagates `field` by a signed distance `z` (meters). Positive `z`
@@ -66,26 +97,69 @@ impl Propagator {
         if z == 0.0 {
             return field.clone();
         }
-        let (rows, cols) = (field.rows(), field.cols());
-        let fft = self
-            .ffts
-            .entry((rows, cols))
-            .or_insert_with(|| Fft2d::new(rows, cols))
-            .clone();
-        let cfg = field.config();
-        let key = (rows, cols, z.to_bits(), cfg.wavelength.to_bits());
-        self.transfer
-            .entry(key)
-            .or_insert_with(|| transfer_function(rows, cols, cfg.pitch, cfg.wavelength, z));
-        let h = &self.transfer[&key];
+        let fft = self.fft_for(field.rows(), field.cols());
+        let h = self.transfer_for(field.rows(), field.cols(), field.config(), z);
+        apply_transfer(field, &fft, &h)
+    }
 
-        let mut spectrum = field.samples().to_vec();
-        fft.forward(&mut spectrum);
-        for (s, t) in spectrum.iter_mut().zip(h) {
-            *s *= *t;
-        }
-        fft.inverse(&mut spectrum);
-        Field::from_data(rows, cols, cfg, spectrum)
+    /// Propagates one field to many distances concurrently, returning the
+    /// results in `zs` order.
+    ///
+    /// Every output is bit-identical to the corresponding serial
+    /// [`Propagator::propagate`] call: transfer functions are built (and
+    /// cached) in `zs` order up front, and each plane then runs the exact
+    /// serial propagation code on its own worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any distance is not finite.
+    pub fn propagate_batch(&mut self, field: &Field, zs: &[f64]) -> Vec<Field> {
+        let (rows, cols) = (field.rows(), field.cols());
+        // Warm both caches serially so insertion order (and therefore
+        // `cached_transfer_count`) matches the serial loop exactly.
+        let fft = self.fft_for(rows, cols).serial_equivalent();
+        let jobs: Vec<Option<Arc<Vec<Complex64>>>> = zs
+            .iter()
+            .map(|&z| {
+                assert!(z.is_finite(), "propagation distance must be finite");
+                (z != 0.0).then(|| self.transfer_for(rows, cols, field.config(), z))
+            })
+            .collect();
+        self.par.map(&jobs, |transfer| match transfer {
+            None => field.clone(),
+            Some(h) => apply_transfer(field, &fft, h),
+        })
+    }
+
+    /// Propagates independent `(field, z)` pairs concurrently, returning
+    /// results in input order. Shapes may differ between pairs.
+    ///
+    /// Bit-identical to the serial loop, with the same cache-warming
+    /// guarantee as [`Propagator::propagate_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fields` and `zs` differ in length, or any distance is not
+    /// finite.
+    pub fn propagate_planes(&mut self, fields: &[Field], zs: &[f64]) -> Vec<Field> {
+        assert_eq!(fields.len(), zs.len(), "one distance per field");
+        let jobs: Vec<(&Field, PreparedPlane)> = fields
+            .iter()
+            .zip(zs)
+            .map(|(field, &z)| {
+                assert!(z.is_finite(), "propagation distance must be finite");
+                let prepared = (z != 0.0).then(|| {
+                    let fft = self.fft_for(field.rows(), field.cols()).serial_equivalent();
+                    let h = self.transfer_for(field.rows(), field.cols(), field.config(), z);
+                    (fft, h)
+                });
+                (field, prepared)
+            })
+            .collect();
+        self.par.map(&jobs, |(field, prepared)| match prepared {
+            None => (*field).clone(),
+            Some((fft, h)) => apply_transfer(field, fft, h),
+        })
     }
 
     /// `HP2DP` from Algorithm 1: hologram plane → the depth plane at distance
@@ -109,10 +183,51 @@ impl Propagator {
     }
 
     /// Number of cached transfer functions (exposed for cache-behaviour
-    /// tests and capacity planning).
+    /// tests and capacity planning). Shared across clones.
     pub fn cached_transfer_count(&self) -> usize {
-        self.transfer.len()
+        self.transfer.lock().expect("transfer cache lock").len()
     }
+
+    /// The cached (or newly planned) FFT for a shape.
+    fn fft_for(&self, rows: usize, cols: usize) -> Fft2d {
+        self.ffts
+            .lock()
+            .expect("fft cache lock")
+            .entry((rows, cols))
+            .or_insert_with(|| Fft2d::with_parallelism(rows, cols, self.par.clone()))
+            .clone()
+    }
+
+    /// The cached (or newly built) transfer function for a shape/distance.
+    fn transfer_for(
+        &self,
+        rows: usize,
+        cols: usize,
+        cfg: OpticalConfig,
+        z: f64,
+    ) -> Arc<Vec<Complex64>> {
+        let key =
+            (rows, cols, z.to_bits(), cfg.wavelength.to_bits(), cfg.pitch.to_bits());
+        self.transfer
+            .lock()
+            .expect("transfer cache lock")
+            .entry(key)
+            .or_insert_with(|| {
+                Arc::new(transfer_function(rows, cols, cfg.pitch, cfg.wavelength, z))
+            })
+            .clone()
+    }
+}
+
+/// The core propagation step: FFT → multiply by `H` → inverse FFT.
+fn apply_transfer(field: &Field, fft: &Fft2d, h: &[Complex64]) -> Field {
+    let mut spectrum = field.samples().to_vec();
+    fft.forward(&mut spectrum);
+    for (s, t) in spectrum.iter_mut().zip(h) {
+        *s *= *t;
+    }
+    fft.inverse(&mut spectrum);
+    Field::from_data(field.rows(), field.cols(), field.config(), spectrum)
 }
 
 /// Builds the (band-limited) angular-spectrum transfer function for a
@@ -248,6 +363,50 @@ mod tests {
         assert_eq!(p.cached_transfer_count(), 1);
         p.propagate(&f, 0.002);
         assert_eq!(p.cached_transfer_count(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_transfer_cache() {
+        let f = point_source(16);
+        let mut a = Propagator::new();
+        let mut b = a.clone();
+        a.propagate(&f, 0.001);
+        assert_eq!(b.cached_transfer_count(), 1);
+        b.propagate(&f, 0.001); // hit, not a rebuild
+        assert_eq!(a.cached_transfer_count(), 1);
+    }
+
+    #[test]
+    fn batch_matches_serial_bit_for_bit() {
+        let f = point_source(24);
+        let zs = [0.001, 0.0, -0.002, 0.003, 0.001];
+        let serial: Vec<Field> = {
+            let mut p = Propagator::new();
+            zs.iter().map(|&z| p.propagate(&f, z)).collect()
+        };
+        for workers in [1usize, 2, 7] {
+            let mut p = Propagator::with_parallelism(Parallelism::new(workers));
+            let batch = p.propagate_batch(&f, &zs);
+            assert_eq!(batch.len(), serial.len());
+            for (i, (a, b)) in batch.iter().zip(&serial).enumerate() {
+                assert_eq!(a.samples(), b.samples(), "plane {i} workers {workers}");
+            }
+            assert_eq!(p.cached_transfer_count(), 3, "0.001 and -0.002 and 0.003");
+        }
+    }
+
+    #[test]
+    fn propagate_planes_handles_mixed_shapes() {
+        let small = point_source(8);
+        let large = point_source(16);
+        let fields = vec![small.clone(), large.clone(), small.clone()];
+        let zs = [0.001, 0.002, 0.0];
+        let mut p = Propagator::with_parallelism(Parallelism::new(2));
+        let out = p.propagate_planes(&fields, &zs);
+        let mut serial = Propagator::new();
+        assert_eq!(out[0].samples(), serial.propagate(&small, 0.001).samples());
+        assert_eq!(out[1].samples(), serial.propagate(&large, 0.002).samples());
+        assert_eq!(out[2].samples(), small.samples());
     }
 
     #[test]

@@ -68,8 +68,13 @@ pub fn incoherent_focal_stack(
         if plane.lit_pixels == 0 {
             continue;
         }
-        for (image, &z) in images.iter_mut().zip(distances) {
-            let u = prop.propagate(&plane.field, z - plane.z);
+        // One batch per plane: the focal distances are independent and fan
+        // out over the propagator's pool; the intensity accumulation stays
+        // serial in distance order, so the stack is bit-identical to the
+        // serial loop for every worker count.
+        let shifted: Vec<f64> = distances.iter().map(|&z| z - plane.z).collect();
+        let reconstructions = prop.propagate_batch(&plane.field, &shifted);
+        for (image, u) in images.iter_mut().zip(&reconstructions) {
             for (acc, s) in image.iter_mut().zip(u.samples()) {
                 *acc += s.norm_sqr();
             }

@@ -1,7 +1,7 @@
 //! Property tests for the wave-optics engine: physical invariants that must
 //! hold for arbitrary fields, depthmaps and distances.
 
-use holoar_fft::Complex64;
+use holoar_fft::{Complex64, Parallelism};
 use holoar_optics::{
     algorithm1, phase, subhologram, DepthMap, Field, FresnelPropagator, OpticalConfig,
     PhaseEncoding, Propagator, Region,
@@ -164,5 +164,59 @@ proptest! {
         prop_assert!(clipped.total_energy() <= field.total_energy() + 1e-12);
         let full = subhologram::clip_to_region(&field, Region::full(32, 32));
         prop_assert_eq!(full.total_energy(), field.total_energy());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel propagation: batch fan-out and intra-FFT parallelism must be
+// invisible in the numbers — bit-identical to the serial path for every
+// worker count, shape (Bluestein sizes included) and distance.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `propagate_batch` matches the serial `propagate` loop bit-for-bit.
+    #[test]
+    fn propagate_batch_is_bit_identical(
+        field in arb_smooth_field(),
+        zs_um in prop::collection::vec(-4000.0f64..4000.0, 1..=6),
+        workers in prop::sample::select(vec![1usize, 2, 7]),
+    ) {
+        let zs: Vec<f64> = zs_um.iter().map(|&um| um * 1e-6).collect();
+        let serial: Vec<Field> = {
+            let mut p = Propagator::new();
+            zs.iter().map(|&z| p.propagate(&field, z)).collect()
+        };
+        let mut p = Propagator::with_parallelism(Parallelism::new(workers));
+        let batch = p.propagate_batch(&field, &zs);
+        prop_assert_eq!(batch.len(), serial.len());
+        for (a, b) in batch.iter().zip(&serial) {
+            prop_assert_eq!(a.samples(), b.samples());
+        }
+    }
+
+    /// Intra-FFT parallelism inside a single propagation is bit-identical
+    /// for arbitrary (non-power-of-two included) shapes.
+    #[test]
+    fn parallel_propagation_any_shape_is_bit_identical(
+        rows in 3usize..20,
+        cols in 3usize..20,
+        z_um in -3000.0f64..3000.0,
+        workers in prop::sample::select(vec![2usize, 7]),
+    ) {
+        let cfg = OpticalConfig::default();
+        let mut f = Field::zeros(rows, cols, cfg);
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = (r * cols + c) as f64;
+                f.set(r, c, Complex64::new((i * 0.31).sin(), ((r + c) as f64 * 0.17).cos()));
+            }
+        }
+        let z = z_um * 1e-6;
+        let want = Propagator::new().propagate(&f, z);
+        let got =
+            Propagator::with_parallelism(Parallelism::new(workers)).propagate(&f, z);
+        prop_assert_eq!(got.samples(), want.samples());
     }
 }

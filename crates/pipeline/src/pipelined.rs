@@ -13,6 +13,7 @@
 
 use crate::schedule::FrameLatencies;
 use crate::task::TaskKind;
+use holoar_fft::Parallelism;
 
 /// Steady-state behaviour of a pipelined execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,11 +44,40 @@ pub fn run_pipelined<F: FnMut(u64) -> FrameLatencies>(
     mut frame_fn: F,
 ) -> PipelinedReport {
     assert!(frames > 0, "need at least one frame");
+    let latencies: Vec<FrameLatencies> = (0..frames).map(&mut frame_fn).collect();
+    summarize(&latencies)
+}
+
+/// [`run_pipelined`] with the per-frame latency evaluations fanned out over
+/// `par`. `frame_fn` must be pure per frame index (`Fn`, not `FnMut`); the
+/// reduction over frames stays serial in frame order, so the report is
+/// bit-identical to [`run_pipelined`] for every worker count.
+///
+/// This is the pipeline-layer entry point for whole-run parallelism: frame
+/// evaluations that internally synthesize holograms (through the
+/// `holoar-core` quality/executor paths) are independent across frames.
+///
+/// # Panics
+///
+/// Panics if `frames == 0`.
+pub fn run_pipelined_with<F: Fn(u64) -> FrameLatencies + Sync>(
+    frames: u64,
+    frame_fn: F,
+    par: &Parallelism,
+) -> PipelinedReport {
+    assert!(frames > 0, "need at least one frame");
+    let indices: Vec<u64> = (0..frames).collect();
+    let latencies = par.map(&indices, |&i| frame_fn(i));
+    summarize(&latencies)
+}
+
+/// Serial, frame-ordered reduction shared by both entry points.
+fn summarize(latencies: &[FrameLatencies]) -> PipelinedReport {
+    let frames = latencies.len() as u64;
     let cadence = TaskKind::SceneReconstruct.frame_cadence() as f64;
     let mut stage_sums = [0.0f64; 4]; // pose, eye, scene (amortized), hologram
     let mut latency_sum = 0.0;
-    for i in 0..frames {
-        let lat = frame_fn(i);
+    for lat in latencies {
         stage_sums[0] += lat.pose;
         stage_sums[1] += lat.eye;
         stage_sums[2] += lat.scene / cadence;
@@ -114,6 +144,18 @@ mod tests {
     fn motion_to_photon_is_the_stage_sum() {
         let report = run_pipelined(10, |_| latencies(0.1));
         assert!((report.mean_latency - (0.0138 + 0.0044 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        // Frame latencies that vary with the index exercise the ordering of
+        // the reduction.
+        let frame_fn = |i: u64| latencies(0.05 + 0.013 * (i as f64 * 0.7).sin().abs());
+        let serial = run_pipelined(25, frame_fn);
+        for workers in [1usize, 2, 7] {
+            let par = run_pipelined_with(25, frame_fn, &Parallelism::new(workers));
+            assert_eq!(par, serial, "workers {workers}");
+        }
     }
 
     #[test]

@@ -139,7 +139,7 @@ impl BlinkModel {
     /// Panics if `rate_hz` is not positive and finite.
     pub fn new(rate_hz: f64, seed: u64) -> Self {
         assert!(rate_hz > 0.0 && rate_hz.is_finite(), "sample rate must be positive");
-        let mut rng = Rng::seeded(seed.wrapping_mul(0xB11_4C));
+        let mut rng = Rng::seeded(seed.wrapping_mul(0x000B_114C));
         let time_to_next = rng.exponential(Self::MEAN_INTERVAL);
         BlinkModel { sample_period: 1.0 / rate_hz, rng, time_to_next, blink_remaining: 0.0 }
     }

@@ -1,0 +1,77 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive length range for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange { min: exact, max: exact }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec length range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec length range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+/// Generates `Vec`s whose length falls in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.max - self.size.min + 1;
+        let len = self.size.min + rng.below(span as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_vecs() {
+        let mut rng = TestRng::from_name("vec_exact");
+        let v = vec(0.0f64..1.0, 16).generate(&mut rng);
+        assert_eq!(v.len(), 16);
+    }
+
+    #[test]
+    fn ranged_size_vecs() {
+        let mut rng = TestRng::from_name("vec_range");
+        for _ in 0..200 {
+            let v = vec(0u32..10, 1..=5).generate(&mut rng);
+            assert!((1..=5).contains(&v.len()));
+            let w = vec(0u32..10, 2..7).generate(&mut rng);
+            assert!((2..7).contains(&w.len()));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! A small, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace builds in environments with no crates.io access, so this
+//! shim reimplements exactly the subset of the proptest API the test suite
+//! uses: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, `prop::collection::vec`, `prop::sample::select`,
+//! `any::<bool>()`, [`test_runner::ProptestConfig`], and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Generation is uniform-random from a deterministic per-test seed (derived
+//! from the test name), so failures reproduce run-to-run. There is no
+//! shrinking: a failing case panics with the assertion message.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Everything a property test needs, mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    pub mod prop {
+        //! The `prop::` path (`prop::collection::vec`, `prop::sample::select`).
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Runs `cases` generated inputs through `run_one`, retrying rejected
+/// (filtered) cases without counting them. Called by the `proptest!` macro.
+///
+/// # Panics
+///
+/// Panics when a case fails or when too many cases in a row are rejected.
+pub fn run_property<F>(name: &str, config: &test_runner::ProptestConfig, mut run_one: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut rng = test_runner::TestRng::from_name(name);
+    let mut executed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let max_rejects = config.cases.saturating_mul(20).max(1024);
+    while executed < config.cases {
+        match run_one(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= max_rejects,
+                    "property '{name}': too many rejected cases ({rejected}); \
+                     loosen the prop_assume! filters"
+                );
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!("property '{name}' failed after {executed} passing cases: {msg}");
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with its generated inputs) rather than unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Filters the current case: a false condition discards it (uncounted)
+/// instead of failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@expand ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_property(
+                    ::std::stringify!($name),
+                    &config,
+                    |rng| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $(
+                            let $pat = $crate::strategy::Strategy::generate(&($strat), rng);
+                        )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

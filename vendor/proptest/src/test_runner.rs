@@ -1,0 +1,115 @@
+//! Test-runner types: configuration, case outcomes, and the deterministic
+//! RNG that drives generation.
+
+/// How many cases each property runs (the only knob this shim honours).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of a single generated case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was filtered out by `prop_assume!` and should not count.
+    Reject(String),
+    /// An assertion failed; the whole property fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing outcome with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (filtered) outcome with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Deterministic splitmix64 generator; every property seeds one from its
+/// test name so runs are reproducible without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a test name (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: hash ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    /// Next raw 64-bit value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0) is meaningless");
+        // Multiply-shift reduction; bias is negligible for test generation.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let mut c = TestRng::from_name("y");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::from_name("bound");
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_in_range() {
+        let mut rng = TestRng::from_name("f64");
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}
