@@ -1,0 +1,75 @@
+//! Cost of an instrumentation point in each telemetry mode.
+//!
+//! The contract the workspace relies on: with telemetry **off** (the
+//! default) a span site is a single relaxed atomic load — cheap enough to
+//! leave in every hot path. This bench times a tight loop of span
+//! open/close pairs per mode and, beyond reporting, *pins* the disabled
+//! mode with a generous absolute bound so a regression that makes the
+//! disabled path heavyweight fails loudly instead of silently taxing every
+//! FFT row.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use holoar_telemetry::TelemetryMode;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SPANS_PER_ITER: usize = 1000;
+
+fn spans_burst() -> usize {
+    let mut n = 0;
+    for _ in 0..SPANS_PER_ITER {
+        let _span = holoar_telemetry::span_cat("bench.overhead.probe", "bench");
+        n += 1;
+    }
+    black_box(n)
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(20);
+    for (mode, label) in [
+        (TelemetryMode::Off, "off"),
+        (TelemetryMode::Summary, "summary"),
+        (TelemetryMode::Full, "full"),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("span_pair", label),
+            &mode,
+            |b, &mode| {
+                holoar_telemetry::set_mode(mode);
+                holoar_telemetry::reset();
+                b.iter(spans_burst);
+                holoar_telemetry::set_mode(TelemetryMode::Off);
+                holoar_telemetry::reset();
+            },
+        );
+    }
+    group.finish();
+
+    // Guard: disabled-mode spans must stay near-free. 200 ns per site is
+    // ~100x the expected cost of the relaxed load on any host this runs on,
+    // so the assert only trips on a real regression (e.g. someone taking a
+    // lock or reading the clock before the mode check).
+    holoar_telemetry::set_mode(TelemetryMode::Off);
+    let rounds = 200;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        spans_burst();
+    }
+    let per_span_ns =
+        start.elapsed().as_nanos() as f64 / (rounds * SPANS_PER_ITER) as f64;
+    println!("disabled-mode span cost: {per_span_ns:.1} ns/site");
+    assert!(
+        per_span_ns < 200.0,
+        "disabled telemetry span costs {per_span_ns:.1} ns/site (budget 200 ns) — \
+         the off-mode fast path has regressed"
+    );
+    assert_eq!(
+        holoar_telemetry::span_count(),
+        0,
+        "disabled telemetry must not retain span records"
+    );
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -3,14 +3,22 @@
 //! Usage: `repro [<experiment>...] [--frames N] [--seed S]`
 //! where `<experiment>` is one of the ids in
 //! [`holoar_bench::ALL_EXPERIMENTS`] or `all` (the default).
+//!
+//! Telemetry: `--trace-out FILE` exports a Chrome-trace (Perfetto) timeline
+//! of every span the run emitted; `--metrics-json FILE` exports the counter
+//! / gauge / histogram registry plus per-frame rows. Either flag implies
+//! full telemetry unless `HOLOAR_TELEMETRY` already selects a mode.
 
 use holoar_bench::{experiments, ExperimentConfig};
+use holoar_telemetry::TelemetryMode;
 
 fn main() {
     let mut cfg = ExperimentConfig::default();
     let mut ids: Vec<String> = Vec::new();
     let mut csv_path: Option<String> = None;
     let mut bench_json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -21,6 +29,16 @@ fn main() {
             "--bench-json" => {
                 bench_json_path = Some(
                     args.next().unwrap_or_else(|| die("--bench-json requires a file path")),
+                );
+            }
+            "--trace-out" => {
+                trace_path = Some(
+                    args.next().unwrap_or_else(|| die("--trace-out requires a file path")),
+                );
+            }
+            "--metrics-json" => {
+                metrics_path = Some(
+                    args.next().unwrap_or_else(|| die("--metrics-json requires a file path")),
                 );
             }
             "--frames" => {
@@ -38,10 +56,14 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [<experiment>...] [--frames N] [--seed S] [--csv FILE] \
-                     [--bench-json FILE]\n\
+                     [--bench-json FILE] [--trace-out FILE] [--metrics-json FILE]\n\
                      experiments: {} all\n\
                      --csv writes the Fig 7/8 evaluation matrix as CSV to FILE\n\
-                     --bench-json writes the parallel-engine timing cells as JSON to FILE",
+                     --bench-json writes the parallel-engine timing cells as JSON to FILE\n\
+                     --trace-out writes a Chrome-trace (Perfetto) span timeline to FILE\n\
+                     --metrics-json writes the counters/gauges/histograms registry to FILE\n\
+                     HOLOAR_TELEMETRY=off|summary|full selects the telemetry mode \
+                     (either export flag implies full)",
                     experiments::ALL_EXPERIMENTS.join(" ")
                 );
                 return;
@@ -49,6 +71,17 @@ fn main() {
             other => ids.push(other.to_string()),
         }
     }
+
+    // Telemetry is opt-in: the env var selects a mode; asking for an export
+    // with the env var *unset* upgrades to full so the trace is not empty.
+    // An explicit HOLOAR_TELEMETRY=off wins over the flags.
+    holoar_telemetry::init_from_env();
+    let wants_telemetry = trace_path.is_some() || metrics_path.is_some();
+    let env_unset = std::env::var_os(holoar_telemetry::TELEMETRY_ENV_VAR).is_none();
+    if wants_telemetry && env_unset && holoar_telemetry::mode() == TelemetryMode::Off {
+        holoar_telemetry::set_mode(TelemetryMode::Full);
+    }
+
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = experiments::ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
@@ -76,6 +109,23 @@ fn main() {
             die(&format!("cannot write {path}: {e}"));
         }
         eprintln!("wrote evaluation matrix to {path}");
+    }
+    if let Some(path) = trace_path {
+        let trace = holoar_telemetry::export_chrome_trace();
+        if let Err(e) = std::fs::write(&path, trace) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!(
+            "wrote chrome trace ({} spans) to {path} — open in https://ui.perfetto.dev",
+            holoar_telemetry::span_count()
+        );
+    }
+    if let Some(path) = metrics_path {
+        let json = holoar_telemetry::export_metrics_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote metrics registry to {path}");
     }
 }
 

@@ -779,10 +779,105 @@ pub fn parallel_bench_json() -> String {
     out
 }
 
+/// End-to-end Inter-Intra-Holo run instrumented for the telemetry
+/// timeline: planner → executor → quality/view → pipelined QoS, with the
+/// simulated GPU kernel profile bridged onto the trace as its own track.
+///
+/// This is the experiment the observability docs point at: run it under
+/// `repro inter-intra --trace-out trace.json --metrics-json metrics.json`
+/// and the exported trace carries spans from every layer (`fft.*`,
+/// `optics.*`, `core.*`, `pipeline.*`) plus the bridged `gpu.*` events.
+pub fn inter_intra(cfg: &ExperimentConfig) -> String {
+    use holoar_core::{executor, view};
+    use holoar_pipeline::schedule::FrameLatencies;
+    use holoar_sensors::objectron::FrameGenerator;
+
+    // The full pipeline per frame is heavyweight; a handful of frames is
+    // enough to populate every span category and the kernel profile.
+    let frames = (cfg.frames / 10).clamp(2, 12) as usize;
+    let config = HoloArConfig::for_scheme(Scheme::InterIntraHolo);
+    let mut device = Device::xavier();
+    let mut planner = Planner::new(config).unwrap();
+    let mut profiler = Profiler::new();
+    // Shoe is the busiest category (2.3 objects/frame) — the plan reliably
+    // has computed objects for the profiler/quality/view passes below.
+    let mut gen = FrameGenerator::new(VideoCategory::Shoe, cfg.seed);
+    let pose = PoseEstimate { orientation: AngularPoint::CENTER, latency: 0.01375 };
+
+    let mut latencies = Vec::with_capacity(frames);
+    let mut psnr_sum = 0.0;
+    let mut psnr_n = 0u32;
+    let mut view_luminance = 0.0;
+    let mut planes_total = 0u32;
+    let mut quality_done = false;
+    for _ in 0..frames {
+        let frame = gen.next().expect("generator is infinite");
+        let plan = planner.plan_frame(&frame, &pose, AngularPoint::CENTER, 0.0044);
+        planes_total += plan.total_planes();
+        // Profile every frame's kernel sequence so the bridged GPU track
+        // carries the same workload the executor accounts.
+        for item in plan.items.iter().filter(|it| it.needs_compute()) {
+            let job = HologramJob {
+                pixels: calibration::HOLOGRAM_PIXELS,
+                plane_count: item.planes,
+                coverage: item.coverage.clamp(f64::MIN_POSITIVE, 1.0),
+                gsw_iterations: calibration::GSW_ITERATIONS,
+            };
+            for stats in device.execute_all(&hologram_kernels::job_kernels(&job)) {
+                profiler.record(&stats);
+            }
+        }
+        // One optical quality + view pass (on the first frame that displays
+        // anything) exercises the fft/optics span taxonomy without
+        // dominating the run.
+        if !quality_done && plan.items.iter().any(|it| it.planes > 0 && it.coverage > 0.0) {
+            quality_done = true;
+            for item in plan.items.iter().filter(|it| it.planes > 0) {
+                let p = quality::object_psnr(&item.object, item.planes, &config);
+                if p.is_finite() {
+                    psnr_sum += p;
+                    psnr_n += 1;
+                }
+            }
+            let viewport = view::render_view(&plan.items, &pose.viewing_window(), 32, 48);
+            view_luminance = viewport.total_luminance();
+        }
+        let perf = executor::execute_plan(&mut device, &plan);
+        latencies.push(FrameLatencies {
+            pose: pose.latency,
+            eye: 0.0044,
+            scene: 0.120,
+            hologram: perf.latency,
+        });
+    }
+
+    let report =
+        holoar_pipeline::run_pipelined(frames as u64, |i| latencies[i as usize]);
+    let bridged = holoar_gpusim::bridge_profiler(&profiler);
+
+    let mut t = Table::new(["Quantity", "Value"]);
+    t.row(["frames simulated".to_string(), frames.to_string()]);
+    t.row(["planes planned (total)".to_string(), planes_total.to_string()]);
+    t.row([
+        "mean object PSNR (finite)".to_string(),
+        if psnr_n > 0 { format!("{:.1} dB", psnr_sum / f64::from(psnr_n)) } else { "n/a".into() },
+    ]);
+    t.row(["view luminance".to_string(), format!("{view_luminance:.2}")]);
+    t.row(["throughput".to_string(), format!("{:.2} fps", report.throughput_fps)]);
+    t.row(["motion-to-photon".to_string(), format!("{:.1} ms", report.mean_latency * 1e3)]);
+    t.row(["bottleneck".to_string(), format!("{:?}", report.bottleneck)]);
+    t.row(["GPU kernels bridged".to_string(), bridged.to_string()]);
+    format!(
+        "== supplementary: Inter-Intra-Holo end-to-end (telemetry showcase) ==\n{}\
+         run with --trace-out/--metrics-json to export the spans this pass emits\n",
+        t.render()
+    )
+}
+
 /// Names of all experiments, in run order.
-pub const ALL_EXPERIMENTS: [&str; 18] = [
+pub const ALL_EXPERIMENTS: [&str; 19] = [
     "table1", "fig2", "fig3", "fig4", "fig5", "sec3", "table2", "fig7", "fig8", "fig9", "fig10",
-    "horn8", "hybrid", "gating", "reuse", "fusion", "streams", "parallel",
+    "horn8", "hybrid", "gating", "reuse", "fusion", "streams", "parallel", "inter-intra",
 ];
 
 /// Runs one experiment by id.
@@ -810,6 +905,7 @@ pub fn run(id: &str, cfg: &ExperimentConfig) -> Result<String, String> {
         "fusion" => Ok(fusion(cfg)),
         "streams" => Ok(streams(cfg)),
         "parallel" => Ok(parallel(cfg)),
+        "inter-intra" => Ok(inter_intra(cfg)),
         "psnr" => Ok(psnr_ladder(cfg)),
         other => Err(format!(
             "unknown experiment '{other}'; valid: {} (or 'all')",

@@ -53,6 +53,7 @@ pub struct FramePerf {
 /// assert!(perf.latency >= executor::FRAME_OVERHEAD);
 /// ```
 pub fn execute_plan(device: &mut Device, plan: &ComputePlan) -> FramePerf {
+    let _span = holoar_telemetry::span_cat("core.executor.execute_plan", "core");
     let mut meter = EnergyMeter::new();
     let host_rails = device.config().power.rails(HOST_ACTIVITY);
     let overhead = FRAME_OVERHEAD + plan.pose_latency + plan.eye_track_latency;
@@ -70,19 +71,37 @@ pub fn execute_plan(device: &mut Device, plan: &ComputePlan) -> FramePerf {
             coverage: item.coverage.clamp(f64::MIN_POSITIVE, 1.0),
             gsw_iterations: calibration::GSW_ITERATIONS,
         };
-        let stats = run_job(device, &job);
+        let stats = {
+            let _job_span = holoar_telemetry::span_cat("core.executor.hologram_job", "core");
+            run_job(device, &job)
+        };
+        holoar_telemetry::histogram_record_us(
+            "core.executor.sim_latency_us",
+            stats.latency * 1e6,
+        );
         meter.accumulate(stats.latency, stats.rails);
         planes += item.planes;
         jobs += 1;
     }
 
-    FramePerf {
+    let perf = FramePerf {
         latency: meter.time,
         avg_power: meter.average_power(),
         energy: meter.energy.total(),
         planes,
         jobs,
-    }
+    };
+    holoar_telemetry::record_frame(
+        plan.frame_index,
+        &[
+            ("latency_ms", perf.latency * 1e3),
+            ("power_w", perf.avg_power),
+            ("energy_mj", perf.energy * 1e3),
+            ("planes", f64::from(perf.planes)),
+            ("jobs", perf.jobs as f64),
+        ],
+    );
+    perf
 }
 
 #[cfg(test)]

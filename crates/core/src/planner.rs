@@ -156,6 +156,7 @@ impl Planner {
     ///   assumed fully visible, and camera-to-object distances are unknown,
     ///   so Intra-Holo falls back to the full plane budget.
     pub fn plan_frame_with(&mut self, frame: &Frame, sensors: &SensorSample) -> ComputePlan {
+        let _span = holoar_telemetry::span_cat("core.planner.plan_frame", "core");
         let config = self.config;
         let pose = sensors.pose.estimate();
         let gaze = sensors.gaze.estimate();
@@ -218,7 +219,7 @@ impl Planner {
         }
         self.reuse.evict_stale(frame.index);
 
-        ComputePlan {
+        let plan = ComputePlan {
             frame_index: frame.index,
             items,
             eye_track_latency: if config.scheme.uses_eye_tracking() {
@@ -227,7 +228,12 @@ impl Planner {
                 0.0
             },
             pose_latency: pose.map(|p| p.latency).unwrap_or(0.0),
-        }
+        };
+        holoar_telemetry::gauge_set("core.plan.total_planes", f64::from(plan.total_planes()));
+        holoar_telemetry::counter_add("core.plan.objects_computed", plan.compute_count() as u64);
+        holoar_telemetry::counter_add("core.plan.objects_reused", plan.reused_count() as u64);
+        holoar_telemetry::counter_add("core.plan.objects_skipped", plan.skipped_count() as u64);
+        plan
     }
 }
 

@@ -111,6 +111,7 @@ pub fn object_psnr_with(
     if planes >= config.full_planes {
         return f64::INFINITY;
     }
+    let _span = holoar_telemetry::span_cat("core.quality.object_psnr", "core");
     let optics = OpticalConfig::default();
     let n = QUALITY_RESOLUTION;
     // Distances are quantized to 0.5 mm so transfer functions and PSNR

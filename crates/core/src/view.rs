@@ -83,6 +83,7 @@ pub fn render_view_with(
     par: &Parallelism,
 ) -> ViewportImage {
     assert!(rows > 0 && cols > 0, "viewport must be non-empty");
+    let _span = holoar_telemetry::span_cat("core.view.render_view", "core");
     let mut pixels = vec![0.0f64; rows * cols];
     let optics = OpticalConfig::default();
     const TILE: usize = 24;
@@ -95,6 +96,7 @@ pub fn render_view_with(
         if item.planes == 0 || item.coverage <= 0.0 {
             return None;
         }
+        let _tile_span = holoar_telemetry::span_cat("core.view.tile", "core");
         let obj = &item.object;
         let z = (obj.distance * OPTICAL_SCALE).max(0.001);
         let extent = (obj.size * OPTICAL_SCALE).min(z * 0.8);

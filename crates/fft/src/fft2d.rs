@@ -106,6 +106,7 @@ impl Fft2d {
     ///
     /// Panics if `buf.len() != rows * cols`.
     pub fn forward(&self, buf: &mut [Complex64]) {
+        let _span = holoar_telemetry::span_cat("fft.fft2d.forward", "fft");
         self.run(buf, true);
     }
 
@@ -115,6 +116,7 @@ impl Fft2d {
     ///
     /// Panics if `buf.len() != rows * cols`.
     pub fn inverse(&self, buf: &mut [Complex64]) {
+        let _span = holoar_telemetry::span_cat("fft.fft2d.inverse", "fft");
         self.run(buf, false);
     }
 

@@ -55,7 +55,12 @@ impl ScratchArena {
     /// Checks out a buffer of exactly `len` zeros, reusing a pooled
     /// allocation when one is available.
     pub fn take(&self, len: usize) -> Vec<Complex64> {
-        let mut buf = self.pool.lock().expect("arena lock").pop().unwrap_or_default();
+        let pooled = self.pool.lock().expect("arena lock").pop();
+        holoar_telemetry::counter_add(
+            if pooled.is_some() { "fft.arena.take.reuse" } else { "fft.arena.take.alloc" },
+            1,
+        );
+        let mut buf = pooled.unwrap_or_default();
         buf.clear();
         buf.resize(len, Complex64::ZERO);
         buf
@@ -66,6 +71,7 @@ impl ScratchArena {
         if buf.capacity() == 0 {
             return;
         }
+        holoar_telemetry::counter_add("fft.arena.give", 1);
         let mut pool = self.pool.lock().expect("arena lock");
         if pool.len() < ARENA_POOL_CAP {
             pool.push(buf);
@@ -179,6 +185,7 @@ impl Parallelism {
             f(0, data);
             return;
         }
+        let _span = holoar_telemetry::span_cat("fft.par.for_each_chunk", "fft");
         let per_piece = units.div_ceil(pieces) * unit;
         std::thread::scope(|scope| {
             let mut rest = data;
@@ -206,6 +213,7 @@ impl Parallelism {
         if self.workers <= 1 || items.len() <= 1 {
             return items.iter().map(f).collect();
         }
+        let _span = holoar_telemetry::span_cat("fft.par.map", "fft");
         let mut out: Vec<Option<R>> = Vec::new();
         out.resize_with(items.len(), || None);
         let per_piece = items.len().div_ceil(self.workers.min(items.len()));

@@ -115,6 +115,7 @@ impl FftPlanner {
     pub fn plan(&mut self, n: usize) -> FftPlan {
         assert!(n > 0, "cannot plan a zero-length transform");
         if let Some(plan) = self.cache.get(&n) {
+            holoar_telemetry::counter_add("fft.plan_cache.local_hit", 1);
             return plan.clone();
         }
         let plan = global_plan(n);
@@ -135,17 +136,22 @@ static GLOBAL_PLANS: OnceLock<Mutex<HashMap<usize, FftPlan>>> = OnceLock::new();
 fn global_plan(n: usize) -> FftPlan {
     let cache = GLOBAL_PLANS.get_or_init(|| Mutex::new(HashMap::new()));
     let mut cache = cache.lock().expect("plan cache lock");
-    cache
-        .entry(n)
-        .or_insert_with(|| {
+    match cache.entry(n) {
+        std::collections::hash_map::Entry::Occupied(hit) => {
+            holoar_telemetry::counter_add("fft.plan_cache.hit", 1);
+            hit.get().clone()
+        }
+        std::collections::hash_map::Entry::Vacant(miss) => {
+            holoar_telemetry::counter_add("fft.plan_cache.miss", 1);
+            let _span = holoar_telemetry::span_cat("fft.plan.build", "fft");
             let algo = if n.is_power_of_two() {
                 Algo::Radix2(Radix2Plan::new(n))
             } else {
                 Algo::Bluestein(BluesteinPlan::new(n))
             };
-            FftPlan { algo: Arc::new(algo) }
-        })
-        .clone()
+            miss.insert(FftPlan { algo: Arc::new(algo) }).clone()
+        }
+    }
 }
 
 /// Number of distinct lengths in the process-wide plan cache.

@@ -165,6 +165,30 @@ proptest! {
         prop_assert_eq!(&got, &want);
     }
 
+    /// Telemetry is observation only: running the same transforms with
+    /// `full` tracing enabled must not perturb a single bit of output, and
+    /// the parallel-vs-serial identity must keep holding while instrumented.
+    #[test]
+    fn full_telemetry_does_not_change_fft_output(
+        (rows, cols, x) in shape_and_data(),
+        workers in prop::sample::select(vec![1usize, 2, 7]),
+    ) {
+        let fft = Fft2d::with_parallelism(rows, cols, Parallelism::new(workers));
+        let mut quiet = x.clone();
+        fft.forward(&mut quiet);
+
+        let previous = holoar_telemetry::mode();
+        holoar_telemetry::set_mode(holoar_telemetry::TelemetryMode::Full);
+        let mut traced = x.clone();
+        fft.forward(&mut traced);
+        let mut serial_traced = x.clone();
+        Fft2d::new(rows, cols).forward(&mut serial_traced);
+        holoar_telemetry::set_mode(previous);
+
+        prop_assert_eq!(&traced, &quiet);
+        prop_assert_eq!(&traced, &serial_traced);
+    }
+
     /// The in-place fftshift/ifftshift fast paths keep their inverse
     /// relationship under parallel 2-D transforms around them.
     #[test]

@@ -33,6 +33,7 @@ pub mod power;
 pub mod profiler;
 pub mod sm;
 pub mod stats;
+pub mod telemetry_bridge;
 pub mod timeline;
 
 pub use config::{DeviceConfig, MemoryConfig, PowerConfig, SmConfig};
@@ -43,4 +44,5 @@ pub use kernel::{InstructionMix, KernelDesc};
 pub use power::{Activity, EnergyMeter, RailEnergy, RailPower};
 pub use profiler::{KernelAggregate, Profiler};
 pub use stats::{KernelStats, StallBreakdown, StallCategory};
+pub use telemetry_bridge::{bridge_profiler, GPU_TRACK};
 pub use timeline::{simulate, OccupancySample, StreamOp, Timeline};

@@ -49,11 +49,23 @@ impl KernelAggregate {
     }
 
     /// Time-weighted mean L1 hit rate.
+    ///
+    /// Returns `0.0` when no time has been recorded; use
+    /// [`KernelAggregate::mean_l1_hit_rate`] to distinguish "no data" from a
+    /// genuine zero hit rate.
     pub fn l1_hit_rate(&self) -> f64 {
+        self.mean_l1_hit_rate().unwrap_or(0.0)
+    }
+
+    /// Time-weighted mean L1 hit rate, or `None` when this aggregate has
+    /// recorded no execution time (a kernel never launched, or only
+    /// zero-duration launches) — the `weighted_l1 / total_time` division
+    /// would otherwise be 0/0.
+    pub fn mean_l1_hit_rate(&self) -> Option<f64> {
         if self.total_time > 0.0 {
-            self.weighted_l1 / self.total_time
+            Some(self.weighted_l1 / self.total_time)
         } else {
-            0.0
+            None
         }
     }
 
@@ -130,11 +142,14 @@ impl Profiler {
                 agg.total_time * 1e3,
                 agg.mean_time() * 1e3
             );
+            let l1_hit = match agg.mean_l1_hit_rate() {
+                Some(rate) => format!("{:>5.1}%", rate * 100.0),
+                None => "  n/a".to_string(),
+            };
             let _ = writeln!(
                 out,
-                "  sm_utilization {:>5.1}%   l1_hit {:>5.1}%   l1 {:.1} MB   dram {:.2} MB",
+                "  sm_utilization {:>5.1}%   l1_hit {l1_hit}   l1 {:.1} MB   dram {:.2} MB",
                 agg.sm_utilization() * 100.0,
-                agg.l1_hit_rate() * 100.0,
                 agg.l1_bytes / 1e6,
                 agg.dram_bytes / 1e6
             );
@@ -210,6 +225,38 @@ mod tests {
         assert_eq!(agg.mean_time(), 0.0);
         assert_eq!(agg.sm_utilization(), 0.0);
         assert_eq!(agg.l1_hit_rate(), 0.0);
+        assert_eq!(agg.mean_l1_hit_rate(), None);
+    }
+
+    #[test]
+    fn mean_l1_hit_rate_matches_recorded_data() {
+        let mut p = Profiler::new();
+        p.record(&run_one("a"));
+        let agg = p.aggregate("a").unwrap();
+        let rate = agg.mean_l1_hit_rate().expect("time was recorded");
+        assert!((rate - agg.l1_hit_rate()).abs() < 1e-15);
+        assert!((0.0..=1.0).contains(&rate));
+    }
+
+    #[test]
+    fn report_prints_na_for_never_launched_kernels() {
+        // An aggregate with zero recorded time must render "n/a", not NaN.
+        let mut p = Profiler::new();
+        let ghost = KernelStats {
+            name: "ghost".to_string(),
+            time: 0.0,
+            cycles: 0.0,
+            busy_cycles: 0.0,
+            stalls: StallBreakdown::new(),
+            sm_utilization: 0.0,
+            l1_hit_rate: 0.0,
+            l1_bytes: 0.0,
+            dram_bytes: 0.0,
+        };
+        p.record(&ghost);
+        let report = p.report();
+        assert!(report.contains("n/a"), "{report}");
+        assert!(!report.contains("NaN"), "{report}");
     }
 
     #[test]

@@ -134,6 +134,8 @@ pub fn hologram_from_planes_with(
     par: &Parallelism,
 ) -> HologramResult {
     assert!(!stack.is_empty(), "hologram requires at least one depth plane");
+    let _span = holoar_telemetry::span_cat("optics.algorithm1.hologram", "optics");
+    holoar_telemetry::gauge_set("optics.algorithm1.planes", stack.len() as f64);
     let rows = stack.plane(0).field.rows();
     let cols = stack.plane(0).field.cols();
     let mut prop = Propagator::with_parallelism(par.clone());

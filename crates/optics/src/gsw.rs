@@ -88,6 +88,8 @@ pub fn run_with(
 ) -> GswResult {
     assert!(!stack.is_empty(), "GSW requires at least one depth plane");
     assert!(config.iterations > 0, "GSW requires at least one iteration");
+    let _span = holoar_telemetry::span_cat("optics.gsw.run", "optics");
+    holoar_telemetry::gauge_set("optics.gsw.planes", stack.len() as f64);
     let rows = stack.plane(0).field.rows();
     let cols = stack.plane(0).field.cols();
     let mut prop = Propagator::with_parallelism(par.clone());
@@ -109,6 +111,7 @@ pub fn run_with(
     let mut final_efficiency = 0.0;
 
     for _ in 0..config.iterations {
+        let _iter_span = holoar_telemetry::span_cat("optics.gsw.iteration", "optics");
         // Backward: superpose weighted targets on the hologram plane. The
         // per-plane fields only read targets/weights/phases, so construction
         // fans out; dark planes are skipped exactly like the serial loop.

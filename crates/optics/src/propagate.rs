@@ -97,6 +97,7 @@ impl Propagator {
         if z == 0.0 {
             return field.clone();
         }
+        let _span = holoar_telemetry::span_cat("optics.propagate", "optics");
         let fft = self.fft_for(field.rows(), field.cols());
         let h = self.transfer_for(field.rows(), field.cols(), field.config(), z);
         apply_transfer(field, &fft, &h)
@@ -114,6 +115,7 @@ impl Propagator {
     ///
     /// Panics if any distance is not finite.
     pub fn propagate_batch(&mut self, field: &Field, zs: &[f64]) -> Vec<Field> {
+        let _span = holoar_telemetry::span_cat("optics.propagate_batch", "optics");
         let (rows, cols) = (field.rows(), field.cols());
         // Warm both caches serially so insertion order (and therefore
         // `cached_transfer_count`) matches the serial loop exactly.
@@ -143,6 +145,7 @@ impl Propagator {
     /// finite.
     pub fn propagate_planes(&mut self, fields: &[Field], zs: &[f64]) -> Vec<Field> {
         assert_eq!(fields.len(), zs.len(), "one distance per field");
+        let _span = holoar_telemetry::span_cat("optics.propagate_planes", "optics");
         let jobs: Vec<(&Field, PreparedPlane)> = fields
             .iter()
             .zip(zs)
@@ -190,12 +193,16 @@ impl Propagator {
 
     /// The cached (or newly planned) FFT for a shape.
     fn fft_for(&self, rows: usize, cols: usize) -> Fft2d {
-        self.ffts
-            .lock()
-            .expect("fft cache lock")
-            .entry((rows, cols))
-            .or_insert_with(|| Fft2d::with_parallelism(rows, cols, self.par.clone()))
-            .clone()
+        match self.ffts.lock().expect("fft cache lock").entry((rows, cols)) {
+            std::collections::hash_map::Entry::Occupied(hit) => {
+                holoar_telemetry::counter_add("optics.fft_cache.hit", 1);
+                hit.get().clone()
+            }
+            std::collections::hash_map::Entry::Vacant(miss) => {
+                holoar_telemetry::counter_add("optics.fft_cache.miss", 1);
+                miss.insert(Fft2d::with_parallelism(rows, cols, self.par.clone())).clone()
+            }
+        }
     }
 
     /// The cached (or newly built) transfer function for a shape/distance.
@@ -208,14 +215,24 @@ impl Propagator {
     ) -> Arc<Vec<Complex64>> {
         let key =
             (rows, cols, z.to_bits(), cfg.wavelength.to_bits(), cfg.pitch.to_bits());
-        self.transfer
-            .lock()
-            .expect("transfer cache lock")
-            .entry(key)
-            .or_insert_with(|| {
-                Arc::new(transfer_function(rows, cols, cfg.pitch, cfg.wavelength, z))
-            })
-            .clone()
+        match self.transfer.lock().expect("transfer cache lock").entry(key) {
+            std::collections::hash_map::Entry::Occupied(hit) => {
+                holoar_telemetry::counter_add("optics.transfer_cache.hit", 1);
+                hit.get().clone()
+            }
+            std::collections::hash_map::Entry::Vacant(miss) => {
+                holoar_telemetry::counter_add("optics.transfer_cache.miss", 1);
+                let _span = holoar_telemetry::span_cat("optics.transfer.build", "optics");
+                miss.insert(Arc::new(transfer_function(
+                    rows,
+                    cols,
+                    cfg.pitch,
+                    cfg.wavelength,
+                    z,
+                )))
+                .clone()
+            }
+        }
     }
 }
 

@@ -220,3 +220,41 @@ proptest! {
         prop_assert_eq!(got.samples(), want.samples());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry is observation only: enabling `full` tracing must not change a
+// single bit of the optical output, serial or parallel.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn full_telemetry_does_not_change_gsw_output() {
+    use holoar_optics::{gsw, GswConfig};
+
+    let n = 32;
+    let mut amp = vec![0.0; n * n];
+    let mut depth = vec![0.01; n * n];
+    for &(r, c, z) in &[(8usize, 8usize, 0.01f64), (24, 24, 0.02), (16, 8, 0.03)] {
+        amp[r * n + c] = 1.0;
+        depth[r * n + c] = z;
+    }
+    let dm = DepthMap::new(n, n, amp, depth).unwrap();
+    let cfg = OpticalConfig::default();
+    let gsw_cfg = GswConfig { iterations: 3, adaptivity: 1.0 };
+    let quiet = gsw::run(&dm.slice(3, cfg), cfg, gsw_cfg);
+
+    let previous = holoar_telemetry::mode();
+    holoar_telemetry::set_mode(holoar_telemetry::TelemetryMode::Full);
+    let traced_serial = gsw::run(&dm.slice(3, cfg), cfg, gsw_cfg);
+    let traced_results: Vec<_> = [1usize, 2, 7]
+        .iter()
+        .map(|&w| gsw::run_with(&dm.slice(3, cfg), cfg, gsw_cfg, &Parallelism::new(w)))
+        .collect();
+    holoar_telemetry::set_mode(previous);
+
+    assert_eq!(traced_serial.hologram.samples(), quiet.hologram.samples());
+    assert_eq!(traced_serial.uniformity.to_bits(), quiet.uniformity.to_bits());
+    for (w, traced) in [1usize, 2, 7].iter().zip(&traced_results) {
+        assert_eq!(traced.hologram.samples(), quiet.hologram.samples(), "workers {w}");
+        assert_eq!(traced.efficiency.to_bits(), quiet.efficiency.to_bits(), "workers {w}");
+    }
+}

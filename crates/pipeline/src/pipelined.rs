@@ -44,7 +44,13 @@ pub fn run_pipelined<F: FnMut(u64) -> FrameLatencies>(
     mut frame_fn: F,
 ) -> PipelinedReport {
     assert!(frames > 0, "need at least one frame");
-    let latencies: Vec<FrameLatencies> = (0..frames).map(&mut frame_fn).collect();
+    let _span = holoar_telemetry::span_cat("pipeline.run_pipelined", "pipeline");
+    let latencies: Vec<FrameLatencies> = (0..frames)
+        .map(|i| {
+            let _frame_span = holoar_telemetry::span_cat("pipeline.frame_eval", "pipeline");
+            frame_fn(i)
+        })
+        .collect();
     summarize(&latencies)
 }
 
@@ -66,13 +72,18 @@ pub fn run_pipelined_with<F: Fn(u64) -> FrameLatencies + Sync>(
     par: &Parallelism,
 ) -> PipelinedReport {
     assert!(frames > 0, "need at least one frame");
+    let _span = holoar_telemetry::span_cat("pipeline.run_pipelined", "pipeline");
     let indices: Vec<u64> = (0..frames).collect();
-    let latencies = par.map(&indices, |&i| frame_fn(i));
+    let latencies = par.map(&indices, |&i| {
+        let _frame_span = holoar_telemetry::span_cat("pipeline.frame_eval", "pipeline");
+        frame_fn(i)
+    });
     summarize(&latencies)
 }
 
 /// Serial, frame-ordered reduction shared by both entry points.
 fn summarize(latencies: &[FrameLatencies]) -> PipelinedReport {
+    let _span = holoar_telemetry::span_cat("pipeline.summarize", "pipeline");
     let frames = latencies.len() as u64;
     let cadence = TaskKind::SceneReconstruct.frame_cadence() as f64;
     let mut stage_sums = [0.0f64; 4]; // pose, eye, scene (amortized), hologram
@@ -99,12 +110,15 @@ fn summarize(latencies: &[FrameLatencies]) -> PipelinedReport {
         TaskKind::SceneReconstruct,
         TaskKind::Hologram,
     ][bottleneck_idx];
-    PipelinedReport {
+    let report = PipelinedReport {
         frames,
         throughput_fps: 1.0 / slowest.max(f64::MIN_POSITIVE),
         mean_latency: latency_sum / n,
         bottleneck,
-    }
+    };
+    holoar_telemetry::gauge_set("pipeline.throughput_fps", report.throughput_fps);
+    holoar_telemetry::gauge_set("pipeline.mean_latency_ms", report.mean_latency * 1e3);
+    report
 }
 
 #[cfg(test)]

@@ -53,6 +53,7 @@ pub struct QosReport {
 /// Panics if `frames == 0`.
 pub fn run_loop<F: FnMut(u64) -> FrameLatencies>(frames: u64, mut frame_fn: F) -> QosReport {
     assert!(frames > 0, "need at least one frame");
+    let _span = holoar_telemetry::span_cat("pipeline.run_loop", "pipeline");
     let mut total = 0.0;
     let mut hits = 0u64;
     for i in 0..frames {
@@ -61,11 +62,14 @@ pub fn run_loop<F: FnMut(u64) -> FrameLatencies>(frames: u64, mut frame_fn: F) -
             lat.scene = 0.0;
         }
         let t = lat.total();
+        holoar_telemetry::histogram_record_us("pipeline.sim_frame_latency_us", t * 1e6);
         total += t;
         if t <= TaskKind::Hologram.ideal_latency() {
             hits += 1;
         }
     }
+    holoar_telemetry::counter_add("pipeline.deadline.hits", hits);
+    holoar_telemetry::counter_add("pipeline.deadline.misses", frames - hits);
     let mean = total / frames as f64;
     QosReport {
         frames,

@@ -1,0 +1,136 @@
+//! The process-wide collector: one monotonic epoch, the completed-span
+//! buffer, the metrics [`Registry`] and the per-frame summary log.
+//!
+//! Everything lives behind a `OnceLock` so a process that never enables
+//! telemetry never allocates any of it. Span capture is bounded
+//! ([`MAX_SPANS`]) so a long evaluation run with `full` telemetry cannot
+//! grow memory without limit — overflow is counted, never silently ignored.
+
+use std::borrow::Cow;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::metrics::Registry;
+
+/// Upper bound on retained span records; overflow increments the
+/// `telemetry.spans.dropped` counter.
+pub const MAX_SPANS: usize = 1_000_000;
+
+/// Upper bound on retained per-frame summary rows.
+pub const MAX_FRAMES: usize = 100_000;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Span name (the stage it measures, e.g. `optics.gsw.iteration`).
+    pub name: Cow<'static, str>,
+    /// Category (Chrome-trace `cat`): `fft`, `optics`, `core`, `pipeline`,
+    /// `gpu`, …
+    pub cat: &'static str,
+    /// Telemetry thread id (small dense integers; GPU bridge tracks use
+    /// ids ≥ [`crate::span::EXTERNAL_TID_BASE`]).
+    pub tid: u32,
+    /// Unique span id.
+    pub id: u32,
+    /// Enclosing span's id on the same thread, if any.
+    pub parent: Option<u32>,
+    /// Start time, nanoseconds since the collector epoch.
+    pub start_ns: u64,
+    /// Duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// One per-frame summary row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameRow {
+    /// Frame index the row describes.
+    pub index: u64,
+    /// `(field, value)` pairs in recording order.
+    pub fields: Vec<(String, f64)>,
+}
+
+struct Collector {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    registry: Mutex<Registry>,
+    frames: Mutex<Vec<FrameRow>>,
+}
+
+static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+
+fn collector() -> &'static Collector {
+    COLLECTOR.get_or_init(|| Collector {
+        epoch: Instant::now(),
+        spans: Mutex::new(Vec::new()),
+        registry: Mutex::new(Registry::new()),
+        frames: Mutex::new(Vec::new()),
+    })
+}
+
+/// Nanoseconds since the collector epoch (the first telemetry touch).
+pub fn now_ns() -> u64 {
+    collector().epoch.elapsed().as_nanos() as u64
+}
+
+/// Runs `f` against the process-wide metrics registry.
+pub fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    f(&mut collector().registry.lock().expect("telemetry registry lock"))
+}
+
+/// Appends a completed span (drops and counts once [`MAX_SPANS`] is hit).
+pub(crate) fn push_span(record: SpanRecord) {
+    let c = collector();
+    {
+        let mut spans = c.spans.lock().expect("telemetry span lock");
+        if spans.len() < MAX_SPANS {
+            spans.push(record);
+            return;
+        }
+    }
+    with_registry(|r| r.counter_add("telemetry.spans.dropped", 1));
+}
+
+/// Number of retained span records.
+pub fn span_count() -> usize {
+    collector().spans.lock().expect("telemetry span lock").len()
+}
+
+/// A copy of every retained span record (unspecified order; exporters sort).
+pub fn span_snapshot() -> Vec<SpanRecord> {
+    collector().spans.lock().expect("telemetry span lock").clone()
+}
+
+/// Records one per-frame summary row (no-op unless telemetry is enabled).
+/// Rows past [`MAX_FRAMES`] are dropped and counted.
+pub fn record_frame(index: u64, fields: &[(&str, f64)]) {
+    if !crate::mode::enabled() {
+        return;
+    }
+    let c = collector();
+    {
+        let mut frames = c.frames.lock().expect("telemetry frame lock");
+        if frames.len() < MAX_FRAMES {
+            frames.push(FrameRow {
+                index,
+                fields: fields.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+            });
+            return;
+        }
+    }
+    with_registry(|r| r.counter_add("telemetry.frames.dropped", 1));
+}
+
+/// A copy of the per-frame summary log, in recording order.
+pub fn frame_snapshot() -> Vec<FrameRow> {
+    collector().frames.lock().expect("telemetry frame lock").clone()
+}
+
+/// Clears spans, metrics and frame rows (the epoch is preserved so
+/// timestamps stay monotonic across resets). Used by tests and by the
+/// `repro` binary between experiments when isolating traces.
+pub fn reset() {
+    let c = collector();
+    c.spans.lock().expect("telemetry span lock").clear();
+    c.registry.lock().expect("telemetry registry lock").clear();
+    c.frames.lock().expect("telemetry frame lock").clear();
+}

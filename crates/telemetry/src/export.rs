@@ -1,0 +1,258 @@
+//! Exporters: Chrome-trace (`chrome://tracing` / Perfetto) JSON, a flat
+//! metrics JSON, a metrics CSV, and the per-frame summary CSV.
+//!
+//! All serialization is hand-rolled (the workspace is dependency-free); the
+//! output is plain standard JSON, verified round-trip by the exporter tests
+//! through [`crate::jsonlite`].
+
+use std::fmt::Write as _;
+
+use crate::collector::{frame_snapshot, span_snapshot, with_registry, SpanRecord};
+use crate::metrics::{Metric, Registry, BUCKET_BOUNDS_US};
+use crate::span::external_tracks;
+
+/// Exports every retained span as a Chrome-trace JSON document
+/// (`{"traceEvents": [...]}` with complete `"ph": "X"` events, timestamps
+/// in microseconds since the collector epoch).
+///
+/// Events are sorted by start time (ties broken longest-first so parents
+/// precede their children); viewers group rows by `pid`/`tid`, with
+/// metadata events naming the process and the bridged GPU tracks.
+pub fn export_chrome_trace() -> String {
+    let mut spans = span_snapshot();
+    spans.sort_by(|a, b| {
+        a.start_ns.cmp(&b.start_ns).then(b.dur_ns.cmp(&a.dur_ns)).then(a.id.cmp(&b.id))
+    });
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"holoar\"}}",
+    );
+    for (track, tid) in external_tracks() {
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":{}}}}}",
+            json_string(&track)
+        );
+    }
+    for s in &spans {
+        out.push_str(",\n");
+        push_span_event(&mut out, s);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn push_span_event(out: &mut String, s: &SpanRecord) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"name\":{},\"cat\":{},\
+         \"ts\":{},\"dur\":{},\"args\":{{\"id\":{}",
+        s.tid,
+        json_string(&s.name),
+        json_string(s.cat),
+        json_f64(s.start_ns as f64 / 1e3),
+        json_f64(s.dur_ns as f64 / 1e3),
+        s.id,
+    );
+    if let Some(parent) = s.parent {
+        let _ = write!(out, ",\"parent\":{parent}");
+    }
+    out.push_str("}}");
+}
+
+/// Exports the metrics registry (plus frame-log and span-count summaries)
+/// as one JSON document: `{"mode", "span_count", "counters", "gauges",
+/// "histograms", "frames"}`.
+pub fn export_metrics_json() -> String {
+    let registry: Registry = with_registry(|r| r.clone());
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"mode\": {},", json_string(crate::mode().name()));
+    let _ = writeln!(out, "  \"span_count\": {},", crate::span_count());
+
+    out.push_str("  \"counters\": {");
+    let mut first = true;
+    for (name, metric) in registry.iter() {
+        if let Metric::Counter(v) = metric {
+            push_key(&mut out, &mut first, name, 4);
+            let _ = write!(out, "{v}");
+        }
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    first = true;
+    for (name, metric) in registry.iter() {
+        if let Metric::Gauge(v) = metric {
+            push_key(&mut out, &mut first, name, 4);
+            out.push_str(&json_f64(*v));
+        }
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    first = true;
+    for (name, metric) in registry.iter() {
+        if let Metric::Histogram(h) = metric {
+            push_key(&mut out, &mut first, name, 4);
+            let _ = write!(
+                out,
+                "{{\"count\": {}, \"sum_us\": {}, \"mean_us\": {}, \"min_us\": {}, \
+                 \"max_us\": {}, \"buckets\": [",
+                h.count(),
+                json_f64(h.sum_us()),
+                json_f64(h.mean_us()),
+                json_f64(h.min_us().unwrap_or(0.0)),
+                json_f64(h.max_us().unwrap_or(0.0)),
+            );
+            for (i, (&count, bound)) in h
+                .bucket_counts()
+                .iter()
+                .zip(BUCKET_BOUNDS_US.iter().map(|&b| json_f64(b)).chain(["null".to_string()]))
+                .enumerate()
+            {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{{\"le_us\": {bound}, \"count\": {count}}}");
+            }
+            out.push_str("]}");
+        }
+    }
+    out.push_str("\n  },\n  \"frames\": [");
+    let frames = frame_snapshot();
+    for (i, row) in frames.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {{\"index\": {}", row.index);
+        for (key, value) in &row.fields {
+            let _ = write!(out, ", {}: {}", json_string(key), json_f64(*value));
+        }
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Exports counters and gauges as flat CSV (`name,kind,value`), histograms
+/// as (`name,histogram,count,sum_us,mean_us,min_us,max_us`).
+pub fn export_metrics_csv() -> String {
+    let registry: Registry = with_registry(|r| r.clone());
+    let mut out = String::from("name,kind,value,sum_us,mean_us,min_us,max_us\n");
+    for (name, metric) in registry.iter() {
+        match metric {
+            Metric::Counter(v) => {
+                let _ = writeln!(out, "{name},counter,{v},,,,");
+            }
+            Metric::Gauge(v) => {
+                let _ = writeln!(out, "{name},gauge,{v},,,,");
+            }
+            Metric::Histogram(h) => {
+                let _ = writeln!(
+                    out,
+                    "{name},histogram,{},{},{},{},{}",
+                    h.count(),
+                    h.sum_us(),
+                    h.mean_us(),
+                    h.min_us().unwrap_or(0.0),
+                    h.max_us().unwrap_or(0.0),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Exports the per-frame summary log as CSV. The header is the union of
+/// every row's field names (in first-seen order); missing fields are empty.
+pub fn export_frames_csv() -> String {
+    let frames = frame_snapshot();
+    let mut columns: Vec<String> = Vec::new();
+    for row in &frames {
+        for (key, _) in &row.fields {
+            if !columns.contains(key) {
+                columns.push(key.clone());
+            }
+        }
+    }
+    let mut out = String::from("frame");
+    for c in &columns {
+        let _ = write!(out, ",{c}");
+    }
+    out.push('\n');
+    for row in &frames {
+        let _ = write!(out, "{}", row.index);
+        for c in &columns {
+            out.push(',');
+            if let Some((_, v)) = row.fields.iter().find(|(k, _)| k == c) {
+                let _ = write!(out, "{v}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a finite float as plain JSON (no exponent-free guarantees
+/// needed — `{:?}` always emits a valid JSON number for finite values);
+/// non-finite values become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn push_key(out: &mut String, first: &mut bool, name: &str, indent: usize) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('\n');
+    for _ in 0..indent {
+        out.push(' ');
+    }
+    out.push_str(&json_string(name));
+    out.push_str(": ");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_f64_emits_valid_numbers() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(0.0), "0.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,134 @@
+//! The global telemetry mode: one relaxed atomic consulted by every entry
+//! point, so disabled telemetry costs a single load.
+//!
+//! Mirrors `HOLOAR_THREADS`' environment-variable style: processes opt in
+//! with `HOLOAR_TELEMETRY=summary` or `HOLOAR_TELEMETRY=full`; unset (or any
+//! unrecognized value) means off, so CI and benches run untelemetered by
+//! default.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Environment variable selecting the telemetry mode.
+pub const TELEMETRY_ENV_VAR: &str = "HOLOAR_TELEMETRY";
+
+/// How much the process records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TelemetryMode {
+    /// Nothing is recorded; every entry point is a single atomic load.
+    Off = 0,
+    /// Metrics (counters, gauges, histograms — including span-duration
+    /// histograms) are recorded, but no per-span trace events are retained.
+    Summary = 1,
+    /// Everything: metrics plus the span tree for Chrome-trace export.
+    Full = 2,
+}
+
+impl TelemetryMode {
+    /// Parses a mode string: `off`/`0`/`false`/`none`, `summary`, or
+    /// `full`/`on`/`1`/`true`/`trace` (case-insensitive, surrounding
+    /// whitespace ignored). Returns `None` for anything else.
+    pub fn parse(value: &str) -> Option<TelemetryMode> {
+        match value.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "false" | "none" => Some(TelemetryMode::Off),
+            "summary" => Some(TelemetryMode::Summary),
+            "full" | "on" | "1" | "true" | "trace" => Some(TelemetryMode::Full),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name (`off`, `summary`, `full`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TelemetryMode::Off => "off",
+            TelemetryMode::Summary => "summary",
+            TelemetryMode::Full => "full",
+        }
+    }
+}
+
+/// Process-wide mode; `Off` until [`set_mode`] or [`init_from_env`] runs.
+static MODE: AtomicU8 = AtomicU8::new(TelemetryMode::Off as u8);
+
+/// The current telemetry mode.
+#[inline]
+pub fn mode() -> TelemetryMode {
+    match MODE.load(Ordering::Relaxed) {
+        1 => TelemetryMode::Summary,
+        2 => TelemetryMode::Full,
+        _ => TelemetryMode::Off,
+    }
+}
+
+/// Sets the process-wide telemetry mode.
+pub fn set_mode(mode: TelemetryMode) {
+    MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// Whether any recording (metrics or spans) is active.
+#[inline]
+pub fn enabled() -> bool {
+    MODE.load(Ordering::Relaxed) != TelemetryMode::Off as u8
+}
+
+/// Whether per-span trace events are retained (mode `full`).
+#[inline]
+pub fn capture_spans() -> bool {
+    MODE.load(Ordering::Relaxed) == TelemetryMode::Full as u8
+}
+
+/// Resolves the mode the environment asks for: `HOLOAR_TELEMETRY` when set
+/// to a recognized value, otherwise [`TelemetryMode::Off`]. Does not change
+/// the process-wide mode.
+pub fn mode_from_env() -> TelemetryMode {
+    std::env::var(TELEMETRY_ENV_VAR)
+        .ok()
+        .and_then(|v| TelemetryMode::parse(&v))
+        .unwrap_or(TelemetryMode::Off)
+}
+
+/// Applies the environment's mode ([`mode_from_env`]) process-wide and
+/// returns it. Call once at process start (the `repro` binary does).
+pub fn init_from_env() -> TelemetryMode {
+    let m = mode_from_env();
+    set_mode(m);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_each_mode_spelling() {
+        for s in ["off", "OFF", " 0 ", "false", "none"] {
+            assert_eq!(TelemetryMode::parse(s), Some(TelemetryMode::Off), "{s}");
+        }
+        for s in ["summary", "Summary", " SUMMARY "] {
+            assert_eq!(TelemetryMode::parse(s), Some(TelemetryMode::Summary), "{s}");
+        }
+        for s in ["full", "FULL", "on", "1", "true", "trace"] {
+            assert_eq!(TelemetryMode::parse(s), Some(TelemetryMode::Full), "{s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_values() {
+        for s in ["", "2", "verbose", "ful l", "offf"] {
+            assert_eq!(TelemetryMode::parse(s), None, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for m in [TelemetryMode::Off, TelemetryMode::Summary, TelemetryMode::Full] {
+            assert_eq!(TelemetryMode::parse(m.name()), Some(m));
+        }
+    }
+
+    #[test]
+    fn modes_are_ordered_by_verbosity() {
+        assert!(TelemetryMode::Off < TelemetryMode::Summary);
+        assert!(TelemetryMode::Summary < TelemetryMode::Full);
+    }
+}
