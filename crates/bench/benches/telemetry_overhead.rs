@@ -11,7 +11,6 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use holoar_telemetry::TelemetryMode;
 use std::hint::black_box;
-use std::time::Instant;
 
 const SPANS_PER_ITER: usize = 1000;
 
@@ -52,12 +51,12 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     // lock or reading the clock before the mode check).
     holoar_telemetry::set_mode(TelemetryMode::Off);
     let rounds = 200;
-    let start = Instant::now();
+    let start = holoar_telemetry::now_ns();
     for _ in 0..rounds {
         spans_burst();
     }
-    let per_span_ns =
-        start.elapsed().as_nanos() as f64 / (rounds * SPANS_PER_ITER) as f64;
+    let per_span_ns = holoar_telemetry::now_ns().saturating_sub(start) as f64
+        / (rounds * SPANS_PER_ITER) as f64;
     println!("disabled-mode span cost: {per_span_ns:.1} ns/site");
     assert!(
         per_span_ns < 200.0,

@@ -4,6 +4,9 @@
 //! where `<experiment>` is one of the ids in
 //! [`holoar_bench::ALL_EXPERIMENTS`] or `all` (the default).
 //!
+//! `repro lint [...]` runs the workspace static-analysis pass instead
+//! (see the `holoar-lint` crate); remaining arguments go to the linter.
+//!
 //! Telemetry: `--trace-out FILE` exports a Chrome-trace (Perfetto) timeline
 //! of every span the run emitted; `--metrics-json FILE` exports the counter
 //! / gauge / histogram registry plus per-frame rows. Either flag implies
@@ -13,6 +16,13 @@ use holoar_bench::{experiments, ExperimentConfig};
 use holoar_telemetry::TelemetryMode;
 
 fn main() {
+    // `repro lint` delegates to the static-analysis crate so the lint gate
+    // is reachable from the same binary CI already builds.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("lint") {
+        std::process::exit(holoar_lint::cli(&raw[1..]));
+    }
+
     let mut cfg = ExperimentConfig::default();
     let mut ids: Vec<String> = Vec::new();
     let mut csv_path: Option<String> = None;
@@ -62,6 +72,7 @@ fn main() {
                      --bench-json writes the parallel-engine timing cells as JSON to FILE\n\
                      --trace-out writes a Chrome-trace (Perfetto) span timeline to FILE\n\
                      --metrics-json writes the counters/gauges/histograms registry to FILE\n\
+                     repro lint [--format json] runs the workspace static-analysis pass\n\
                      HOLOAR_TELEMETRY=off|summary|full selects the telemetry mode \
                      (either export flag implies full)",
                     experiments::ALL_EXPERIMENTS.join(" ")

@@ -664,13 +664,14 @@ impl ParallelCell {
     }
 }
 
-/// Best-of-three wall time of `f`, in milliseconds.
+/// Best-of-three wall time of `f`, in milliseconds, on the telemetry
+/// monotonic clock (the workspace's single time source).
 fn best_of_three_ms<F: FnMut()>(mut f: F) -> f64 {
     (0..3)
         .map(|_| {
-            let t0 = std::time::Instant::now();
+            let t0 = holoar_telemetry::now_ns();
             f();
-            t0.elapsed().as_secs_f64() * 1e3
+            holoar_telemetry::now_ns().saturating_sub(t0) as f64 * 1e-6
         })
         .fold(f64::INFINITY, f64::min)
 }

@@ -12,6 +12,8 @@
 //! Criterion micro-benchmarks for the substrate layers live under
 //! `benches/`.
 
+#![forbid(unsafe_code)]
+
 pub mod csv;
 pub mod experiments;
 pub mod report;

@@ -36,6 +36,8 @@
 //! assert!(holoar.mean_energy < base.mean_energy);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod approx;
 pub mod config;
 pub mod evaluation;

@@ -49,7 +49,9 @@ impl BluesteinPlan {
             chirp.push(Complex64::cis(-std::f64::consts::PI * kk as f64 / n as f64));
         }
         let mut kernel = vec![Complex64::ZERO; m];
-        kernel[0] = chirp[0].conj();
+        if let (Some(k0), Some(c0)) = (kernel.first_mut(), chirp.first()) {
+            *k0 = c0.conj();
+        }
         for k in 1..n {
             let c = chirp[k].conj();
             kernel[k] = c;

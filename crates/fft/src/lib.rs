@@ -28,6 +28,8 @@
 //! assert!((field[10] - Complex64::ONE).norm() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bluestein;
 pub mod complex;
 pub mod dft;
@@ -39,6 +41,6 @@ pub mod radix2;
 pub use bluestein::BluesteinPlan;
 pub use complex::Complex64;
 pub use fft2d::{fftshift, ifftshift, Fft2d};
-pub use parallel::{Parallelism, ScratchArena};
+pub use parallel::{lock_unpoisoned, Parallelism, ScratchArena};
 pub use plan::{fft_forward, fft_inverse, FftPlan, FftPlanner};
 pub use radix2::Radix2Plan;

@@ -24,12 +24,24 @@
 //! the calling thread.
 
 use std::num::NonZeroUsize;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 use crate::complex::Complex64;
 
 /// Environment variable overriding the worker count for [`Parallelism::auto`].
 pub const THREADS_ENV_VAR: &str = "HOLOAR_THREADS";
+
+/// Locks `mutex`, recovering the guard if a previous holder panicked.
+///
+/// The workspace's shared caches and pools only ever *insert* fully-built
+/// values under their locks, so a poisoned mutex still guards a coherent
+/// collection; propagating the poison (or panicking on it, as
+/// `lock().unwrap()` would) could only turn one failure into a cascade on
+/// the real-time path. Used by the scratch arena, the FFT plan caches, and
+/// `holoar-optics`' transfer caches.
+pub fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Upper bound on buffers the arena retains, to bound memory between bursts.
 const ARENA_POOL_CAP: usize = 64;
@@ -55,7 +67,7 @@ impl ScratchArena {
     /// Checks out a buffer of exactly `len` zeros, reusing a pooled
     /// allocation when one is available.
     pub fn take(&self, len: usize) -> Vec<Complex64> {
-        let pooled = self.pool.lock().expect("arena lock").pop();
+        let pooled = lock_unpoisoned(&self.pool).pop();
         holoar_telemetry::counter_add(
             if pooled.is_some() { "fft.arena.take.reuse" } else { "fft.arena.take.alloc" },
             1,
@@ -72,7 +84,7 @@ impl ScratchArena {
             return;
         }
         holoar_telemetry::counter_add("fft.arena.give", 1);
-        let mut pool = self.pool.lock().expect("arena lock");
+        let mut pool = lock_unpoisoned(&self.pool);
         if pool.len() < ARENA_POOL_CAP {
             pool.push(buf);
         }
@@ -80,7 +92,7 @@ impl ScratchArena {
 
     /// Number of buffers currently pooled (diagnostic).
     pub fn pooled(&self) -> usize {
-        self.pool.lock().expect("arena lock").len()
+        lock_unpoisoned(&self.pool).len()
     }
 }
 
@@ -227,7 +239,13 @@ impl Parallelism {
                 });
             }
         });
-        out.into_iter().map(|slot| slot.expect("every slot is filled by a worker")).collect()
+        // Every slot is filled: the two chunks(per_piece) iterators cover
+        // `items` and `out` with identical boundaries, and out.len() ==
+        // items.len(). flatten() is the panic-free way to say so; the
+        // debug_assert pins the invariant in test builds.
+        let results: Vec<R> = out.into_iter().flatten().collect();
+        debug_assert_eq!(results.len(), items.len(), "parallel map dropped a slot");
+        results
     }
 }
 

@@ -135,7 +135,7 @@ static GLOBAL_PLANS: OnceLock<Mutex<HashMap<usize, FftPlan>>> = OnceLock::new();
 /// Fetches (building once, process-wide) the shared plan for length `n`.
 fn global_plan(n: usize) -> FftPlan {
     let cache = GLOBAL_PLANS.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut cache = cache.lock().expect("plan cache lock");
+    let mut cache = crate::parallel::lock_unpoisoned(cache);
     match cache.entry(n) {
         std::collections::hash_map::Entry::Occupied(hit) => {
             holoar_telemetry::counter_add("fft.plan_cache.hit", 1);
@@ -158,7 +158,7 @@ fn global_plan(n: usize) -> FftPlan {
 pub fn global_cached_len_count() -> usize {
     GLOBAL_PLANS
         .get()
-        .map(|cache| cache.lock().expect("plan cache lock").len())
+        .map(|cache| crate::parallel::lock_unpoisoned(cache).len())
         .unwrap_or(0)
 }
 

@@ -34,10 +34,9 @@ impl Radix2Plan {
         let bits = n.trailing_zeros();
         let mut rev = vec![0u32; n];
         for (i, r) in rev.iter_mut().enumerate() {
+            // For n == 1 (bits == 0) the clamped shift still maps the one
+            // index to 0, so no special case is needed.
             *r = (i as u32).reverse_bits() >> (32 - bits.max(1));
-        }
-        if n == 1 {
-            rev[0] = 0;
         }
         Radix2Plan { n, twiddles, rev }
     }

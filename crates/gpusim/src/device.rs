@@ -84,7 +84,7 @@ impl Device {
     /// [`KernelDesc::validate`] for a recoverable error).
     pub fn execute(&mut self, kernel: &KernelDesc) -> KernelStats {
         let cfg = &self.config;
-        let cost = block_cost(kernel, cfg);
+        let cost = block_cost(kernel, cfg).unwrap_or_else(|e| panic!("{e}"));
         let blocks_per_sm = kernel.grid_blocks.div_ceil(cfg.sm_count) as f64;
         // Each launch pays a drain tail: the device idles while the last
         // wave's stragglers finish before the end-of-kernel (inter-block)

@@ -23,6 +23,8 @@
 //! assert!(stats.latency > 0.3, "hologram takes {:.0} ms", stats.latency * 1e3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod calibration;
 pub mod config;
 pub mod device;

@@ -37,14 +37,11 @@ impl BlockCost {
 
 /// Computes the cycle cost of one block of `kernel` on the configured SM.
 ///
-/// # Panics
-///
-/// Panics if the kernel fails validation (call [`KernelDesc::validate`]
-/// first for a recoverable error).
-pub fn block_cost(kernel: &KernelDesc, config: &DeviceConfig) -> BlockCost {
-    if let Err(e) = kernel.validate() {
-        panic!("invalid kernel: {e}");
-    }
+/// Returns the validation error for an invalid kernel; the cost model
+/// itself is total on validated kernels, keeping this module panic-free
+/// (callers on the real-time path hoist validation out of their loops).
+pub fn block_cost(kernel: &KernelDesc, config: &DeviceConfig) -> Result<BlockCost, String> {
+    kernel.validate().map_err(|e| format!("invalid kernel: {e}"))?;
     let sm = &config.sm;
     let mem = &config.memory;
     let threads = kernel.block_threads as f64;
@@ -107,7 +104,7 @@ pub fn block_cost(kernel: &KernelDesc, config: &DeviceConfig) -> BlockCost {
     let hide = (resident_warps / 10.0).max(1.0) * (1.0 + 2.0 * mix.read_only_fraction);
     let exposed = stalls.scaled(1.0 / hide);
 
-    BlockCost { busy_cycles: busy, exposed_stalls: exposed }
+    Ok(BlockCost { busy_cycles: busy, exposed_stalls: exposed })
 }
 
 /// How many blocks of this kernel co-reside on one SM (register/thread-slot
@@ -129,9 +126,10 @@ mod tests {
     #[test]
     fn more_flops_cost_more() {
         let cfg = DeviceConfig::default();
-        let light = block_cost(&kernel(InstructionMix { flops: 64.0, ..Default::default() }), &cfg);
-        let heavy =
-            block_cost(&kernel(InstructionMix { flops: 640.0, ..Default::default() }), &cfg);
+        let light = block_cost(&kernel(InstructionMix { flops: 64.0, ..Default::default() }), &cfg)
+            .expect("valid kernel");
+        let heavy = block_cost(&kernel(InstructionMix { flops: 640.0, ..Default::default() }), &cfg)
+            .expect("valid kernel");
         assert!(heavy.total_cycles() > light.total_cycles());
     }
 
@@ -140,7 +138,7 @@ mod tests {
         let cfg = DeviceConfig::default();
         let k = kernel(InstructionMix { loads: 40.0, read_only_fraction: 0.25, ..Default::default() })
             .with_l1_hit_rate(0.9);
-        let cost = block_cost(&k, &cfg);
+        let cost = block_cost(&k, &cfg).expect("valid kernel");
         let dr = cost.exposed_stalls.cycles(StallCategory::DataRequest);
         let ro = cost.exposed_stalls.cycles(StallCategory::ReadOnlyLoad);
         assert!(dr > 0.0 && ro > 0.0);
@@ -153,8 +151,8 @@ mod tests {
         let cfg = DeviceConfig::default();
         let hit = kernel(InstructionMix { loads: 40.0, ..Default::default() }).with_l1_hit_rate(1.0);
         let miss = kernel(InstructionMix { loads: 40.0, ..Default::default() }).with_l1_hit_rate(0.5);
-        let ch = block_cost(&hit, &cfg);
-        let cm = block_cost(&miss, &cfg);
+        let ch = block_cost(&hit, &cfg).expect("valid kernel");
+        let cm = block_cost(&miss, &cfg).expect("valid kernel");
         assert!(
             cm.exposed_stalls.cycles(StallCategory::DataRequest)
                 > ch.exposed_stalls.cycles(StallCategory::DataRequest)
@@ -166,8 +164,8 @@ mod tests {
         let cfg = DeviceConfig::default();
         let none = kernel(InstructionMix { flops: 100.0, ..Default::default() });
         let synced = kernel(InstructionMix { flops: 100.0, ..Default::default() }).with_intra_syncs(8);
-        let c0 = block_cost(&none, &cfg);
-        let c1 = block_cost(&synced, &cfg);
+        let c0 = block_cost(&none, &cfg).expect("valid kernel");
+        let c1 = block_cost(&synced, &cfg).expect("valid kernel");
         assert!(
             c1.exposed_stalls.cycles(StallCategory::Sync)
                 > c0.exposed_stalls.cycles(StallCategory::Sync)
@@ -182,8 +180,11 @@ mod tests {
         let skewed =
             kernel(InstructionMix { flops: 200.0, ..Default::default() }).with_imbalance(1.5);
         assert!(
-            block_cost(&skewed, &cfg).exposed_stalls.cycles(StallCategory::Sync)
-                > block_cost(&balanced, &cfg).exposed_stalls.cycles(StallCategory::Sync)
+            block_cost(&skewed, &cfg).expect("valid kernel").exposed_stalls.cycles(StallCategory::Sync)
+                > block_cost(&balanced, &cfg)
+                    .expect("valid kernel")
+                    .exposed_stalls
+                    .cycles(StallCategory::Sync)
         );
     }
 
@@ -195,8 +196,12 @@ mod tests {
         let chained = kernel(InstructionMix { flops: 300.0, ..Default::default() })
             .with_dependency_factor(0.4);
         assert!(
-            block_cost(&chained, &cfg).exposed_stalls.cycles(StallCategory::ExecutionDependency)
+            block_cost(&chained, &cfg)
+                .expect("valid kernel")
+                .exposed_stalls
+                .cycles(StallCategory::ExecutionDependency)
                 > block_cost(&streaming, &cfg)
+                    .expect("valid kernel")
                     .exposed_stalls
                     .cycles(StallCategory::ExecutionDependency)
         );
@@ -212,9 +217,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid kernel")]
-    fn invalid_kernel_panics() {
+    fn invalid_kernel_is_rejected() {
         let k = KernelDesc::new("bad", 0, 0, InstructionMix::default());
-        block_cost(&k, &DeviceConfig::default());
+        let err = block_cost(&k, &DeviceConfig::default()).unwrap_err();
+        assert!(err.contains("invalid kernel"), "{err}");
     }
 }

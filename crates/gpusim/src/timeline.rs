@@ -11,7 +11,7 @@
 //! parallelism raises sustained utilization (the Fig 8a activity mechanism)
 //! instead of assuming it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::config::DeviceConfig;
 use crate::kernel::KernelDesc;
@@ -122,7 +122,7 @@ pub fn simulate(ops: &[StreamOp], config: &DeviceConfig) -> Timeline {
     let mut states: Vec<OpState> = ops
         .iter()
         .map(|op| {
-            let cost = block_cost(&op.kernel, config);
+            let cost = block_cost(&op.kernel, config).unwrap_or_else(|e| panic!("{e}"));
             // Service time per slot: SM throughput is shared among its
             // co-resident slots.
             let block_time = cost.total_cycles() / config.kernel_efficiency / config.clock_hz
@@ -143,12 +143,13 @@ pub fn simulate(ops: &[StreamOp], config: &DeviceConfig) -> Timeline {
         })
         .collect();
 
-    // Stream order: indices of ops per stream, in enqueue order.
-    let mut stream_queues: HashMap<u32, Vec<usize>> = HashMap::new();
+    // Stream order: indices of ops per stream, in enqueue order. BTreeMap so
+    // the ready-scan below iterates streams in a fixed order run to run.
+    let mut stream_queues: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
     for (i, op) in ops.iter().enumerate() {
         stream_queues.entry(op.stream).or_default().push(i);
     }
-    let mut stream_cursor: HashMap<u32, usize> = HashMap::new();
+    let mut stream_cursor: BTreeMap<u32, usize> = BTreeMap::new();
 
     // Device-wide block slots.
     let total_slots: u64 = slots_per_sm * config.sm_count as u64;

@@ -1,0 +1,134 @@
+//! Checked-in baseline: grandfathered findings that don't fail the run.
+//!
+//! Format, one entry per line (tab-separated so code text can hold spaces):
+//!
+//! ```text
+//! rule<TAB>path<TAB>normalized code text of the offending line
+//! ```
+//!
+//! Entries match on *content*, not line numbers, so unrelated edits that
+//! shift a file don't invalidate the baseline. `#` starts a comment line.
+//! Policy (enforced by review, and by the acceptance tests for the
+//! `no-panic` and `determinism` rules): the baseline is for migration
+//! only — new code fixes or waives findings instead of baselining them.
+
+use std::collections::HashSet;
+
+use crate::diag::{Finding, Status};
+use crate::source::SourceFile;
+
+/// A loaded baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    entries: HashSet<(String, String, String)>,
+}
+
+impl Baseline {
+    /// Parses baseline text. Unparseable lines are returned as findings
+    /// against the baseline file itself.
+    pub fn parse(text: &str, rel: &str, out: &mut Vec<Finding>) -> Baseline {
+        let mut entries = HashSet::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(rule), Some(path), Some(code)) if !rule.is_empty() && !path.is_empty() => {
+                    entries.insert((
+                        rule.to_string(),
+                        path.to_string(),
+                        normalize(code),
+                    ));
+                }
+                _ => out.push(Finding {
+                    rule: "waiver-syntax",
+                    path: rel.to_string(),
+                    line: i + 1,
+                    message: "malformed baseline entry (want `rule<TAB>path<TAB>code`)"
+                        .to_string(),
+                    status: Status::Active,
+                }),
+            }
+        }
+        Baseline { entries }
+    }
+
+    /// Whether a finding at `line_code` is grandfathered.
+    pub fn covers(&self, rule: &str, path: &str, line_code: &str) -> bool {
+        self.entries.contains(&(
+            rule.to_string(),
+            path.to_string(),
+            normalize(line_code),
+        ))
+    }
+
+    /// Number of entries (used by tests and `--write-baseline` reporting).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the baseline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Renders a baseline file covering every active finding in `findings`,
+/// looking the offending code text up in `sources`.
+pub fn write(findings: &[Finding], sources: &[SourceFile]) -> String {
+    let mut out = String::from(
+        "# holoar-lint baseline — grandfathered findings (rule<TAB>path<TAB>code).\n\
+         # Regenerate with `repro lint --write-baseline`. Keep this file shrinking:\n\
+         # new code fixes or waives findings instead of adding entries here.\n",
+    );
+    let mut lines: Vec<String> = findings
+        .iter()
+        .filter(|f| f.status == Status::Active && f.rule != "waiver-syntax")
+        .filter_map(|f| {
+            let code = sources
+                .iter()
+                .find(|s| s.rel == f.path)
+                .and_then(|s| s.lines.get(f.line.saturating_sub(1)))
+                .map(|l| normalize(&l.code))?;
+            Some(format!("{}\t{}\t{}", f.rule, f.path, code))
+        })
+        .collect();
+    lines.sort();
+    lines.dedup();
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Squeezes runs of whitespace to single spaces so formatting churn doesn't
+/// break matches.
+fn normalize(code: &str) -> String {
+    code.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_match_and_malformed() {
+        let mut out = Vec::new();
+        let b = Baseline::parse(
+            "# comment\n\
+             no-panic\tcrates/x/src/a.rs\tv.unwrap();\n\
+             not-enough-fields\n",
+            "lint.baseline",
+            &mut out,
+        );
+        assert_eq!(b.len(), 1);
+        assert!(b.covers("no-panic", "crates/x/src/a.rs", "  v.unwrap();  "));
+        assert!(!b.covers("no-panic", "crates/x/src/b.rs", "v.unwrap();"));
+        assert!(!b.covers("determinism", "crates/x/src/a.rs", "v.unwrap();"));
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("malformed baseline"));
+    }
+}

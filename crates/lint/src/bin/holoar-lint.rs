@@ -1,0 +1,7 @@
+//! Standalone entry point: `cargo run -p holoar-lint -- [args]`.
+//! The same CLI is reachable as `repro lint`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(holoar_lint::cli(&args));
+}

@@ -1,0 +1,95 @@
+//! Lint configuration: which modules are hot paths, where the determinism
+//! and concurrency rules apply, and which telemetry categories exist.
+//!
+//! The sets below are checked-in policy, not discovery: adding a module to
+//! a hot set is a deliberate, reviewable act (see DESIGN.md, "Static
+//! analysis").
+
+use std::path::PathBuf;
+
+/// Real-time hot-path modules: the no-panic rule applies to every non-test
+/// line of these files. Paths are workspace-relative.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/fft/src/radix2.rs",
+    "crates/fft/src/bluestein.rs",
+    "crates/fft/src/fft2d.rs",
+    "crates/fft/src/parallel.rs",
+    "crates/fft/src/plan.rs",
+    "crates/optics/src/gsw.rs",
+    "crates/optics/src/propagate.rs",
+    "crates/optics/src/fresnel.rs",
+    "crates/gpusim/src/sm.rs",
+];
+
+/// The one module allowed to call `std::thread::{spawn, scope}`: the
+/// `Parallelism` worker pool every other crate must go through.
+pub const PARALLELISM_HOME: &str = "crates/fft/src/parallel.rs";
+
+/// Path prefixes exempt from the determinism and telemetry-discipline
+/// rules: the telemetry crate owns the clock, the vendored shims are
+/// outside workspace policy, and this crate's own tests embed violation
+/// snippets on purpose.
+pub const RULE_EXEMPT_PREFIXES: &[&str] = &["crates/telemetry/", "vendor/", "crates/lint/"];
+
+/// Valid leading segments for telemetry span/counter names (`category.name`
+/// convention; `gpu` is the synthetic simulated-GPU track).
+pub const CATEGORIES: &[&str] =
+    &["fft", "optics", "core", "pipeline", "gpusim", "gpu", "bench", "telemetry"];
+
+/// Every rule id the engine knows; waivers naming anything else are
+/// diagnosed as malformed.
+pub const RULE_IDS: &[&str] = &[
+    "no-panic",
+    "determinism",
+    "thread-discipline",
+    "telemetry-discipline",
+    "unsafe-hygiene",
+];
+
+/// Resolved lint configuration for one run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root (directory holding the `[workspace]` Cargo.toml).
+    pub root: PathBuf,
+    /// Telemetry name registry, workspace-relative.
+    pub registry_rel: String,
+    /// Baseline file, workspace-relative.
+    pub baseline_rel: String,
+}
+
+impl Config {
+    /// The default configuration rooted at `root`.
+    pub fn new(root: PathBuf) -> Config {
+        Config {
+            root,
+            registry_rel: "crates/lint/telemetry.names".to_string(),
+            baseline_rel: "lint.baseline".to_string(),
+        }
+    }
+
+    /// Whether `rel` is a designated hot-path module.
+    pub fn is_hot_path(&self, rel: &str) -> bool {
+        HOT_PATHS.contains(&rel)
+    }
+
+    /// Whether `rel` is exempt from the determinism / telemetry rules.
+    pub fn is_rule_exempt(&self, rel: &str) -> bool {
+        RULE_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p))
+    }
+}
+
+/// Finds the workspace root by walking up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table appears.
+pub fn find_workspace_root(start: &std::path::Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}

@@ -1,0 +1,142 @@
+//! Findings and their two output formats: human `file:line` diagnostics
+//! and machine-readable JSON (consumed by CI and validated in tests via
+//! the telemetry crate's `jsonlite` parser).
+
+/// What happened to a finding after waiver/baseline resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    /// Fails the lint run.
+    Active,
+    /// Suppressed by an inline `holoar-lint: allow(...)` waiver.
+    Waived(String),
+    /// Suppressed by a checked-in baseline entry (grandfathered).
+    Baselined,
+}
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule id (one of [`crate::config::RULE_IDS`], or `waiver-syntax`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Resolution after waivers and baseline are applied.
+    pub status: Status,
+}
+
+/// The result of one lint run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// All findings, sorted by path then line.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that fail the run.
+    pub fn active(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.status == Status::Active)
+    }
+
+    /// Counts as `(active, waived, baselined)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for f in &self.findings {
+            match f.status {
+                Status::Active => c.0 += 1,
+                Status::Waived(_) => c.1 += 1,
+                Status::Baselined => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Human-readable rendering, one diagnostic per line plus a summary.
+    pub fn render_human(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            match &f.status {
+                Status::Active => {
+                    out.push_str(&format!("{}:{}: {}: {}\n", f.path, f.line, f.rule, f.message));
+                }
+                Status::Waived(reason) if verbose => {
+                    out.push_str(&format!(
+                        "{}:{}: {}: {} [waived: {}]\n",
+                        f.path, f.line, f.rule, f.message, reason
+                    ));
+                }
+                Status::Baselined if verbose => {
+                    out.push_str(&format!(
+                        "{}:{}: {}: {} [baselined]\n",
+                        f.path, f.line, f.rule, f.message
+                    ));
+                }
+                _ => {}
+            }
+        }
+        let (active, waived, baselined) = self.counts();
+        out.push_str(&format!(
+            "holoar-lint: {active} active, {waived} waived, {baselined} baselined \
+             ({} files scanned)\n",
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// Machine-readable JSON rendering (stable shape, version field first).
+    pub fn render_json(&self) -> String {
+        let (active, waived, baselined) = self.counts();
+        let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (status, reason) = match &f.status {
+                Status::Active => ("active", None),
+                Status::Waived(r) => ("waived", Some(r.as_str())),
+                Status::Baselined => ("baselined", None),
+            };
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \
+                 \"message\": \"{}\", \"status\": \"{}\"",
+                json_escape(f.rule),
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message),
+                status
+            ));
+            if let Some(r) = reason {
+                out.push_str(&format!(", \"reason\": \"{}\"", json_escape(r)));
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"summary\": {{\"active\": {active}, \"waived\": {waived}, \
+             \"baselined\": {baselined}, \"files_scanned\": {}}}\n}}\n",
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON double-quoted literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

@@ -1,0 +1,157 @@
+//! `holoar-lint` — workspace static analysis for the HoloAR reproduction.
+//!
+//! A pure-std lexer/line-scanner plus a rule engine that walks every
+//! workspace `.rs` file and enforces the domain invariants the compiler
+//! cannot check (and the paper's headline numbers rest on):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `no-panic` | designated FFT/optics/gpusim hot paths are panic-free |
+//! | `determinism` | simulator/kernel code reads one clock, iterates no hash maps |
+//! | `thread-discipline` | all fan-out goes through `holoar_fft::Parallelism` |
+//! | `telemetry-discipline` | span/counter names unique, registered, `category.name` |
+//! | `unsafe-hygiene` | `unsafe` justified with `// SAFETY:`; clean crates forbid it |
+//!
+//! Findings can be waived inline —
+//! `// holoar-lint: allow(rule, reason = "...")` — or grandfathered in the
+//! checked-in `lint.baseline`. Run it as `repro lint` or
+//! `cargo run -p holoar-lint`; `--format json` emits machine-readable
+//! diagnostics for CI. See DESIGN.md, "Static analysis".
+
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod rules;
+pub mod source;
+pub mod waiver;
+
+pub use config::{find_workspace_root, Config};
+pub use diag::{Finding, Report, Status};
+pub use engine::{lint_sources, lint_workspace};
+pub use source::SourceFile;
+
+/// Command-line entry point shared by the `holoar-lint` binary and the
+/// `repro lint` subcommand. Returns the process exit code: 0 when no
+/// active findings, 1 when the lint gate fails, 2 on usage/setup errors.
+pub fn cli(args: &[String]) -> i32 {
+    let mut format_json = false;
+    let mut verbose = false;
+    let mut write_baseline = false;
+    let mut out_path: Option<String> = None;
+    let mut root_arg: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => format_json = true,
+                Some("human") => format_json = false,
+                other => {
+                    eprintln!("--format wants `human` or `json`, got {other:?}");
+                    return 2;
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => {
+                    eprintln!("--out requires a file path");
+                    return 2;
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root_arg = Some(p.clone()),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return 2;
+                }
+            },
+            "--verbose" | "-v" => verbose = true,
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro lint [--format human|json] [--out FILE] [--root DIR] \
+                     [--verbose] [--write-baseline]\n\
+                     Enforces hot-path no-panic, determinism, thread, telemetry-naming, and\n\
+                     unsafe-hygiene invariants across the workspace. Exit 1 on any active\n\
+                     (non-waived, non-baselined) finding. Waive inline with\n\
+                     `// holoar-lint: allow(rule, reason = \"...\")`."
+                );
+                return 0;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                return 2;
+            }
+        }
+    }
+
+    let root = match root_arg {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("cannot determine working directory: {e}");
+                    return 2;
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("no workspace Cargo.toml found above {}", cwd.display());
+                    return 2;
+                }
+            }
+        }
+    };
+
+    let cfg = Config::new(root);
+    let report = match engine::lint_workspace(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("holoar-lint: {e}");
+            return 2;
+        }
+    };
+
+    if write_baseline {
+        // Re-scan to hand the renderer the sources (cheap, and keeps the
+        // report type free of source text).
+        let sources = match engine::scan_workspace(&cfg.root) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("holoar-lint: {e}");
+                return 2;
+            }
+        };
+        let text = engine::render_baseline(&report, &sources);
+        let path = cfg.root.join(&cfg.baseline_rel);
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return 2;
+        }
+        eprintln!("wrote baseline to {}", path.display());
+        return 0;
+    }
+
+    let rendered =
+        if format_json { report.render_json() } else { report.render_human(verbose) };
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, &rendered) {
+                eprintln!("cannot write {p}: {e}");
+                return 2;
+            }
+            // Keep the human summary on stderr so CI logs stay readable.
+            eprint!("{}", report.render_human(false));
+        }
+        None => print!("{rendered}"),
+    }
+    if report.active().next().is_some() {
+        1
+    } else {
+        0
+    }
+}

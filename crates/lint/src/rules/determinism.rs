@@ -1,0 +1,173 @@
+//! `determinism`: simulator and kernel code must be reproducible.
+//!
+//! The golden trace fixtures, calibration anchors, and FFT/GSW bit-identity
+//! property tests all assume a run is a pure function of its seed. Two
+//! things silently break that:
+//!
+//! - wall-clock reads (`Instant::now`, `SystemTime`) outside the telemetry
+//!   crate's single monotonic clock (`holoar_telemetry::now_ns`), which
+//!   fork simulated timing across clocks;
+//! - iteration over `RandomState`-hashed containers (`HashMap`/`HashSet`),
+//!   whose order changes per process and would reorder any derived output.
+//!
+//! Keyed *lookup* in hash maps is fine (the plan and transfer caches rely
+//! on it); only iteration order is nondeterministic. The rule tracks
+//! identifiers declared as hash containers in a file and flags iteration
+//! over them, plus direct `RandomState`/`DefaultHasher` use.
+//!
+//! Applies to every line (tests included — fixtures are golden) of every
+//! crate except the exempt prefixes in
+//! [`crate::config::RULE_EXEMPT_PREFIXES`].
+
+use crate::config::Config;
+use crate::diag::{Finding, Status};
+use crate::source::SourceFile;
+
+use super::Rule;
+
+pub struct Determinism;
+
+const CLOCKS: &[(&str, &str)] = &[
+    ("Instant::now", "wall-clock read `Instant::now` outside the telemetry clock; use `holoar_telemetry::now_ns()` so simulated timing stays single-clock"),
+    ("SystemTime::", "`SystemTime` is nondeterministic; use `holoar_telemetry::now_ns()` or pass timestamps in"),
+    ("UNIX_EPOCH", "`UNIX_EPOCH` arithmetic is wall-clock dependent; derive times from the telemetry clock"),
+];
+
+const HASHERS: &[(&str, &str)] = &[
+    ("RandomState", "`RandomState` seeds per process; use a fixed-order container or a seeded hasher"),
+    ("DefaultHasher", "`DefaultHasher` output is unspecified across releases; hash with an explicit, pinned algorithm"),
+];
+
+const ITER_METHODS: &[&str] = &[".iter()", ".iter_mut()", ".keys()", ".values()", ".values_mut()", ".into_iter()", ".drain("];
+
+impl Rule for Determinism {
+    fn id(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        if cfg.is_rule_exempt(&file.rel) {
+            return;
+        }
+        let maps = hash_container_names(file);
+        for (line_no, line) in file.numbered() {
+            let code = line.code.as_str();
+            for (pat, why) in CLOCKS.iter().chain(HASHERS) {
+                if code.contains(pat) {
+                    out.push(finding(file, line_no, (*why).to_string()));
+                }
+            }
+            for name in &maps {
+                if iterates(code, name) {
+                    out.push(finding(
+                        file,
+                        line_no,
+                        format!(
+                            "iteration over hash container `{name}` has nondeterministic order; \
+                             collect-and-sort, or use a BTreeMap/Vec"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn finding(file: &SourceFile, line: usize, message: String) -> Finding {
+    Finding { rule: "determinism", path: file.rel.clone(), line, message, status: Status::Active }
+}
+
+/// Identifiers declared in this file with a `HashMap`/`HashSet` type:
+/// `let [mut] NAME = HashMap::new()`, `NAME: HashMap<...>` (bindings,
+/// fields, statics — the `Mutex<HashMap<..>>` wrapping the plan cache
+/// still names the field).
+fn hash_container_names(file: &SourceFile) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in &file.lines {
+        let code = line.code.as_str();
+        let Some(pos) = ["HashMap<", "HashMap::new", "HashSet<", "HashSet::new"]
+            .iter()
+            .filter_map(|p| code.find(p))
+            .min()
+        else {
+            continue;
+        };
+        let before = &code[..pos];
+        let name = if let Some(let_pos) = before.rfind("let ") {
+            // `let mut cache = HashMap::new()`
+            before[let_pos + 4..]
+                .trim_start()
+                .trim_start_matches("mut ")
+                .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .next()
+                .unwrap_or("")
+                .to_string()
+        } else if let Some(colon) = before.rfind(':') {
+            // `transfer: Mutex<HashMap<...>>` — identifier before the colon.
+            before[..colon]
+                .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                .rfind(|s| !s.is_empty())
+                .unwrap_or("")
+                .to_string()
+        } else {
+            String::new()
+        };
+        if !name.is_empty() && !names.contains(&name) {
+            names.push(name);
+        }
+    }
+    names
+}
+
+/// Whether `code` iterates the container named `name`.
+fn iterates(code: &str, name: &str) -> bool {
+    for m in ITER_METHODS {
+        let pat = format!("{name}{m}");
+        if let Some(pos) = code.find(&pat) {
+            if !super::ident_before(code, pos) {
+                return true;
+            }
+        }
+    }
+    // `for x in &name` / `for x in name` / `for x in &mut name`
+    if let Some(pos) = code.find(" in ") {
+        let tail = code[pos + 4..].trim_start().trim_start_matches('&').trim_start_matches("mut ");
+        let head: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == '.')
+            .collect();
+        if head == name || head.ends_with(&format!(".{name}")) {
+            return code[..pos].contains("for ") || code[..pos].trim_end().ends_with("for");
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> SourceFile {
+        SourceFile::scan("crates/gpusim/src/sm.rs", src)
+    }
+
+    #[test]
+    fn declared_names_are_tracked() {
+        let f = scan(
+            "let mut cache = HashMap::new();\n\
+             transfer: Mutex<HashMap<K, V>>,\n\
+             let plain = Vec::new();\n",
+        );
+        assert_eq!(hash_container_names(&f), vec!["cache".to_string(), "transfer".to_string()]);
+    }
+
+    #[test]
+    fn lookup_is_fine_iteration_is_not() {
+        assert!(!iterates("cache.get(&k)", "cache"));
+        assert!(!iterates("cache.entry(k)", "cache"));
+        assert!(iterates("for (k, v) in &cache {", "cache"));
+        assert!(iterates("cache.values()", "cache"));
+        assert!(iterates("self.cache.iter()", "cache"));
+        assert!(!iterates("other_cache.iter()", "cache"));
+    }
+}

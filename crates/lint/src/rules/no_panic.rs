@@ -1,0 +1,139 @@
+//! `no-panic`: designated hot-path modules must be panic-free.
+//!
+//! The real-time claims of the reproduction (frame deadlines, the
+//! 2.7×/73% headline numbers) assume the FFT/GSW/propagation inner loops
+//! never abort mid-frame. This rule forbids, outside test code, in the
+//! modules listed in [`crate::config::HOT_PATHS`]:
+//!
+//! - `.unwrap()` / `.unwrap_err()` / `.expect(...)` / `.expect_err(...)`
+//! - `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//! - panic-prone slice indexing, by heuristic: a literal index (`x[0]`),
+//!   an index ending in `- 1`, or an index containing `.len()` — the three
+//!   shapes that panic on empty/short slices. Loop-bounded indexing
+//!   (`buf[start + k]`) is allowed; hoist the length invariant instead.
+//!
+//! `assert!`/`debug_assert!` are allowed: a documented invariant check
+//! hoisted out of the inner loop is exactly what this rule pushes toward.
+
+use crate::config::Config;
+use crate::diag::{Finding, Status};
+use crate::source::SourceFile;
+
+use super::{find_token, Rule};
+
+pub struct NoPanic;
+
+const CALLS: &[(&str, &str)] = &[
+    (".unwrap()", "`.unwrap()` can panic"),
+    (".unwrap_err()", "`.unwrap_err()` can panic"),
+    (".expect(", "`.expect(...)` can panic"),
+    (".expect_err(", "`.expect_err(...)` can panic"),
+];
+
+const MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+impl Rule for NoPanic {
+    fn id(&self) -> &'static str {
+        "no-panic"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        if !cfg.is_hot_path(&file.rel) {
+            return;
+        }
+        for (line_no, line) in file.numbered() {
+            if line.in_test {
+                continue;
+            }
+            let code = line.code.as_str();
+            for (pat, why) in CALLS {
+                if code.contains(pat) {
+                    out.push(finding(file, line_no, format!("{why} on a real-time hot path; return a Result, use an infallible construct, or hoist the invariant check")));
+                }
+            }
+            for mac in MACROS {
+                if !find_token(code, mac).is_empty() {
+                    out.push(finding(
+                        file,
+                        line_no,
+                        format!("`{mac}` aborts a real-time hot path; validate inputs before entering the hot loop"),
+                    ));
+                }
+            }
+            for idx in panicky_indexing(code) {
+                out.push(finding(
+                    file,
+                    line_no,
+                    format!("panic-prone slice index `[{idx}]`; use .first()/.get() or hoist a length invariant"),
+                ));
+            }
+        }
+    }
+}
+
+fn finding(file: &SourceFile, line: usize, message: String) -> Finding {
+    Finding { rule: "no-panic", path: file.rel.clone(), line, message, status: Status::Active }
+}
+
+/// Returns the index expressions of panic-prone indexing on this line.
+///
+/// An indexing site is a `[` whose previous non-space character can end an
+/// expression (identifier, `)`, or `]`); `#[attr]`, `vec![...]`, array
+/// types and slice patterns never match. A site is *panic-prone* when the
+/// index is an integer literal, ends with `- 1`, or contains `.len()`.
+fn panicky_indexing(code: &str) -> Vec<String> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut hits = Vec::new();
+    let mut prev_non_space: Option<char> = None;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '[' && prev_non_space.is_some_and(|p| p.is_ascii_alphanumeric() || p == '_' || p == ')' || p == ']') {
+            // Find the matching close bracket on this line.
+            let mut depth = 1;
+            let mut j = i + 1;
+            while j < chars.len() && depth > 0 {
+                match chars[j] {
+                    '[' => depth += 1,
+                    ']' => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if depth == 0 {
+                let idx: String = chars[i + 1..j - 1].iter().collect();
+                let trimmed = idx.trim();
+                let literal = !trimmed.is_empty()
+                    && trimmed.chars().all(|ch| ch.is_ascii_digit() || ch == '_');
+                if literal || trimmed.ends_with("- 1") || trimmed.ends_with("-1") || trimmed.contains(".len()") {
+                    hits.push(trimmed.to_string());
+                }
+                prev_non_space = Some(']');
+                i = j;
+                continue;
+            }
+        }
+        if !c.is_whitespace() {
+            prev_non_space = Some(c);
+        }
+        i += 1;
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_heuristic() {
+        assert_eq!(panicky_indexing("let a = buf[0];"), vec!["0"]);
+        assert_eq!(panicky_indexing("let a = buf[n - 1];"), vec!["n - 1"]);
+        assert_eq!(panicky_indexing("let a = buf[v.len()];"), vec!["v.len()"]);
+        assert!(panicky_indexing("let a = buf[start + k];").is_empty());
+        assert!(panicky_indexing("#[inline]").is_empty());
+        assert!(panicky_indexing("let v = vec![0u32; n];").is_empty());
+        assert!(panicky_indexing("fn f(buf: &mut [f64]) {}").is_empty());
+        assert!(panicky_indexing("let s = &buf[a..b];").is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! `unsafe-hygiene`: every `unsafe` is justified, and unsafe-free crates
+//! say so.
+//!
+//! An `unsafe` block or function must carry a `// SAFETY:` comment on the
+//! same line or within the three lines above it. Conversely, a crate whose
+//! sources contain no `unsafe` at all must pin that property with
+//! `#![forbid(unsafe_code)]` in its `lib.rs`, so the first future `unsafe`
+//! is a deliberate, reviewed decision rather than a drive-by.
+
+use std::collections::BTreeMap;
+
+use crate::config::Config;
+use crate::diag::{Finding, Status};
+use crate::source::SourceFile;
+
+use super::{find_token, Rule};
+
+#[derive(Default)]
+pub struct UnsafeHygiene {
+    /// crate key (e.g. `crates/fft`) → (lib.rs rel path, has forbid attr,
+    /// crate uses unsafe anywhere).
+    crates: BTreeMap<String, CrateState>,
+}
+
+#[derive(Default)]
+struct CrateState {
+    lib_rs: Option<String>,
+    has_forbid: bool,
+    uses_unsafe: bool,
+}
+
+impl Rule for UnsafeHygiene {
+    fn id(&self) -> &'static str {
+        "unsafe-hygiene"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, _cfg: &Config, out: &mut Vec<Finding>) {
+        let Some(key) = crate_key(&file.rel) else {
+            return;
+        };
+        let state = self.crates.entry(key).or_default();
+        if file.rel.ends_with("src/lib.rs") {
+            state.lib_rs = Some(file.rel.clone());
+            state.has_forbid =
+                file.lines.iter().any(|l| l.code.contains("#![forbid(unsafe_code)]"));
+        }
+        for (line_no, line) in file.numbered() {
+            if find_token(&line.code, "unsafe").is_empty() {
+                continue;
+            }
+            state.uses_unsafe = true;
+            // `#![forbid(unsafe_code)]` and friends mention unsafe without
+            // being unsafe.
+            if line.code.contains("unsafe_code") {
+                continue;
+            }
+            // Current line plus the three above it (indices are 0-based).
+            let justified = (line_no.saturating_sub(4)..line_no)
+                .filter_map(|i| file.lines.get(i))
+                .any(|l| l.comment.contains("SAFETY:"));
+            if !justified {
+                out.push(Finding {
+                    rule: "unsafe-hygiene",
+                    path: file.rel.clone(),
+                    line: line_no,
+                    message: "`unsafe` without a `// SAFETY:` comment on or directly above \
+                              the line"
+                        .to_string(),
+                    status: Status::Active,
+                });
+            }
+        }
+    }
+
+    fn finish(&mut self, _cfg: &Config, out: &mut Vec<Finding>) {
+        for (key, state) in &self.crates {
+            if state.uses_unsafe || state.has_forbid {
+                continue;
+            }
+            let Some(lib) = &state.lib_rs else {
+                continue;
+            };
+            out.push(Finding {
+                rule: "unsafe-hygiene",
+                path: lib.clone(),
+                line: 1,
+                message: format!(
+                    "crate `{key}` uses no unsafe code but does not pin it; add \
+                     `#![forbid(unsafe_code)]` to {lib}"
+                ),
+                status: Status::Active,
+            });
+        }
+    }
+}
+
+/// Maps a workspace-relative file to its crate key: `crates/<name>`,
+/// `vendor/<name>`, or the root package (`.`).
+fn crate_key(rel: &str) -> Option<String> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.first() {
+        Some(&"crates") | Some(&"vendor") if parts.len() > 2 => {
+            Some(format!("{}/{}", parts[0], parts[1]))
+        }
+        Some(&"src") | Some(&"tests") | Some(&"examples") => Some(".".to_string()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_keys() {
+        assert_eq!(crate_key("crates/fft/src/plan.rs").as_deref(), Some("crates/fft"));
+        assert_eq!(crate_key("vendor/proptest/src/lib.rs").as_deref(), Some("vendor/proptest"));
+        assert_eq!(crate_key("src/lib.rs").as_deref(), Some("."));
+        assert_eq!(crate_key("build.rs"), None);
+    }
+}

@@ -1,0 +1,356 @@
+//! A lightweight line-oriented Rust scanner.
+//!
+//! This is deliberately **not** a full Rust lexer: the rules in this crate
+//! are substring and token heuristics, so all the scanner has to get right
+//! is the part that makes substring matching sound — separating *code* from
+//! *comments* and *string-literal contents*. Per input line it produces:
+//!
+//! - `code`: the line with comments removed and string/char literal
+//!   *contents* blanked (the quotes remain, so `.expect("...")` keeps its
+//!   call shape while the message can never false-positive a rule);
+//! - `comment`: the concatenated comment text (for `SAFETY:` and waiver
+//!   parsing);
+//! - `strings`: the string literals that *start* on the line, verbatim
+//!   (for the telemetry-name rules);
+//! - `in_test`: whether the line sits inside `#[cfg(test)]` / `#[test]`
+//!   regions, or the whole file is a test/bench/example target.
+//!
+//! Handled: line comments, nested block comments, doc comments, plain and
+//! raw strings (any `#` count), byte strings, char literals vs. lifetimes,
+//! multi-line strings. Not handled (and not needed): macros that generate
+//! code containing violations, and exotic token positions inside
+//! `macro_rules!` definitions.
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text: comments stripped, literal contents blanked.
+    pub code: String,
+    /// Comment text on this line (markers stripped).
+    pub comment: String,
+    /// String literals that start on this line, in order.
+    pub strings: Vec<String>,
+    /// Inside a `#[cfg(test)]`/`#[test]` region (or a test-like file).
+    pub in_test: bool,
+}
+
+/// A scanned file: workspace-relative path plus scanned lines.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (e.g. `crates/fft/src/plan.rs`).
+    pub rel: String,
+    /// Scanned lines, index 0 = line 1.
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Scans `content` as the file at workspace-relative path `rel`.
+    pub fn scan(rel: &str, content: &str) -> SourceFile {
+        let mut lines = scan_lines(content);
+        let testlike = is_testlike_path(rel);
+        mark_test_regions(&mut lines, testlike);
+        SourceFile { rel: rel.to_string(), lines }
+    }
+
+    /// 1-based line iteration: `(line_no, line)`.
+    pub fn numbered(&self) -> impl Iterator<Item = (usize, &Line)> {
+        self.lines.iter().enumerate().map(|(i, l)| (i + 1, l))
+    }
+}
+
+/// Whether every line of a file at this path counts as test code
+/// (integration tests, benches, examples).
+fn is_testlike_path(rel: &str) -> bool {
+    let parts: Vec<&str> = rel.split('/').collect();
+    parts.iter().any(|p| *p == "tests" || *p == "benches" || *p == "examples")
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    /// Inside a string literal; `None` = escaped string, `Some(n)` = raw
+    /// string closed by `"` followed by `n` hashes.
+    Str(Option<u32>),
+}
+
+fn scan_lines(content: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    // (line index the literal started on, contents so far)
+    let mut literal: (usize, String) = (0, String::new());
+
+    let chars: Vec<char> = content.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // Line comments end at the newline; everything else carries over.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            if matches!(state, State::Str(_)) {
+                literal.1.push('\n');
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    i += 2;
+                    // Skip doc-comment and inner-doc markers.
+                    while chars.get(i) == Some(&'/') || chars.get(i) == Some(&'!') {
+                        i += 1;
+                    }
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str(None);
+                    literal = (lines.len(), String::new());
+                    i += 1;
+                    continue;
+                }
+                // Raw / byte strings: r"", r#""#, br"", b"".
+                if (c == 'r' || c == 'b') && !prev_is_ident(&cur.code) {
+                    if let Some(skip) = raw_string_prefix(&chars[i..]) {
+                        let hashes = skip.1;
+                        cur.code.push('"');
+                        state = State::Str(if skip.2 { Some(hashes) } else { None });
+                        literal = (lines.len(), String::new());
+                        i += skip.0;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: 'x' or '\n' is a literal,
+                    // 'a (no closing quote nearby) is a lifetime.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        i += 2; // consume '\ and the escape lead-in
+                        while i < chars.len() && chars[i] != '\'' {
+                            i += 1;
+                        }
+                        i += 1; // closing quote
+                        cur.code.push_str("' '");
+                        continue;
+                    }
+                    if chars.get(i + 2) == Some(&'\'') {
+                        cur.code.push_str("' '");
+                        i += 3;
+                        continue;
+                    }
+                    cur.code.push('\''); // lifetime marker
+                    i += 1;
+                    continue;
+                }
+                cur.code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    let d = depth - 1;
+                    state = if d == 0 { State::Code } else { State::BlockComment(d) };
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str(raw) => {
+                match raw {
+                    None => {
+                        if c == '\\' {
+                            // Escaped newlines keep their '\n' in the main
+                            // loop so line accounting stays aligned.
+                            if let Some(&next) = chars.get(i + 1) {
+                                if next != '\n' {
+                                    literal.1.push(c);
+                                    literal.1.push(next);
+                                    i += 2;
+                                    continue;
+                                }
+                            }
+                            literal.1.push(c);
+                            i += 1;
+                            continue;
+                        }
+                        if c == '"' {
+                            cur.code.push('"');
+                            attach_literal(&mut lines, &mut cur, &mut literal);
+                            state = State::Code;
+                            i += 1;
+                            continue;
+                        }
+                        literal.1.push(c);
+                        i += 1;
+                    }
+                    Some(hashes) => {
+                        if c == '"' && closes_raw(&chars[i..], hashes) {
+                            cur.code.push('"');
+                            attach_literal(&mut lines, &mut cur, &mut literal);
+                            state = State::Code;
+                            i += 1 + hashes as usize;
+                            continue;
+                        }
+                        literal.1.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() || !cur.strings.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars().last().is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// If `chars` starts a raw/byte string prefix (`r"`, `r#"`, `br"`, `b"`),
+/// returns `(chars_to_skip, hash_count, is_raw)`.
+fn raw_string_prefix(chars: &[char]) -> Option<(usize, u32, bool)> {
+    let mut i = 0;
+    if chars.first() == Some(&'b') {
+        i += 1;
+    }
+    let raw = chars.get(i) == Some(&'r');
+    if raw {
+        i += 1;
+    }
+    if i == 0 {
+        return None; // plain '"' handled by the caller
+    }
+    let mut hashes = 0u32;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) == Some(&'"') {
+        if !raw && hashes > 0 {
+            return None; // `b#` is not a string prefix
+        }
+        Some((i + 1, hashes, raw))
+    } else {
+        None
+    }
+}
+
+fn closes_raw(chars: &[char], hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(k) == Some(&'#'))
+}
+
+fn attach_literal(lines: &mut [Line], cur: &mut Line, literal: &mut (usize, String)) {
+    let (start, text) = std::mem::take(literal);
+    if start == lines.len() {
+        cur.strings.push(text);
+    } else if let Some(line) = lines.get_mut(start) {
+        line.strings.push(text);
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]` / `#[test]` brace regions.
+fn mark_test_regions(lines: &mut [Line], whole_file: bool) {
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut region_starts: Vec<i64> = Vec::new();
+    for line in lines.iter_mut() {
+        let code = line.code.as_str();
+        if code.contains("#[cfg(test") || code.contains("#[test]") {
+            pending_attr = true;
+        }
+        line.in_test = whole_file || pending_attr || !region_starts.is_empty();
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        if pending_attr && opens > 0 {
+            region_starts.push(depth);
+            pending_attr = false;
+        }
+        depth += opens - closes;
+        while region_starts.last().is_some_and(|&d| depth <= d) {
+            region_starts.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_blanks_strings() {
+        let f = SourceFile::scan(
+            "crates/x/src/a.rs",
+            "let x = v.expect(\"call .unwrap() here\"); // .unwrap() too\n",
+        );
+        assert_eq!(f.lines.len(), 1);
+        assert!(f.lines[0].code.contains(".expect(\"\")"));
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].comment.contains(".unwrap() too"));
+        assert_eq!(f.lines[0].strings, vec!["call .unwrap() here".to_string()]);
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings() {
+        let src = "/* outer /* inner */ still */ let s = r#\"raw \"q\" text\"#;\n";
+        let f = SourceFile::scan("crates/x/src/a.rs", src);
+        assert!(f.lines[0].code.contains("let s ="));
+        assert!(f.lines[0].comment.contains("inner"));
+        assert_eq!(f.lines[0].strings, vec!["raw \"q\" text".to_string()]);
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        let f = SourceFile::scan("crates/x/src/a.rs", "let c = '\"'; let l: &'static str = x;\n");
+        assert!(f.lines[0].code.contains("let l: &'static str"));
+        assert!(f.lines[0].strings.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_tracking() {
+        let src = "fn hot() { v.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { v.unwrap(); }\n\
+                   }\n\
+                   fn hot2() {}\n";
+        let f = SourceFile::scan("crates/x/src/a.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test && f.lines[2].in_test && f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    #[test]
+    fn bench_files_are_whole_file_test() {
+        let f = SourceFile::scan("crates/bench/benches/fft.rs", "fn main() {}\n");
+        assert!(f.lines[0].in_test);
+    }
+
+    #[test]
+    fn multiline_string_attaches_to_start_line() {
+        let src = "let s = \"line one\nline two\";\nlet t = 1;\n";
+        let f = SourceFile::scan("crates/x/src/a.rs", src);
+        assert_eq!(f.lines[0].strings, vec!["line one\nline two".to_string()]);
+        assert!(f.lines[1].strings.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Inline waivers: `// holoar-lint: allow(rule, reason = "...")`.
+//!
+//! A waiver on a code line suppresses matching findings on that line; a
+//! waiver on a comment-only line suppresses findings on the next code line
+//! (so long messages don't have to share a line with the code they waive).
+//! The reason is mandatory — a waiver without one is itself a finding, as
+//! is a waiver naming an unknown rule.
+
+use crate::config::RULE_IDS;
+use crate::diag::{Finding, Status};
+use crate::source::SourceFile;
+
+/// One parsed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule id the waiver applies to.
+    pub rule: String,
+    /// Mandatory justification.
+    pub reason: String,
+    /// 1-based line the waiver suppresses findings on.
+    pub applies_to: usize,
+}
+
+const MARKER: &str = "holoar-lint:";
+
+/// Extracts all waivers in `file`, appending malformed-waiver findings to
+/// `out`.
+pub fn collect(file: &SourceFile, out: &mut Vec<Finding>) -> Vec<Waiver> {
+    let mut waivers = Vec::new();
+    for (line_no, line) in file.numbered() {
+        let Some(pos) = line.comment.find(MARKER) else {
+            continue;
+        };
+        let directive = line.comment[pos + MARKER.len()..].trim();
+        let comment_only = line.code.trim().is_empty();
+        let applies_to = if comment_only {
+            // Next line with actual code (skipping further comment-only lines).
+            file.lines
+                .iter()
+                .enumerate()
+                .skip(line_no) // line_no is 1-based == index of the next line
+                .find(|(_, l)| !l.code.trim().is_empty())
+                .map(|(i, _)| i + 1)
+                .unwrap_or(line_no)
+        } else {
+            line_no
+        };
+        match parse_directive(directive) {
+            Ok((rule, reason)) => {
+                if RULE_IDS.contains(&rule.as_str()) {
+                    waivers.push(Waiver { rule, reason, applies_to });
+                } else {
+                    out.push(Finding {
+                        rule: "waiver-syntax",
+                        path: file.rel.clone(),
+                        line: line_no,
+                        message: format!(
+                            "waiver names unknown rule `{rule}` (known: {})",
+                            RULE_IDS.join(", ")
+                        ),
+                        status: Status::Active,
+                    });
+                }
+            }
+            Err(why) => out.push(Finding {
+                rule: "waiver-syntax",
+                path: file.rel.clone(),
+                line: line_no,
+                message: format!("malformed waiver: {why}"),
+                status: Status::Active,
+            }),
+        }
+    }
+    waivers
+}
+
+/// Parses `allow(rule, reason = "...")`, returning `(rule, reason)`.
+fn parse_directive(directive: &str) -> Result<(String, String), String> {
+    let rest = directive
+        .strip_prefix("allow(")
+        .ok_or_else(|| "expected `allow(rule, reason = \"...\")`".to_string())?;
+    let rest = rest
+        .strip_suffix(')')
+        .ok_or_else(|| "missing closing `)`".to_string())?;
+    let (rule, tail) = rest
+        .split_once(',')
+        .ok_or_else(|| "missing `, reason = \"...\"` after the rule name".to_string())?;
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return Err(format!("`{rule}` is not a valid rule name"));
+    }
+    let tail = tail.trim();
+    let reason_expr = tail
+        .strip_prefix("reason")
+        .map(|t| t.trim_start())
+        .and_then(|t| t.strip_prefix('='))
+        .map(|t| t.trim_start())
+        .ok_or_else(|| "expected `reason = \"...\"`".to_string())?;
+    let reason = reason_expr
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a double-quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> SourceFile {
+        SourceFile::scan("crates/x/src/a.rs", src)
+    }
+
+    #[test]
+    fn same_line_waiver() {
+        let f = scan("v.unwrap(); // holoar-lint: allow(no-panic, reason = \"length checked\")\n");
+        let mut out = Vec::new();
+        let ws = collect(&f, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].rule, "no-panic");
+        assert_eq!(ws[0].reason, "length checked");
+        assert_eq!(ws[0].applies_to, 1);
+    }
+
+    #[test]
+    fn standalone_waiver_applies_to_next_code_line() {
+        let f = scan(
+            "// holoar-lint: allow(determinism, reason = \"bench wall time\")\n\
+             // more commentary\n\
+             let t = now();\n",
+        );
+        let mut out = Vec::new();
+        let ws = collect(&f, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(ws[0].applies_to, 3);
+    }
+
+    #[test]
+    fn malformed_and_unknown_rule_waivers_are_findings() {
+        let f = scan(
+            "// holoar-lint: allow(no-panic)\n\
+             // holoar-lint: allow(made-up-rule, reason = \"x\")\n\
+             // holoar-lint: allow(no-panic, reason = )\n",
+        );
+        let mut out = Vec::new();
+        let ws = collect(&f, &mut out);
+        assert!(ws.is_empty());
+        assert_eq!(out.len(), 3);
+        assert!(out[0].message.contains("missing"));
+        assert!(out[1].message.contains("unknown rule"));
+        assert!(out[2].message.contains("double-quoted"));
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: nondeterminism sources the `determinism` rule must flag. Never
+// compiled; tests scan it under a simulator rel.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn naughty() {
+    let t0 = Instant::now();
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let _hit = m.get(&1);
+    for (k, v) in &m {
+        let _ = (k, v, t0);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: telemetry-naming violations the `telemetry-discipline` rule must
+// flag. Never compiled; tests scan it under a core-crate rel against a
+// registry containing only `span core.view.render_view`.
+pub fn instrument() {
+    let _ok = holoar_telemetry::span_cat("core.view.render_view", "core");
+    let _convention = holoar_telemetry::span_cat("BadName", "core");
+    holoar_telemetry::counter_add("core.unregistered.counter", 1);
+    holoar_telemetry::counter_add("nope.view.render_view", 1);
+}

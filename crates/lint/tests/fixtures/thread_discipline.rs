@@ -1,0 +1,6 @@
+// Fixture: raw threading the `thread-discipline` rule must flag. Never
+// compiled; tests scan it under a non-pool rel.
+pub fn fan_out() -> i32 {
+    let h = std::thread::spawn(|| 42);
+    h.join().unwrap_or(0)
+}

@@ -1,0 +1,10 @@
+// Fixture: unsafe with and without justification for the `unsafe-hygiene`
+// rule. Never compiled (the workspace itself forbids unsafe).
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn peek_ok(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}

@@ -1,0 +1,10 @@
+// Fixture: waiver handling — valid same-line, valid standalone, malformed,
+// and unknown-rule. Never compiled; tests scan it under a hot-path rel.
+pub fn waived(opt: Option<u32>) -> u32 {
+    let a = opt.unwrap(); // holoar-lint: allow(no-panic, reason = "fixture: checked by caller")
+    // holoar-lint: allow(no-panic, reason = "fixture: standalone waiver")
+    let b = opt.unwrap();
+    let c = opt.unwrap(); // holoar-lint: allow(no-panic)
+    let d = opt.unwrap(); // holoar-lint: allow(imaginary-rule, reason = "nope")
+    a + b + c + d
+}

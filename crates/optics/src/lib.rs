@@ -32,6 +32,8 @@
 //! assert!(image.iter().sum::<f64>() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod algorithm1;
 pub mod depthmap;
 pub mod field;

@@ -188,12 +188,12 @@ impl Propagator {
     /// Number of cached transfer functions (exposed for cache-behaviour
     /// tests and capacity planning). Shared across clones.
     pub fn cached_transfer_count(&self) -> usize {
-        self.transfer.lock().expect("transfer cache lock").len()
+        holoar_fft::lock_unpoisoned(&self.transfer).len()
     }
 
     /// The cached (or newly planned) FFT for a shape.
     fn fft_for(&self, rows: usize, cols: usize) -> Fft2d {
-        match self.ffts.lock().expect("fft cache lock").entry((rows, cols)) {
+        match holoar_fft::lock_unpoisoned(&self.ffts).entry((rows, cols)) {
             std::collections::hash_map::Entry::Occupied(hit) => {
                 holoar_telemetry::counter_add("optics.fft_cache.hit", 1);
                 hit.get().clone()
@@ -215,7 +215,7 @@ impl Propagator {
     ) -> Arc<Vec<Complex64>> {
         let key =
             (rows, cols, z.to_bits(), cfg.wavelength.to_bits(), cfg.pitch.to_bits());
-        match self.transfer.lock().expect("transfer cache lock").entry(key) {
+        match holoar_fft::lock_unpoisoned(&self.transfer).entry(key) {
             std::collections::hash_map::Entry::Occupied(hit) => {
                 holoar_telemetry::counter_add("optics.transfer_cache.hit", 1);
                 hit.get().clone()

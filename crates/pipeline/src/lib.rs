@@ -21,6 +21,8 @@
 //! assert_eq!(bottleneck.kind, TaskKind::Hologram);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod battery;
 pub mod characterize;
 pub mod graph;

@@ -25,6 +25,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod angles;
 pub mod calibrated_noise;
 pub mod eyetrack;

@@ -50,6 +50,8 @@
 //! telemetry::set_mode(telemetry::TelemetryMode::Off);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod collector;
 pub mod export;
 pub mod jsonlite;

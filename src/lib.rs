@@ -25,6 +25,8 @@
 //! assert!(holoar.mean_latency < baseline.mean_latency);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use holoar_core as core;
 pub use holoar_fft as fft;
 pub use holoar_gpusim as gpusim;

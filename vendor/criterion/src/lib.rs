@@ -11,6 +11,8 @@
 //! baselines and no statistical regression analysis — output goes to
 //! stdout, one line per benchmark.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -11,6 +11,8 @@
 //! from the test name), so failures reproduce run-to-run. There is no
 //! shrinking: a failing case panics with the assertion message.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod sample;
