@@ -875,10 +875,244 @@ pub fn inter_intra(cfg: &ExperimentConfig) -> String {
     )
 }
 
+/// Robustness study: the deadline-aware degradation controller under
+/// injected faults (`repro faults`).
+///
+/// Runs the Inter-Intra-Holo pipeline on the accelerator-class device of
+/// [`holoar_faults::scenario::accelerated_device`] — where the nominal
+/// frame *meets* its 33 ms deadline — and injects the GPU-contention
+/// scenario (windows of 2× SM slowdown plus DRAM contention). Every frame
+/// the controller predicts the hologram cost, walks the degradation ladder
+/// when an overrun looms, and recovers hysteretically once headroom
+/// returns. The report compares deadline-hit rate and capped PSNR with the
+/// controller on versus off, lists every ladder transition, checks the
+/// "never two consecutive overruns without a step-down" contract, and
+/// prints the per-stage worst-case latencies of the degraded run. A second
+/// pass under the full-stack scenario adds sensor dropouts and stage
+/// overruns to exercise the planner's sensor-loss fallbacks.
+///
+/// Deterministic: two runs with the same `--seed` are byte-identical.
+pub fn faults(cfg: &ExperimentConfig) -> String {
+    use holoar_core::degrade::{DegradationController, DegradationLadder, DegradationLevel};
+    use holoar_core::{GazeInput, PoseInput, SensorSample};
+    use holoar_faults::{scenario, FrameFaults};
+    use holoar_pipeline::schedule::FrameLatencies;
+    use holoar_sensors::eyetrack::GazeEstimate;
+    use holoar_sensors::objectron::FrameGenerator;
+
+    let base = HoloArConfig::for_scheme(Scheme::InterIntraHolo).without_reuse();
+    let device_cfg = scenario::accelerated_device();
+    let ladder = DegradationLadder::default();
+    let budget = ladder.frame_budget;
+    // A fixated user (gaze on the first object, as in the quality studies):
+    // the attended object plans full planes, the periphery is approximated.
+    let nominal = |frame: &holoar_sensors::objectron::Frame| -> SensorSample {
+        let gaze = frame.objects.first().map(|o| o.direction).unwrap_or(AngularPoint::CENTER);
+        SensorSample {
+            pose: PoseInput::Tracked(PoseEstimate {
+                orientation: AngularPoint::CENTER,
+                latency: 0.01375,
+            }),
+            gaze: GazeInput::Tracked(GazeEstimate { direction: gaze, latency: 0.0044 }),
+        }
+    };
+
+    // Hologram-stage cost of planning `frame` at `config` on the derated
+    // device: the sum of the simulated kernel latencies, without the fixed
+    // executor overhead (the stage deadline budgets the hologram kernels).
+    let stage_cost = |config: &HoloArConfig,
+                      frame: &holoar_sensors::objectron::Frame,
+                      sample: &SensorSample,
+                      flt: &FrameFaults|
+     -> f64 {
+        let mut planner = Planner::new(*config).expect("ladder configs stay valid");
+        let plan = planner.plan_frame_with(frame, sample);
+        let mut device =
+            Device::new(flt.derate_device(&device_cfg)).expect("derated device stays valid");
+        let mut latency = 0.0;
+        for item in plan.items.iter().filter(|it| it.needs_compute()) {
+            let job = HologramJob {
+                pixels: calibration::HOLOGRAM_PIXELS,
+                plane_count: item.planes,
+                coverage: item.coverage.clamp(f64::MIN_POSITIVE, 1.0),
+                gsw_iterations: calibration::GSW_ITERATIONS,
+            };
+            latency += hologram_kernels::run_job(&mut device, &job).latency;
+        }
+        latency
+    };
+
+    // -- acceptance pass: GPU contention, controller on vs off -----------
+    let injector = scenario::gpu_slowdown(cfg.seed).expect("preset scenario is valid");
+    let mut ctl = DegradationController::new(ladder).expect("default ladder is valid");
+    let mut gen = FrameGenerator::new(VideoCategory::Shoe, cfg.seed);
+    let mut hits_on = 0u64;
+    let mut hits_off = 0u64;
+    let mut level_frames = [0u64; 4];
+    let mut latencies = Vec::with_capacity(cfg.frames as usize);
+    for i in 0..cfg.frames {
+        let frame = gen.next().expect("generator is infinite");
+        let flt = injector.frame(i);
+        let sample = flt.degrade_sensors(&nominal(&frame));
+
+        // Controller off: always plan at full quality.
+        let full_cost = stage_cost(&base, &frame, &sample, &flt);
+        if full_cost <= budget {
+            hits_off += 1;
+        }
+
+        // Controller on: plan at the level decide() picks.
+        let level = ctl.decide(i);
+        level_frames[level.index()] += 1;
+        let cost = match ctl.config_for(&base) {
+            // Full level plans the same frame the off-run just did.
+            Some(config) if config == base => full_cost,
+            Some(config) => stage_cost(&config, &frame, &sample, &flt),
+            // LastGood: re-present the cached hologram, reprojected.
+            None => ladder.reproject_latency,
+        };
+        if cost <= budget {
+            hits_on += 1;
+        }
+        ctl.observe(i, cost);
+        latencies.push(flt.perturb_latencies(FrameLatencies {
+            pose: 0.01375,
+            eye: 0.0044,
+            scene: 0.120,
+            hologram: cost,
+        }));
+    }
+    let pipelined = holoar_pipeline::run_pipelined(cfg.frames, |i| latencies[i as usize]);
+
+    // -- full-stack pass: add sensor dropouts and stage overruns ---------
+    let storm = scenario::full_stack(cfg.seed).expect("preset scenario is valid");
+    let mut storm_ctl = DegradationController::new(ladder).expect("default ladder is valid");
+    let mut storm_gen = FrameGenerator::new(VideoCategory::Shoe, cfg.seed);
+    let storm_frames = cfg.frames.min(60);
+    let mut storm_hits = 0u64;
+    let mut gaze_lost = 0u64;
+    let mut pose_lost = 0u64;
+    for i in 0..storm_frames {
+        let frame = storm_gen.next().expect("generator is infinite");
+        let flt = storm.frame(i);
+        let sample = flt.degrade_sensors(&nominal(&frame));
+        gaze_lost += u64::from(matches!(sample.gaze, GazeInput::Lost));
+        pose_lost += u64::from(matches!(sample.pose, PoseInput::Lost));
+        storm_ctl.decide(i);
+        let cost = match storm_ctl.config_for(&base) {
+            Some(config) => stage_cost(&config, &frame, &sample, &flt),
+            None => ladder.reproject_latency,
+        };
+        if cost + flt.stage_overrun <= budget {
+            storm_hits += 1;
+        }
+        storm_ctl.observe(i, cost + flt.stage_overrun);
+    }
+
+    // Display quality, Fig 10a methodology: fleet-mean capped PSNR of each
+    // ladder configuration, weighted by the frames the controller spent
+    // there. LastGood maps to the floor-beta configuration (the hologram it
+    // re-presents was computed at that level or better).
+    let sample_frames = (cfg.frames / 30).clamp(2, 8);
+    let fleet_psnr = |config: &HoloArConfig| -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for &v in &VideoCategory::ALL {
+            let vq = quality::video_quality(v, *config, sample_frames, cfg.seed);
+            if let Some(p) = vq.mean_psnr_capped() {
+                sum += p;
+                n += 1;
+            }
+        }
+        sum / f64::from(n.max(1))
+    };
+    let full_psnr = fleet_psnr(&base);
+    let mut weighted_psnr = 0.0;
+    let mut lvl = Table::new(["Ladder level", "Frames", "Fleet PSNR (dB, capped 50)"]);
+    for level in DegradationLevel::ALL {
+        let frames_at = level_frames[level.index()];
+        let psnr = if level == DegradationLevel::Full {
+            full_psnr
+        } else if frames_at > 0 {
+            fleet_psnr(&ladder.apply(level, &base))
+        } else {
+            f64::NAN
+        };
+        weighted_psnr += if frames_at > 0 { psnr * frames_at as f64 } else { 0.0 };
+        lvl.row([
+            level.name().to_string(),
+            frames_at.to_string(),
+            if psnr.is_nan() { "-".to_string() } else { format!("{psnr:.1}") },
+        ]);
+    }
+    weighted_psnr /= cfg.frames as f64;
+
+    let mut t = Table::new(["Quantity", "controller on", "controller off"]);
+    t.row([
+        "deadline hit rate".to_string(),
+        pct(hits_on as f64 / cfg.frames as f64),
+        pct(hits_off as f64 / cfg.frames as f64),
+    ]);
+    t.row([
+        "display PSNR (occupancy-weighted)".to_string(),
+        format!("{weighted_psnr:.1} dB"),
+        format!("{full_psnr:.1} dB"),
+    ]);
+    t.row([
+        "overruns".to_string(),
+        ctl.overruns().to_string(),
+        (cfg.frames - hits_off).to_string(),
+    ]);
+
+    let mut trans = String::new();
+    for tr in ctl.transitions().iter().take(10) {
+        trans.push_str(&format!(
+            "  frame {:>4}: {} -> {} ({})\n",
+            tr.frame,
+            tr.from.name(),
+            tr.to.name(),
+            tr.reason.name()
+        ));
+    }
+    if ctl.transitions().len() > 10 {
+        trans.push_str(&format!("  ... {} more\n", ctl.transitions().len() - 10));
+    }
+
+    let worst = &pipelined.worst;
+    format!(
+        "== supplementary: graceful degradation under injected faults ==\n\
+         scenario: GPU contention (2x SM slowdown + DRAM contention bursts), \
+         seed {}, {} frames, {} stage budget\n{}\n\
+         ladder transitions ({}):\n{}\
+         max consecutive overruns without step-down: {} (contract: <= 1)\n\
+         worst-case stage latency: pose {} | eye {} | scene {} | hologram {} \
+         | frame {}\n\
+         full-stack scenario ({} frames): hit rate {}, gaze lost {} frames, \
+         pose lost {} frames, transitions {}\n",
+        cfg.seed,
+        cfg.frames,
+        ms(budget),
+        t.render(),
+        ctl.transitions().len(),
+        trans,
+        ctl.max_overruns_without_stepdown(),
+        ms(worst.pose),
+        ms(worst.eye),
+        ms(worst.scene),
+        ms(worst.hologram),
+        ms(worst.total),
+        storm_frames,
+        pct(storm_hits as f64 / storm_frames as f64),
+        gaze_lost,
+        pose_lost,
+        storm_ctl.transitions().len(),
+    ) + &lvl.render()
+}
+
 /// Names of all experiments, in run order.
-pub const ALL_EXPERIMENTS: [&str; 19] = [
+pub const ALL_EXPERIMENTS: [&str; 20] = [
     "table1", "fig2", "fig3", "fig4", "fig5", "sec3", "table2", "fig7", "fig8", "fig9", "fig10",
-    "horn8", "hybrid", "gating", "reuse", "fusion", "streams", "parallel", "inter-intra",
+    "horn8", "hybrid", "gating", "reuse", "fusion", "streams", "parallel", "inter-intra", "faults",
 ];
 
 /// Runs one experiment by id.
@@ -907,6 +1141,7 @@ pub fn run(id: &str, cfg: &ExperimentConfig) -> Result<String, String> {
         "streams" => Ok(streams(cfg)),
         "parallel" => Ok(parallel(cfg)),
         "inter-intra" => Ok(inter_intra(cfg)),
+        "faults" => Ok(faults(cfg)),
         "psnr" => Ok(psnr_ladder(cfg)),
         other => Err(format!(
             "unknown experiment '{other}'; valid: {} (or 'all')",

@@ -40,6 +40,7 @@
 
 pub mod approx;
 pub mod config;
+pub mod degrade;
 pub mod evaluation;
 pub mod executor;
 pub mod horn8;
@@ -52,6 +53,7 @@ pub mod view;
 pub mod window;
 
 pub use config::{HoloArConfig, IntraParams, Scheme, FULL_PLANES};
+pub use degrade::{DegradationController, DegradationLadder, DegradationLevel};
 pub use evaluation::{EvaluationMatrix, VideoResult};
 pub use executor::FramePerf;
 pub use horn8::{Horn8Model, HybridSchedule};

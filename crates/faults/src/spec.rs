@@ -1,0 +1,173 @@
+//! The fault taxonomy: what can go wrong, where, and how hard.
+//!
+//! Each [`FaultSpec`] describes one fault process as a *windowed burst*:
+//! time is divided into windows of [`burst_frames`](FaultSpec::burst_frames)
+//! consecutive frames, and each window is independently faulted with
+//! [`window_probability`](FaultSpec::window_probability). Real failures —
+//! blinks, thermal throttling, memory-bus contention — arrive in bursts,
+//! not as i.i.d. per-frame coin flips, and the windowed form is what makes
+//! replay trivially order-independent (see [`crate::injector`]).
+
+/// The kinds of fault the harness can inject, spanning every layer of the
+/// simulated stack. The full fault → layer → response table lives in
+/// `DESIGN.md` ("Graceful degradation & fault model").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Eye tracker loses the pupil (blink, IR washout): gaze reads `Lost`.
+    /// Layer: `sensors::eyetrack`.
+    GazeDropout,
+    /// Eye-tracker inference runs long; `magnitude` is the extra latency in
+    /// seconds added to the eye-tracking stage.
+    GazeLatencySpike,
+    /// VIO diverges (feature-poor scene): pose reads `Lost`.
+    /// Layer: `sensors::pose`.
+    PoseDropout,
+    /// IMU noise burst (vibration, magnetic disturbance): the pose estimate
+    /// jitters. `magnitude` is the per-axis jitter sigma in **degrees**.
+    /// Layer: `sensors::imu`.
+    ImuNoiseBurst,
+    /// SM slowdown (thermal throttling / co-runner): the effective GPU
+    /// clock is multiplied by `magnitude` ∈ (0, 1). Layer: `gpusim`.
+    SmSlowdown,
+    /// DRAM contention from other SoC clients: sustained DRAM bandwidth is
+    /// multiplied by `magnitude` ∈ (0, 1). Layer: `gpusim`.
+    DramContention,
+    /// A perception stage overruns (scheduling hiccup): `magnitude` seconds
+    /// are added to the pose stage. Layer: `pipeline`.
+    StageOverrun,
+}
+
+impl FaultKind {
+    /// All kinds, in taxonomy order.
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::GazeDropout,
+        FaultKind::GazeLatencySpike,
+        FaultKind::PoseDropout,
+        FaultKind::ImuNoiseBurst,
+        FaultKind::SmSlowdown,
+        FaultKind::DramContention,
+        FaultKind::StageOverrun,
+    ];
+
+    /// Display name used in reports and telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::GazeDropout => "gaze-dropout",
+            FaultKind::GazeLatencySpike => "gaze-latency-spike",
+            FaultKind::PoseDropout => "pose-dropout",
+            FaultKind::ImuNoiseBurst => "imu-noise-burst",
+            FaultKind::SmSlowdown => "sm-slowdown",
+            FaultKind::DramContention => "dram-contention",
+            FaultKind::StageOverrun => "stage-overrun",
+        }
+    }
+
+    /// Stream-separation salt: each kind draws from its own deterministic
+    /// RNG stream so adding one fault never reshuffles another's bursts.
+    pub(crate) fn salt(self) -> u64 {
+        match self {
+            FaultKind::GazeDropout => 0x6A5E_D801,
+            FaultKind::GazeLatencySpike => 0x6A5E_D802,
+            FaultKind::PoseDropout => 0x705E_D803,
+            FaultKind::ImuNoiseBurst => 0x1400_D804,
+            FaultKind::SmSlowdown => 0x53D0_D805,
+            FaultKind::DramContention => 0xD3A0_D806,
+            FaultKind::StageOverrun => 0x57A6_D807,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One fault process: a kind plus its burst statistics and magnitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// What is injected.
+    pub kind: FaultKind,
+    /// Probability that any given window is faulted, in `[0, 1]`.
+    pub window_probability: f64,
+    /// Window length in frames (every frame of a faulted window is
+    /// affected); must be ≥ 1.
+    pub burst_frames: u64,
+    /// Kind-specific severity: a latency in seconds
+    /// ([`GazeLatencySpike`](FaultKind::GazeLatencySpike) /
+    /// [`StageOverrun`](FaultKind::StageOverrun)), a derating scale in
+    /// `(0, 1)` ([`SmSlowdown`](FaultKind::SmSlowdown) /
+    /// [`DramContention`](FaultKind::DramContention)), a jitter sigma in
+    /// degrees ([`ImuNoiseBurst`](FaultKind::ImuNoiseBurst)), or ignored
+    /// (the dropouts).
+    pub magnitude: f64,
+}
+
+impl FaultSpec {
+    /// Creates a spec.
+    pub fn new(kind: FaultKind, window_probability: f64, burst_frames: u64, magnitude: f64) -> Self {
+        FaultSpec { kind, window_probability, burst_frames, magnitude }
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.window_probability) {
+            return Err(format!("{}: window probability must be in [0, 1]", self.kind));
+        }
+        if self.burst_frames == 0 {
+            return Err(format!("{}: burst must be at least one frame", self.kind));
+        }
+        let magnitude_ok = match self.kind {
+            FaultKind::GazeDropout | FaultKind::PoseDropout => true,
+            FaultKind::GazeLatencySpike | FaultKind::StageOverrun => {
+                self.magnitude >= 0.0 && self.magnitude.is_finite()
+            }
+            FaultKind::ImuNoiseBurst => self.magnitude >= 0.0 && self.magnitude.is_finite(),
+            FaultKind::SmSlowdown | FaultKind::DramContention => {
+                self.magnitude > 0.0 && self.magnitude < 1.0
+            }
+        };
+        if !magnitude_ok {
+            return Err(format!("{}: magnitude {} out of range", self.kind, self.magnitude));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn salts_are_distinct() {
+        for (i, a) in FaultKind::ALL.iter().enumerate() {
+            for b in &FaultKind::ALL[i + 1..] {
+                assert_ne!(a.salt(), b.salt(), "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn validation_checks_kind_specific_ranges() {
+        assert!(FaultSpec::new(FaultKind::GazeDropout, 0.3, 5, 0.0).validate().is_ok());
+        assert!(FaultSpec::new(FaultKind::SmSlowdown, 0.3, 5, 0.5).validate().is_ok());
+        // Slowdown scale of 1 (no-op) or more is a spec error.
+        assert!(FaultSpec::new(FaultKind::SmSlowdown, 0.3, 5, 1.0).validate().is_err());
+        assert!(FaultSpec::new(FaultKind::DramContention, 0.3, 5, 0.0).validate().is_err());
+        assert!(FaultSpec::new(FaultKind::StageOverrun, 0.3, 5, -0.1).validate().is_err());
+        assert!(FaultSpec::new(FaultKind::GazeDropout, 1.5, 5, 0.0).validate().is_err());
+        assert!(FaultSpec::new(FaultKind::GazeDropout, 0.5, 0, 0.0).validate().is_err());
+    }
+
+    #[test]
+    fn names_cover_every_kind() {
+        for kind in FaultKind::ALL {
+            assert!(!kind.name().is_empty());
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+}

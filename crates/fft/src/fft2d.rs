@@ -3,7 +3,8 @@
 //!
 //! The 2-D transform is separable: FFT every row, then FFT every column.
 //! The column pass transposes through a scratch buffer (borrowed from the
-//! pool's [`ScratchArena`]) so the 1-D kernels always run on contiguous
+//! pool's [`ScratchArena`](crate::parallel::ScratchArena)) so the 1-D
+//! kernels always run on contiguous
 //! memory. Both passes fan out over the transform's [`Parallelism`] handle —
 //! rows (and transposed columns) are independent, so the parallel result is
 //! bit-identical to the serial one regardless of worker count.

@@ -145,6 +145,33 @@ impl DeviceConfig {
         self.sm_count * self.sm.cores
     }
 
+    /// Returns a derated copy of this configuration modelling transient
+    /// contention: `clock_scale` multiplies the effective core clock (SM
+    /// slowdown — thermal throttling or co-runner occupancy) and
+    /// `dram_scale` multiplies the sustained DRAM bandwidth (memory-bus
+    /// contention from other SoC clients).
+    ///
+    /// Scales must be in `(0, 1]`; values are clamped into that range so a
+    /// fault injector can never produce an invalid device.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use holoar_gpusim::DeviceConfig;
+    /// let nominal = DeviceConfig::default();
+    /// let derated = nominal.with_slowdown(0.5, 0.8);
+    /// assert_eq!(derated.clock_hz, nominal.clock_hz * 0.5);
+    /// assert!(derated.validate().is_ok());
+    /// ```
+    #[must_use]
+    pub fn with_slowdown(&self, clock_scale: f64, dram_scale: f64) -> Self {
+        let clamp = |s: f64| if s.is_finite() { s.clamp(1e-3, 1.0) } else { 1.0 };
+        let mut derated = *self;
+        derated.clock_hz *= clamp(clock_scale);
+        derated.memory.dram_bytes_per_cycle *= clamp(dram_scale);
+        derated
+    }
+
     /// Validates configuration invariants.
     ///
     /// # Errors
@@ -201,6 +228,24 @@ mod tests {
 
         let cfg = DeviceConfig { clock_hz: f64::NAN, ..DeviceConfig::default() };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn slowdown_derates_clock_and_dram_and_stays_valid() {
+        let nominal = DeviceConfig::default();
+        let derated = nominal.with_slowdown(0.5, 0.25);
+        assert!((derated.clock_hz - nominal.clock_hz * 0.5).abs() < 1.0);
+        let want = nominal.memory.dram_bytes_per_cycle * 0.25;
+        assert!((derated.memory.dram_bytes_per_cycle - want).abs() < 1e-12);
+        assert!(derated.validate().is_ok());
+
+        // Pathological scales are clamped rather than producing an
+        // invalid device.
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY, 7.0] {
+            assert!(nominal.with_slowdown(bad, bad).validate().is_ok(), "scale {bad}");
+        }
+        // An identity slowdown is exactly the nominal config.
+        assert_eq!(nominal.with_slowdown(1.0, 1.0), nominal);
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub const RULE_EXEMPT_PREFIXES: &[&str] = &["crates/telemetry/", "vendor/", "cra
 /// Valid leading segments for telemetry span/counter names (`category.name`
 /// convention; `gpu` is the synthetic simulated-GPU track).
 pub const CATEGORIES: &[&str] =
-    &["fft", "optics", "core", "pipeline", "gpusim", "gpu", "bench", "telemetry"];
+    &["fft", "optics", "core", "pipeline", "gpusim", "gpu", "bench", "telemetry", "faults"];
 
 /// Every rule id the engine knows; waivers naming anything else are
 /// diagnosed as malformed.

@@ -12,7 +12,8 @@ use crate::{baseline, rules, waiver};
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", ".github"];
 
-/// Scans every workspace `.rs` file under `root` (skipping [`SKIP_DIRS`]).
+/// Scans every workspace `.rs` file under `root` (skipping `target`,
+/// `.git`, `fixtures` and `.github` directories).
 pub fn scan_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
     let mut sources = Vec::new();
     collect_rs_files(root, root, &mut sources)?;

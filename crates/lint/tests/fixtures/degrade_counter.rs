@@ -1,0 +1,9 @@
+// Fixture: an unregistered degradation counter the `telemetry-discipline`
+// rule must flag. Never compiled; tests scan it under the degrade module's
+// rel path against a registry that knows `counter core.degrade.step_down`
+// and `gauge core.degrade.level` but not the counter on line 8.
+pub fn emit_transition() {
+    holoar_telemetry::counter_add("core.degrade.step_down", 1);
+    holoar_telemetry::gauge_set("core.degrade.level", 1.0);
+    holoar_telemetry::counter_add("core.degrade.unplanned_transitions", 1);
+}

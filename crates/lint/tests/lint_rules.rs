@@ -87,6 +87,21 @@ fn telemetry_discipline_flags_bad_and_unregistered_names() {
 }
 
 #[test]
+fn unregistered_degradation_counter_trips_telemetry_discipline() {
+    // The registry knows the degradation counters the controller really
+    // emits; a counter added without registering it must fail the gate.
+    const DEGRADE_REGISTRY: &str =
+        "counter core.degrade.step_down\ngauge core.degrade.level\n";
+    let src = include_str!("fixtures/degrade_counter.rs");
+    let files = vec![SourceFile::scan("crates/core/src/degrade.rs", src)];
+    let report = engine::lint_sources(&files, &cfg(), DEGRADE_REGISTRY, "");
+    let lines = lines_for(&report, "telemetry-discipline");
+    assert!(!lines.contains(&6), "registered counter wrongly flagged: {lines:?}");
+    assert!(!lines.contains(&7), "registered gauge wrongly flagged: {lines:?}");
+    assert!(lines.contains(&8), "unregistered degradation counter must be flagged: {lines:?}");
+}
+
+#[test]
 fn unsafe_hygiene_wants_safety_comments() {
     let src = include_str!("fixtures/unsafe_hygiene.rs");
     let report = lint_one("src/ptr.rs", src);

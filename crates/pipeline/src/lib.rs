@@ -22,6 +22,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod battery;
 pub mod characterize;
@@ -34,5 +35,5 @@ pub use battery::Battery;
 pub use characterize::{characterize, TaskCharacterization};
 pub use graph::{ar_frame_graph, schedule_frame, FrameSchedule, GraphTask, Resource};
 pub use pipelined::{run_pipelined, PipelinedReport};
-pub use schedule::{run_loop, FrameLatencies, QosReport};
+pub use schedule::{run_loop, FrameLatencies, QosReport, StageWorst};
 pub use task::TaskKind;

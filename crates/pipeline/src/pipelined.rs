@@ -11,7 +11,7 @@
 //! hologram is the throughput bottleneck regardless; once approximated, the
 //! pipeline becomes sensor/display bound.
 
-use crate::schedule::FrameLatencies;
+use crate::schedule::{FrameLatencies, StageWorst};
 use crate::task::TaskKind;
 use holoar_fft::Parallelism;
 
@@ -28,6 +28,10 @@ pub struct PipelinedReport {
     pub mean_latency: f64,
     /// The stage that bounds throughput.
     pub bottleneck: TaskKind,
+    /// Per-stage worst-case latencies over the run (raw stage times; scene
+    /// reconstruction is *not* amortized here — a frame that pays it pays
+    /// all of it).
+    pub worst: StageWorst,
 }
 
 /// Runs the pipelined model over per-frame latencies from `frame_fn`.
@@ -88,7 +92,9 @@ fn summarize(latencies: &[FrameLatencies]) -> PipelinedReport {
     let cadence = TaskKind::SceneReconstruct.frame_cadence() as f64;
     let mut stage_sums = [0.0f64; 4]; // pose, eye, scene (amortized), hologram
     let mut latency_sum = 0.0;
+    let mut worst = StageWorst::default();
     for lat in latencies {
+        worst.absorb(lat);
         stage_sums[0] += lat.pose;
         stage_sums[1] += lat.eye;
         stage_sums[2] += lat.scene / cadence;
@@ -115,9 +121,11 @@ fn summarize(latencies: &[FrameLatencies]) -> PipelinedReport {
         throughput_fps: 1.0 / slowest.max(f64::MIN_POSITIVE),
         mean_latency: latency_sum / n,
         bottleneck,
+        worst,
     };
     holoar_telemetry::gauge_set("pipeline.throughput_fps", report.throughput_fps);
     holoar_telemetry::gauge_set("pipeline.mean_latency_ms", report.mean_latency * 1e3);
+    holoar_telemetry::gauge_set("pipeline.worst_frame_ms", report.worst.total * 1e3);
     report
 }
 
@@ -158,6 +166,17 @@ mod tests {
     fn motion_to_photon_is_the_stage_sum() {
         let report = run_pipelined(10, |_| latencies(0.1));
         assert!((report.mean_latency - (0.0138 + 0.0044 + 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_surfaces_single_frame_spikes() {
+        // One spiked hologram frame: the mean barely moves, the worst-case
+        // pins it exactly.
+        let report = run_pipelined(20, |i| latencies(if i == 13 { 0.25 } else { 0.03 }));
+        assert!((report.worst.hologram - 0.25).abs() < 1e-12);
+        assert!(report.mean_latency < 0.06);
+        // Raw (unamortized) scene time is reported.
+        assert!((report.worst.scene - 0.120).abs() < 1e-12);
     }
 
     #[test]

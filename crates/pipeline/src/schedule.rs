@@ -31,6 +31,50 @@ impl FrameLatencies {
     }
 }
 
+/// Per-stage worst-case (maximum observed) latencies over a run, seconds.
+///
+/// Means hide tail behaviour: a run can report a comfortable mean frame
+/// latency while single frames blow the deadline — exactly the frames a
+/// degradation controller must react to. Every QoS report therefore carries
+/// the observed per-stage maxima alongside the means.
+///
+/// # Examples
+///
+/// ```
+/// use holoar_pipeline::{FrameLatencies, StageWorst};
+/// let mut worst = StageWorst::default();
+/// worst.absorb(&FrameLatencies { pose: 0.010, eye: 0.004, scene: 0.0, hologram: 0.020 });
+/// worst.absorb(&FrameLatencies { pose: 0.012, eye: 0.004, scene: 0.1, hologram: 0.019 });
+/// assert_eq!(worst.pose, 0.012);
+/// assert_eq!(worst.hologram, 0.020);
+/// assert_eq!(worst.total, 0.135); // worst single frame, not sum of maxima
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageWorst {
+    /// Worst pose-estimation latency.
+    pub pose: f64,
+    /// Worst eye-tracking latency.
+    pub eye: f64,
+    /// Worst scene-reconstruction latency (on frames where it ran).
+    pub scene: f64,
+    /// Worst hologram-computation latency.
+    pub hologram: f64,
+    /// Worst single-frame serial total (not the sum of the per-stage maxima,
+    /// which may come from different frames).
+    pub total: f64,
+}
+
+impl StageWorst {
+    /// Folds one frame's latencies into the running maxima.
+    pub fn absorb(&mut self, lat: &FrameLatencies) {
+        self.pose = self.pose.max(lat.pose);
+        self.eye = self.eye.max(lat.eye);
+        self.scene = self.scene.max(lat.scene);
+        self.hologram = self.hologram.max(lat.hologram);
+        self.total = self.total.max(lat.total());
+    }
+}
+
 /// Aggregate QoS over a run of frames.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QosReport {
@@ -42,6 +86,8 @@ pub struct QosReport {
     pub fps: f64,
     /// Fraction of frames meeting the 30 fps (33 ms) deadline.
     pub deadline_hit_rate: f64,
+    /// Per-stage worst-case latencies over the run.
+    pub worst: StageWorst,
 }
 
 /// Runs a frame loop over per-frame latencies supplied by `frame_fn`
@@ -56,11 +102,13 @@ pub fn run_loop<F: FnMut(u64) -> FrameLatencies>(frames: u64, mut frame_fn: F) -
     let _span = holoar_telemetry::span_cat("pipeline.run_loop", "pipeline");
     let mut total = 0.0;
     let mut hits = 0u64;
+    let mut worst = StageWorst::default();
     for i in 0..frames {
         let mut lat = frame_fn(i);
         if i % TaskKind::SceneReconstruct.frame_cadence() != 0 {
             lat.scene = 0.0;
         }
+        worst.absorb(&lat);
         let t = lat.total();
         holoar_telemetry::histogram_record_us("pipeline.sim_frame_latency_us", t * 1e6);
         total += t;
@@ -70,12 +118,14 @@ pub fn run_loop<F: FnMut(u64) -> FrameLatencies>(frames: u64, mut frame_fn: F) -
     }
     holoar_telemetry::counter_add("pipeline.deadline.hits", hits);
     holoar_telemetry::counter_add("pipeline.deadline.misses", frames - hits);
+    holoar_telemetry::gauge_set("pipeline.worst_frame_ms", worst.total * 1e3);
     let mean = total / frames as f64;
     QosReport {
         frames,
         mean_frame_latency: mean,
         fps: 1.0 / mean,
         deadline_hit_rate: hits as f64 / frames as f64,
+        worst,
     }
 }
 
@@ -101,6 +151,27 @@ mod tests {
         // 2 of 6 frames pay scene reconstruction.
         let expected = (6.0 * 0.02 + 2.0 * 0.12) / 6.0;
         assert!((report.mean_frame_latency - expected).abs() < 1e-12);
+        // Worst-case reflects a scene-cadence frame, not the mean.
+        assert!((report.worst.total - 0.14).abs() < 1e-12);
+        assert!((report.worst.scene - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_tracks_the_slowest_frame_per_stage() {
+        // Stage maxima land on different frames: pose spikes on frame 1,
+        // the hologram on frame 2.
+        let report = run_loop(4, |i| FrameLatencies {
+            pose: if i == 1 { 0.02 } else { 0.005 },
+            eye: 0.004,
+            scene: 0.0,
+            hologram: if i == 2 { 0.05 } else { 0.02 },
+        });
+        assert!((report.worst.pose - 0.02).abs() < 1e-12);
+        assert!((report.worst.hologram - 0.05).abs() < 1e-12);
+        // Worst total is a single frame's sum (frame 2), not pose-max +
+        // hologram-max.
+        assert!((report.worst.total - (0.005 + 0.004 + 0.05)).abs() < 1e-12);
+        assert!(report.worst.total > report.mean_frame_latency);
     }
 
     #[test]

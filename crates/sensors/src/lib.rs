@@ -26,6 +26,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod angles;
 pub mod calibrated_noise;

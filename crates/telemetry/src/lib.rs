@@ -5,7 +5,7 @@
 //! latency to kernel time, sync stalls and memory traffic with NVPROF).
 //! This crate gives the *CPU-side* reproduction pipeline the same
 //! observability: every layer (FFT substrate, wave optics, planner/executor,
-//! pipeline harness) opens [`span`]s around its stages and feeds counters,
+//! pipeline harness) opens [`span()`]s around its stages and feeds counters,
 //! gauges and latency histograms into one process-wide registry, and the
 //! `gpusim` profiler's simulated-kernel aggregates are bridged onto the same
 //! timeline so one exported trace shows CPU spans and simulated GPU kernels

@@ -2,7 +2,7 @@
 //!
 //! The workspace builds in environments with no crates.io access, so this
 //! shim reimplements exactly the subset of the proptest API the test suite
-//! uses: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! uses: the [`Strategy`](strategy::Strategy) trait with `prop_map`/`prop_flat_map`, range and
 //! tuple strategies, `prop::collection::vec`, `prop::sample::select`,
 //! `any::<bool>()`, [`test_runner::ProptestConfig`], and the `proptest!` /
 //! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
