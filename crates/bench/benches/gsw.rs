@@ -1,11 +1,12 @@
 //! GSW iteration cost: the paper profiles five iterations (§2.2.1).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use holoar_optics::{gsw, GswConfig, OpticalConfig, VirtualObject};
+use holoar_optics::{gsw, ExecutionContext, GswConfig, OpticalConfig, VirtualObject};
 use std::hint::black_box;
 
 fn bench_gsw(c: &mut Criterion) {
     let cfg = OpticalConfig::default();
+    let ctx = ExecutionContext::serial();
     let depthmap = VirtualObject::Dice.render(48, 48, 0.006, 0.002);
     let stack = depthmap.slice(4, cfg);
     let mut group = c.benchmark_group("gsw_iterations_48px");
@@ -20,6 +21,7 @@ fn bench_gsw(c: &mut Criterion) {
                         black_box(&stack),
                         cfg,
                         GswConfig { iterations: iters, adaptivity: 1.0 },
+                        &ctx,
                     )
                 })
             },

@@ -3,16 +3,17 @@
 //! GPU model; see the `gpusim` bench).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use holoar_optics::{algorithm1, OpticalConfig, VirtualObject};
+use holoar_optics::{algorithm1, ExecutionContext, OpticalConfig, VirtualObject};
 use std::hint::black_box;
 
 fn bench_plane_sweep(c: &mut Criterion) {
     let cfg = OpticalConfig::default();
+    let ctx = ExecutionContext::serial();
     let depthmap = VirtualObject::Planet.render(64, 64, 0.006, 0.003);
     let mut group = c.benchmark_group("hologram_planes_64px");
     for planes in [2usize, 4, 8, 16] {
         group.bench_with_input(BenchmarkId::from_parameter(planes), &planes, |b, &p| {
-            b.iter(|| algorithm1::depthmap_hologram(black_box(&depthmap), p, cfg))
+            b.iter(|| algorithm1::depthmap_hologram(black_box(&depthmap), p, cfg, &ctx))
         });
     }
     group.finish();

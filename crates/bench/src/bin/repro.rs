@@ -4,6 +4,10 @@
 //! where `<experiment>` is one of the ids in
 //! [`holoar_bench::ALL_EXPERIMENTS`] or `all` (the default).
 //!
+//! Serving layer: `repro serve [--sessions N] [--serve-json FILE]` runs the
+//! multi-session load generator (sweeping fleet sizes unless `--sessions`
+//! pins one) and optionally exports the sweep as `BENCH_serve.json`.
+//!
 //! `repro lint [...]` runs the workspace static-analysis pass instead
 //! (see the `holoar-lint` crate); remaining arguments go to the linter.
 //!
@@ -29,6 +33,7 @@ fn main() {
     let mut bench_json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut serve_json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -51,6 +56,19 @@ fn main() {
                     args.next().unwrap_or_else(|| die("--metrics-json requires a file path")),
                 );
             }
+            "--serve-json" => {
+                serve_json_path = Some(
+                    args.next().unwrap_or_else(|| die("--serve-json requires a file path")),
+                );
+            }
+            "--sessions" => {
+                cfg.sessions = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| die("--sessions requires a positive integer")),
+                );
+            }
             "--frames" => {
                 cfg.frames = args
                     .next()
@@ -65,11 +83,14 @@ fn main() {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [<experiment>...] [--frames N] [--seed S] [--csv FILE] \
-                     [--bench-json FILE] [--trace-out FILE] [--metrics-json FILE]\n\
+                    "usage: repro [<experiment>...] [--frames N] [--seed S] [--sessions N] \
+                     [--csv FILE] [--bench-json FILE] [--serve-json FILE] [--trace-out FILE] \
+                     [--metrics-json FILE]\n\
                      experiments: {} all\n\
+                     --sessions pins the serve experiment to one fleet size (default: sweep)\n\
                      --csv writes the Fig 7/8 evaluation matrix as CSV to FILE\n\
                      --bench-json writes the parallel-engine timing cells as JSON to FILE\n\
+                     --serve-json writes the multi-session serving sweep as JSON to FILE\n\
                      --trace-out writes a Chrome-trace (Perfetto) span timeline to FILE\n\
                      --metrics-json writes the counters/gauges/histograms registry to FILE\n\
                      repro lint [--format json] runs the workspace static-analysis pass\n\
@@ -108,6 +129,13 @@ fn main() {
             die(&format!("cannot write {path}: {e}"));
         }
         eprintln!("wrote parallel bench cells to {path}");
+    }
+    if let Some(path) = serve_json_path {
+        let json = experiments::serve_bench_json(&cfg);
+        if let Err(e) = std::fs::write(&path, json) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote serving sweep to {path}");
     }
     if let Some(path) = csv_path {
         let matrix = holoar_core::evaluation::evaluate_matrix(

@@ -7,7 +7,7 @@
 //! [`ExperimentConfig`] controls the budget.
 
 use crate::report::{ms, pct, Table};
-use holoar_core::{evaluation, quality, Horn8Model, HoloArConfig, Planner, Scheme};
+use holoar_core::{evaluation, quality, ExecutionContext, Horn8Model, HoloArConfig, Planner, Scheme};
 use holoar_gpusim::hologram_kernels::{self, HologramJob};
 use holoar_gpusim::{calibration, Device, Profiler};
 use holoar_optics::{algorithm1, reconstruct, OpticalConfig, Propagator, Pupil, VirtualObject};
@@ -25,11 +25,15 @@ pub struct ExperimentConfig {
     pub frames: u64,
     /// Master seed.
     pub seed: u64,
+    /// Restrict the `serve` experiment to one fleet size instead of the
+    /// default [`SERVE_SWEEP`] (`--sessions` on the CLI). Other experiments
+    /// ignore it.
+    pub sessions: Option<u32>,
 }
 
 impl Default for ExperimentConfig {
     fn default() -> Self {
-        ExperimentConfig { frames: 150, seed: 42 }
+        ExperimentConfig { frames: 150, seed: 42, sessions: None }
     }
 }
 
@@ -334,9 +338,10 @@ pub fn fig9(_cfg: &ExperimentConfig) -> String {
     let z_center = 0.006;
     let depthmap = VirtualObject::Planet.render(n, n, z_center, 0.003);
     let stack = depthmap.slice(16, optics);
-    let w_cgh = algorithm1::hologram_from_planes(&stack, optics).hologram;
+    let ctx = ExecutionContext::serial();
+    let w_cgh = algorithm1::hologram_from_planes(&stack, optics, &ctx).hologram;
     // S-CGH from planes 9..=12 (1-based) as in the figure.
-    let s_cgh = algorithm1::hologram_from_planes(&stack.subset(8, 11), optics).hologram;
+    let s_cgh = algorithm1::hologram_from_planes(&stack.subset(8, 11), optics, &ctx).hologram;
 
     let mut prop = Propagator::new();
     let sharpness = |img: &[f64]| {
@@ -383,6 +388,7 @@ pub fn fig9(_cfg: &ExperimentConfig) -> String {
 /// Fig 10: (a) PSNR per configuration; (b) the α energy/quality trade-off.
 pub fn fig10(cfg: &ExperimentConfig) -> String {
     let sample_frames = (cfg.frames / 30).clamp(2, 8);
+    let ctx = ExecutionContext::serial();
     let mut a = Table::new(["Config", "Mean PSNR (dB, capped 50)", "(paper)"]);
     for (scheme, paper) in [
         (Scheme::InterHolo, "high (approximates only periphery)"),
@@ -397,6 +403,7 @@ pub fn fig10(cfg: &ExperimentConfig) -> String {
                 HoloArConfig::for_scheme(scheme),
                 sample_frames,
                 cfg.seed,
+                &ctx,
             );
             if let Some(p) = vq.mean_psnr_capped() {
                 sum += p;
@@ -411,7 +418,7 @@ pub fn fig10(cfg: &ExperimentConfig) -> String {
     }
 
     let design_points = quality::DesignPoint::fig10b_points();
-    let points = quality::design_sweep(&design_points, sample_frames, cfg.seed);
+    let points = quality::design_sweep(&design_points, sample_frames, cfg.seed, &ctx);
     let mut b = Table::new(["alpha", "theta scale", "Mean PSNR (dB)", "Mean planes/object"]);
     for (dp, p) in design_points.iter().zip(&points) {
         b.row([
@@ -484,9 +491,10 @@ pub fn psnr_ladder(_cfg: &ExperimentConfig) -> String {
         size: 0.25,
     };
     let config = HoloArConfig::default();
+    let ctx = ExecutionContext::serial();
     let mut t = Table::new(["Planes", "PSNR vs 16-plane baseline (dB)"]);
     for planes in [2u32, 4, 6, 8, 12, 16] {
-        let p = quality::object_psnr(&obj, planes, &config);
+        let p = quality::object_psnr(&obj, planes, &config, &ctx);
         t.row([planes.to_string(), if p.is_finite() { format!("{p:.1}") } else { "inf".into() }]);
     }
     format!("== PSNR ladder (Planet at 0.6 m) ==\n{}", t.render())
@@ -714,13 +722,15 @@ pub fn parallel_measurements() -> (usize, Vec<ParallelCell>) {
     let optics = OpticalConfig::default();
     let gsw_cfg = holoar_optics::GswConfig { iterations: 2, adaptivity: 1.0 };
     let stack = VirtualObject::Dice.render(48, 48, 0.006, 0.002).slice(8, optics);
-    let serial_result = gsw::run(&stack, optics, gsw_cfg);
-    let pooled_result = gsw::run_with(&stack, optics, gsw_cfg, &pool);
+    let serial_ctx = ExecutionContext::serial();
+    let pooled_ctx = ExecutionContext::from_parallelism(pool.clone());
+    let serial_result = gsw::run(&stack, optics, gsw_cfg, &serial_ctx);
+    let pooled_result = gsw::run(&stack, optics, gsw_cfg, &pooled_ctx);
     let serial_ms = best_of_three_ms(|| {
-        gsw::run(&stack, optics, gsw_cfg);
+        gsw::run(&stack, optics, gsw_cfg, &serial_ctx);
     });
     let parallel_ms = best_of_three_ms(|| {
-        gsw::run_with(&stack, optics, gsw_cfg, &pool);
+        gsw::run(&stack, optics, gsw_cfg, &pooled_ctx);
     });
     cells.push(ParallelCell {
         label: "gsw 48x48 8 planes".to_string(),
@@ -796,6 +806,7 @@ pub fn inter_intra(cfg: &ExperimentConfig) -> String {
     // The full pipeline per frame is heavyweight; a handful of frames is
     // enough to populate every span category and the kernel profile.
     let frames = (cfg.frames / 10).clamp(2, 12) as usize;
+    let ctx = ExecutionContext::serial();
     let config = HoloArConfig::for_scheme(Scheme::InterIntraHolo);
     let mut device = Device::xavier();
     let mut planner = Planner::new(config).unwrap();
@@ -834,13 +845,13 @@ pub fn inter_intra(cfg: &ExperimentConfig) -> String {
         if !quality_done && plan.items.iter().any(|it| it.planes > 0 && it.coverage > 0.0) {
             quality_done = true;
             for item in plan.items.iter().filter(|it| it.planes > 0) {
-                let p = quality::object_psnr(&item.object, item.planes, &config);
+                let p = quality::object_psnr(&item.object, item.planes, &config, &ctx);
                 if p.is_finite() {
                     psnr_sum += p;
                     psnr_n += 1;
                 }
             }
-            let viewport = view::render_view(&plan.items, &pose.viewing_window(), 32, 48);
+            let viewport = view::render_view(&plan.items, &pose.viewing_window(), 32, 48, &ctx);
             view_luminance = viewport.total_luminance();
         }
         let perf = executor::execute_plan(&mut device, &plan);
@@ -853,7 +864,7 @@ pub fn inter_intra(cfg: &ExperimentConfig) -> String {
     }
 
     let report =
-        holoar_pipeline::run_pipelined(frames as u64, |i| latencies[i as usize]);
+        holoar_pipeline::run_pipelined(frames as u64, |i| latencies[i as usize], &ctx);
     let bridged = holoar_gpusim::bridge_profiler(&profiler);
 
     let mut t = Table::new(["Quantity", "Value"]);
@@ -902,6 +913,7 @@ pub fn faults(cfg: &ExperimentConfig) -> String {
 
     let base = HoloArConfig::for_scheme(Scheme::InterIntraHolo).without_reuse();
     let device_cfg = scenario::accelerated_device();
+    let ctx = ExecutionContext::serial();
     let ladder = DegradationLadder::default();
     let budget = ladder.frame_budget;
     // A fixated user (gaze on the first object, as in the quality studies):
@@ -982,7 +994,8 @@ pub fn faults(cfg: &ExperimentConfig) -> String {
             hologram: cost,
         }));
     }
-    let pipelined = holoar_pipeline::run_pipelined(cfg.frames, |i| latencies[i as usize]);
+    let pipelined =
+        holoar_pipeline::run_pipelined(cfg.frames, |i| latencies[i as usize], &ctx);
 
     // -- full-stack pass: add sensor dropouts and stage overruns ---------
     let storm = scenario::full_stack(cfg.seed).expect("preset scenario is valid");
@@ -1018,7 +1031,7 @@ pub fn faults(cfg: &ExperimentConfig) -> String {
         let mut sum = 0.0;
         let mut n = 0u32;
         for &v in &VideoCategory::ALL {
-            let vq = quality::video_quality(v, *config, sample_frames, cfg.seed);
+            let vq = quality::video_quality(v, *config, sample_frames, cfg.seed, &ctx);
             if let Some(p) = vq.mean_psnr_capped() {
                 sum += p;
                 n += 1;
@@ -1109,10 +1122,130 @@ pub fn faults(cfg: &ExperimentConfig) -> String {
     ) + &lvl.render()
 }
 
+/// Fleet sizes the `serve` experiment visits when `--sessions` is not
+/// given: the 1 → 16 sweep from the serving-layer study, extended past the
+/// 90 Hz saturation point so the report shows QoS shedding engage.
+pub const SERVE_SWEEP: [u32; 7] = [1, 2, 4, 8, 12, 16, 24];
+
+/// Runs the multi-session serving load generator once per fleet size and
+/// returns `(sessions, report)` rows. Serial execution context: the closed
+/// form device model makes every figure independent of the host, so the
+/// rows — and the JSON artifact built from them — are byte-stable at a
+/// fixed seed.
+pub fn serve_measurements(cfg: &ExperimentConfig) -> Vec<(u32, holoar_serve::ServeReport)> {
+    let ctx = ExecutionContext::serial();
+    let counts: Vec<u32> =
+        cfg.sessions.map_or_else(|| SERVE_SWEEP.to_vec(), |n| vec![n]);
+    counts
+        .into_iter()
+        .map(|n| {
+            let config = holoar_serve::ServeConfig::fleet(n, cfg.frames, cfg.seed);
+            let report =
+                holoar_serve::run_serve(&config, &ctx).expect("fleet configs are valid");
+            (n, report)
+        })
+        .collect()
+}
+
+/// Worst per-session gap between occupancy-weighted PSNR and the session's
+/// own full-quality baseline, in dB (the acceptance bound is 0.5 dB while
+/// the fleet fits the device).
+fn serve_worst_psnr_gap(report: &holoar_serve::ServeReport) -> f64 {
+    report
+        .sessions
+        .iter()
+        .map(|s| (s.psnr_weighted - s.psnr_full).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Tentpole study: N concurrent AR sessions multiplexed onto one serving
+/// device with cross-session plane batching, versus the same fleet run as
+/// independent per-plane sequential pipelines.
+pub fn serve(cfg: &ExperimentConfig) -> String {
+    let rows = serve_measurements(cfg);
+    let mut t = Table::new([
+        "Sessions", "Admitted", "Agg fps", "Seq fps", "Speedup", "Hit rate", "p50", "p99",
+        "Occup", "ΔPSNR", "QoS", "Deferred",
+    ]);
+    for (n, r) in &rows {
+        let qos: u64 = r.sessions.iter().map(|s| s.qos_step_downs).sum();
+        let deferred: u64 = r.sessions.iter().map(|s| s.deferred).sum();
+        t.row([
+            n.to_string(),
+            r.admitted.to_string(),
+            format!("{:.0}", r.aggregate_fps),
+            format!("{:.0}", r.sequential_fps),
+            format!("{:.2}x", r.speedup_vs_sequential),
+            pct(r.deadline_hit_rate),
+            ms(r.latency_p50),
+            ms(r.latency_p99),
+            format!("{:.2}", r.mean_occupancy),
+            format!("{:.2} dB", serve_worst_psnr_gap(r)),
+            qos.to_string(),
+            deferred.to_string(),
+        ]);
+    }
+    format!(
+        "== serving layer: cross-session plane batching (seed {}, {} frames, 90 Hz budget) ==\n{}\
+         speedup is batched aggregate throughput over the per-plane sequential schedule; \
+         ΔPSNR is the worst session's occupancy-weighted drift from its single-session \
+         baseline; QoS counts focus-guided single-victim step-downs \
+         (export the sweep with --serve-json BENCH_serve.json)\n",
+        cfg.seed,
+        cfg.frames,
+        t.render(),
+    )
+}
+
+/// The [`serve`] sweep as a JSON artifact (`BENCH_serve.json`),
+/// hand-serialized like [`parallel_bench_json`] to keep the workspace
+/// dependency-free. Byte-identical across reruns at a fixed seed.
+pub fn serve_bench_json(cfg: &ExperimentConfig) -> String {
+    let rows = serve_measurements(cfg);
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serve\",\n");
+    out.push_str(&format!("  \"frames\": {},\n", cfg.frames));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!(
+        "  \"frame_budget_s\": {:.6},\n",
+        holoar_serve::SERVE_FRAME_BUDGET
+    ));
+    out.push_str("  \"sweep\": [\n");
+    for (i, (n, r)) in rows.iter().enumerate() {
+        let qos: u64 = r.sessions.iter().map(|s| s.qos_step_downs).sum();
+        let deferred: u64 = r.sessions.iter().map(|s| s.deferred).sum();
+        let psnr_weighted = r.sessions.iter().map(|s| s.psnr_weighted).sum::<f64>()
+            / r.sessions.len().max(1) as f64;
+        out.push_str(&format!(
+            "    {{\"sessions\": {n}, \"admitted\": {}, \"aggregate_fps\": {:.4}, \
+             \"sequential_fps\": {:.4}, \"speedup\": {:.4}, \"deadline_hit_rate\": {:.6}, \
+             \"latency_p50_s\": {:.6}, \"latency_p99_s\": {:.6}, \"mean_occupancy\": {:.6}, \
+             \"psnr_weighted_db\": {:.4}, \"psnr_gap_db\": {:.4}, \"merged_launches\": {}, \
+             \"launches_saved\": {}, \"qos_step_downs\": {qos}, \"deferred\": {deferred}}}{}\n",
+            r.admitted,
+            r.aggregate_fps,
+            r.sequential_fps,
+            r.speedup_vs_sequential,
+            r.deadline_hit_rate,
+            r.latency_p50,
+            r.latency_p99,
+            r.mean_occupancy,
+            psnr_weighted,
+            serve_worst_psnr_gap(r),
+            r.merged_launches,
+            r.launches_saved,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Names of all experiments, in run order.
-pub const ALL_EXPERIMENTS: [&str; 20] = [
+pub const ALL_EXPERIMENTS: [&str; 21] = [
     "table1", "fig2", "fig3", "fig4", "fig5", "sec3", "table2", "fig7", "fig8", "fig9", "fig10",
     "horn8", "hybrid", "gating", "reuse", "fusion", "streams", "parallel", "inter-intra", "faults",
+    "serve",
 ];
 
 /// Runs one experiment by id.
@@ -1142,6 +1275,7 @@ pub fn run(id: &str, cfg: &ExperimentConfig) -> Result<String, String> {
         "parallel" => Ok(parallel(cfg)),
         "inter-intra" => Ok(inter_intra(cfg)),
         "faults" => Ok(faults(cfg)),
+        "serve" => Ok(serve(cfg)),
         "psnr" => Ok(psnr_ladder(cfg)),
         other => Err(format!(
             "unknown experiment '{other}'; valid: {} (or 'all')",
@@ -1155,7 +1289,7 @@ mod tests {
     use super::*;
 
     fn quick() -> ExperimentConfig {
-        ExperimentConfig { frames: 25, seed: 7 }
+        ExperimentConfig { frames: 25, seed: 7, sessions: Some(4) }
     }
 
     #[test]
@@ -1175,6 +1309,28 @@ mod tests {
         assert!(json.contains("\"workers\""));
         assert!(json.contains("\"bit_identical\": true"));
         assert!(!json.contains("\"bit_identical\": false"));
+    }
+
+    #[test]
+    fn serve_bench_json_is_well_formed_and_reproducible() {
+        let cfg = ExperimentConfig { frames: 12, seed: 7, sessions: None };
+        let json = serve_bench_json(&cfg);
+        assert!(json.contains("\"bench\": \"serve\""));
+        for n in SERVE_SWEEP {
+            assert!(json.contains(&format!("\"sessions\": {n}")), "sweep misses {n}");
+        }
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"psnr_gap_db\""));
+        assert_eq!(json, serve_bench_json(&cfg), "artifact must be byte-identical");
+    }
+
+    #[test]
+    fn serve_report_restricts_to_the_requested_fleet_size() {
+        let report = serve(&quick());
+        assert!(report.contains("== serving layer"));
+        // `--sessions 4` pins the sweep to a single data row.
+        let data_rows = report.lines().filter(|l| l.starts_with(char::is_numeric)).count();
+        assert_eq!(data_rows, 1, "expected one row, report:\n{report}");
     }
 
     #[test]

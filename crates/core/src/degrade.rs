@@ -258,6 +258,7 @@ pub struct DegradationController {
     demand: Option<f64>,
     clean_streak: u32,
     must_step_down: bool,
+    hold_recovery: bool,
     transitions: Vec<Transition>,
     frames: u64,
     overruns: u64,
@@ -279,6 +280,7 @@ impl DegradationController {
             demand: None,
             clean_streak: 0,
             must_step_down: false,
+            hold_recovery: false,
             transitions: Vec::new(),
             frames: 0,
             overruns: 0,
@@ -325,7 +327,10 @@ impl DegradationController {
                 TransitionReason::PredictedOverrun
             };
             self.transition(frame, DegradationLevel::ALL[target], reason);
-        } else if current > 0 && self.clean_streak >= self.ladder.recover_frames {
+        } else if current > 0
+            && self.clean_streak >= self.ladder.recover_frames
+            && !self.hold_recovery
+        {
             // Hysteretic recovery: one level at a time, and forget the
             // (stale) demand so the shallower level is re-measured before
             // any prediction-driven move.
@@ -333,6 +338,7 @@ impl DegradationController {
             self.demand = None;
         }
         self.must_step_down = false;
+        self.hold_recovery = false;
         if self.level == DegradationLevel::LastGood {
             holoar_telemetry::counter_add("core.degrade.lastgood_frames", 1);
         }
@@ -396,6 +402,36 @@ impl DegradationController {
         } else {
             self.clean_streak = 0;
         }
+    }
+
+    /// Requests a forced step-down on the next [`decide`](Self::decide),
+    /// exactly as an observed overrun would.
+    ///
+    /// This is the QoS hook the serving layer uses: when the *shared* device
+    /// is overloaded, the multi-session scheduler picks one victim session
+    /// (the least-focused) and steps its controller down, rather than
+    /// letting every session's own overrun accounting degrade the whole
+    /// fleet at once. A no-op at [`DegradationLevel::LastGood`] — there is
+    /// nothing left to shed.
+    pub fn request_step_down(&mut self) {
+        if self.level != DegradationLevel::LastGood {
+            holoar_telemetry::counter_add("core.degrade.qos_step_down", 1);
+            self.must_step_down = true;
+        }
+    }
+
+    /// Suppresses any recovery step-up at the next [`decide`](Self::decide)
+    /// without forcing a step down.
+    ///
+    /// The serving layer's companion QoS hook to
+    /// [`request_step_down`](Self::request_step_down): while the *shared*
+    /// device is saturated, sessions whose own attributed cost looks clean
+    /// must not step back up (their headroom is an artifact of the batch
+    /// attribution), or fleet-wide recovery would outpace the one-victim-
+    /// per-tick shedding and the overload would never drain.
+    pub fn hold_level(&mut self) {
+        holoar_telemetry::counter_add("core.degrade.qos_hold", 1);
+        self.hold_recovery = true;
     }
 
     /// Every recorded level transition, in order.
@@ -477,6 +513,51 @@ mod tests {
         assert!(next > DegradationLevel::Full);
         assert_eq!(ctl.transitions().len(), 1);
         assert_eq!(ctl.transitions()[0].reason, TransitionReason::Overrun);
+    }
+
+    #[test]
+    fn qos_request_forces_a_step_down_on_the_next_decide() {
+        let mut ctl = controller();
+        assert_eq!(ctl.decide(0), DegradationLevel::Full);
+        ctl.observe(0, 0.020);
+        ctl.request_step_down();
+        let next = ctl.decide(1);
+        assert!(next > DegradationLevel::Full, "QoS request must shed despite clean latency");
+        assert_eq!(ctl.transitions().len(), 1);
+        assert_eq!(ctl.transitions()[0].reason, TransitionReason::Overrun);
+    }
+
+    #[test]
+    fn qos_hold_suppresses_one_recovery_step() {
+        let mut ctl = controller();
+        ctl.request_step_down();
+        assert!(ctl.decide(0) > DegradationLevel::Full);
+        // Build a full recovery streak with comfortably clean frames.
+        let ladder = *ctl.ladder();
+        for i in 0..ladder.recover_frames {
+            ctl.observe(u64::from(i), 0.001);
+            if i + 1 < ladder.recover_frames {
+                ctl.decide(u64::from(i) + 1);
+            }
+        }
+        let level = ctl.level();
+        ctl.hold_level();
+        assert_eq!(ctl.decide(100), level, "held controller must not step up");
+        // The hold is consumed: the very next decide recovers as usual.
+        assert!(ctl.decide(101) < level, "hold must only last one decide");
+    }
+
+    #[test]
+    fn qos_request_is_a_no_op_at_last_good() {
+        let mut ctl = controller();
+        // Drive the controller all the way down with pathological latencies.
+        run(&mut ctl, 20, |_| 10.0);
+        assert_eq!(ctl.level(), DegradationLevel::LastGood);
+        let transitions = ctl.transitions().len();
+        ctl.request_step_down();
+        ctl.decide(20);
+        assert_eq!(ctl.level(), DegradationLevel::LastGood);
+        assert_eq!(ctl.transitions().len(), transitions, "nothing left to shed");
     }
 
     #[test]

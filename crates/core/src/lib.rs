@@ -53,6 +53,7 @@ pub mod view;
 pub mod window;
 
 pub use config::{HoloArConfig, IntraParams, Scheme, FULL_PLANES};
+pub use holoar_fft::{ExecutionContext, ExecutionContextBuilder};
 pub use degrade::{DegradationController, DegradationLadder, DegradationLevel};
 pub use evaluation::{EvaluationMatrix, VideoResult};
 pub use executor::FramePerf;

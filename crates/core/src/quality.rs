@@ -15,7 +15,7 @@
 
 use crate::config::HoloArConfig;
 use crate::planner::Planner;
-use holoar_fft::Parallelism;
+use holoar_fft::{ExecutionContext, Parallelism};
 use holoar_metrics::{psnr, Image};
 use holoar_optics::{reconstruct, OpticalConfig, Propagator, VirtualObject};
 use std::collections::HashMap;
@@ -87,25 +87,17 @@ pub fn virtual_object_for(track_id: u64) -> VirtualObject {
 /// 16-plane baseline.
 ///
 /// Returns infinite PSNR when `planes` equals the full budget.
+/// Reconstruction propagations fan out over the context's worker pool;
+/// results are bit-identical for every worker count.
 ///
 /// # Panics
 ///
 /// Panics if `planes == 0`.
-pub fn object_psnr(obj: &ObjectAnnotation, planes: u32, config: &HoloArConfig) -> f64 {
-    object_psnr_with(obj, planes, config, &Parallelism::serial())
-}
-
-/// [`object_psnr`] with reconstruction propagations fanned out over `par`.
-/// Bit-identical to the serial path for every worker count.
-///
-/// # Panics
-///
-/// Panics if `planes == 0`.
-pub fn object_psnr_with(
+pub fn object_psnr(
     obj: &ObjectAnnotation,
     planes: u32,
     config: &HoloArConfig,
-    par: &Parallelism,
+    ctx: &ExecutionContext,
 ) -> f64 {
     assert!(planes > 0, "cannot evaluate a skipped object");
     if planes >= config.full_planes {
@@ -127,7 +119,7 @@ pub fn object_psnr_with(
     // pixel is read from the reconstruction focused at its true depth.
     let base_stack = depthmap.slice(config.full_planes as usize, optics);
     let approx_stack = depthmap.slice(planes as usize, optics);
-    let mut prop = Propagator::with_parallelism(par.clone());
+    let mut prop = Propagator::with_context(ctx);
     let img_base = all_in_focus(&base_stack, &depthmap, z_center, &mut prop);
     let img_approx = all_in_focus(&approx_stack, &depthmap, z_center, &mut prop);
 
@@ -144,6 +136,21 @@ pub fn object_psnr_with(
     psnr(&reference, &test).expect("shapes match by construction")
 }
 
+/// [`object_psnr`] with reconstruction propagations fanned out over `par`.
+///
+/// # Panics
+///
+/// Panics if `planes == 0`.
+#[deprecated(note = "construct an ExecutionContext and call `object_psnr`")]
+pub fn object_psnr_with(
+    obj: &ObjectAnnotation,
+    planes: u32,
+    config: &HoloArConfig,
+    par: &Parallelism,
+) -> f64 {
+    object_psnr(obj, planes, config, &ExecutionContext::from_parallelism(par.clone()))
+}
+
 /// Mean squared error (on peak-normalized, speckle-averaged all-in-focus
 /// composites) of an approximated hologram versus its full-budget baseline.
 /// Zero when the budget is already full.
@@ -151,13 +158,18 @@ pub fn object_psnr_with(
 /// # Panics
 ///
 /// Panics if `planes == 0`.
-pub fn object_mse(obj: &ObjectAnnotation, planes: u32, config: &HoloArConfig) -> f64 {
+pub fn object_mse(
+    obj: &ObjectAnnotation,
+    planes: u32,
+    config: &HoloArConfig,
+    ctx: &ExecutionContext,
+) -> f64 {
     assert!(planes > 0, "cannot evaluate a skipped object");
     if planes >= config.full_planes {
         return 0.0;
     }
     // PSNR was computed against a peak-1 reference, so invert it exactly.
-    let psnr_db = object_psnr(obj, planes, config);
+    let psnr_db = object_psnr(obj, planes, config, ctx);
     10f64.powf(-psnr_db / 10.0)
 }
 
@@ -168,7 +180,11 @@ pub fn object_mse(obj: &ObjectAnnotation, planes: u32, config: &HoloArConfig) ->
 ///
 /// This is the closest analog of the paper's per-video PSNR: a frame's
 /// displayed quality is the aggregate of its objects' qualities.
-pub fn frame_psnr(items: &[crate::planner::PlanItem], config: &HoloArConfig) -> Option<f64> {
+pub fn frame_psnr(
+    items: &[crate::planner::PlanItem],
+    config: &HoloArConfig,
+    ctx: &ExecutionContext,
+) -> Option<f64> {
     let mut weighted_mse = 0.0;
     let mut weight = 0.0;
     for item in items {
@@ -176,7 +192,7 @@ pub fn frame_psnr(items: &[crate::planner::PlanItem], config: &HoloArConfig) -> 
             continue; // not displayed as a hologram this frame
         }
         let pixels = QUALITY_RESOLUTION as f64 * QUALITY_RESOLUTION as f64 * item.coverage;
-        weighted_mse += object_mse(&item.object, item.planes, config) * pixels;
+        weighted_mse += object_mse(&item.object, item.planes, config, ctx) * pixels;
         weight += pixels;
     }
     if weight == 0.0 {
@@ -199,21 +215,11 @@ pub fn frame_psnr(items: &[crate::planner::PlanItem], config: &HoloArConfig) -> 
 /// # Panics
 ///
 /// Panics if `planes == 0`.
-pub fn object_psnr_coherent(obj: &ObjectAnnotation, planes: u32, config: &HoloArConfig) -> f64 {
-    object_psnr_coherent_with(obj, planes, config, &Parallelism::serial())
-}
-
-/// [`object_psnr_coherent`] with hologram synthesis and reconstruction
-/// fanned out over `par`. Bit-identical to the serial path.
-///
-/// # Panics
-///
-/// Panics if `planes == 0`.
-pub fn object_psnr_coherent_with(
+pub fn object_psnr_coherent(
     obj: &ObjectAnnotation,
     planes: u32,
     config: &HoloArConfig,
-    par: &Parallelism,
+    ctx: &ExecutionContext,
 ) -> f64 {
     assert!(planes > 0, "cannot evaluate a skipped object");
     if planes >= config.full_planes {
@@ -225,18 +231,34 @@ pub fn object_psnr_coherent_with(
     let depth_extent = quantize_mm((obj.size * OPTICAL_SCALE).min(z_center * 0.8));
     let depthmap = virtual_object_for(obj.track_id).render(n, n, z_center, depth_extent);
 
-    let baseline = holoar_optics::algorithm1::depthmap_hologram_with(
+    let baseline = holoar_optics::algorithm1::depthmap_hologram(
         &depthmap,
         config.full_planes as usize,
         optics,
-        par,
+        ctx,
     );
     let approx =
-        holoar_optics::algorithm1::depthmap_hologram_with(&depthmap, planes as usize, optics, par);
-    let mut prop = Propagator::with_parallelism(par.clone());
+        holoar_optics::algorithm1::depthmap_hologram(&depthmap, planes as usize, optics, ctx);
+    let mut prop = Propagator::with_context(ctx);
     let img_base = reconstruct::reconstruct_intensity(&baseline.hologram, z_center, &mut prop);
     let img_approx = reconstruct::reconstruct_intensity(&approx.hologram, z_center, &mut prop);
     psnr_between(&img_base, &img_approx, n)
+}
+
+/// [`object_psnr_coherent`] with hologram synthesis and reconstruction
+/// fanned out over `par`.
+///
+/// # Panics
+///
+/// Panics if `planes == 0`.
+#[deprecated(note = "construct an ExecutionContext and call `object_psnr_coherent`")]
+pub fn object_psnr_coherent_with(
+    obj: &ObjectAnnotation,
+    planes: u32,
+    config: &HoloArConfig,
+    par: &Parallelism,
+) -> f64 {
+    object_psnr_coherent(obj, planes, config, &ExecutionContext::from_parallelism(par.clone()))
 }
 
 /// GSW (phase-only) PSNR variant: runs the paper's actual hologram
@@ -250,21 +272,11 @@ pub fn object_psnr_coherent_with(
 /// # Panics
 ///
 /// Panics if `planes == 0`.
-pub fn object_psnr_gsw(obj: &ObjectAnnotation, planes: u32, config: &HoloArConfig) -> f64 {
-    object_psnr_gsw_with(obj, planes, config, &Parallelism::serial())
-}
-
-/// [`object_psnr_gsw`] with the GSW plane sweeps fanned out over `par`.
-/// Bit-identical to the serial path.
-///
-/// # Panics
-///
-/// Panics if `planes == 0`.
-pub fn object_psnr_gsw_with(
+pub fn object_psnr_gsw(
     obj: &ObjectAnnotation,
     planes: u32,
     config: &HoloArConfig,
-    par: &Parallelism,
+    ctx: &ExecutionContext,
 ) -> f64 {
     assert!(planes > 0, "cannot evaluate a skipped object");
     if planes >= config.full_planes {
@@ -277,22 +289,37 @@ pub fn object_psnr_gsw_with(
     let depthmap = virtual_object_for(obj.track_id).render(n, n, z_center, depth_extent);
 
     let gsw_cfg = holoar_optics::GswConfig::default();
-    let full = holoar_optics::gsw::run_with(
+    let full = holoar_optics::gsw::run(
         &depthmap.slice(config.full_planes as usize, optics),
         optics,
         gsw_cfg,
-        par,
+        ctx,
     );
-    let approx = holoar_optics::gsw::run_with(
+    let approx = holoar_optics::gsw::run(
         &depthmap.slice(planes as usize, optics),
         optics,
         gsw_cfg,
-        par,
+        ctx,
     );
-    let mut prop = Propagator::with_parallelism(par.clone());
+    let mut prop = Propagator::with_context(ctx);
     let img_base = reconstruct::reconstruct_intensity(&full.hologram, z_center, &mut prop);
     let img_approx = reconstruct::reconstruct_intensity(&approx.hologram, z_center, &mut prop);
     psnr_between(&img_base, &img_approx, n)
+}
+
+/// [`object_psnr_gsw`] with the GSW plane sweeps fanned out over `par`.
+///
+/// # Panics
+///
+/// Panics if `planes == 0`.
+#[deprecated(note = "construct an ExecutionContext and call `object_psnr_gsw`")]
+pub fn object_psnr_gsw_with(
+    obj: &ObjectAnnotation,
+    planes: u32,
+    config: &HoloArConfig,
+    par: &Parallelism,
+) -> f64 {
+    object_psnr_gsw(obj, planes, config, &ExecutionContext::from_parallelism(par.clone()))
 }
 
 /// Speckle-averaged, normalized PSNR between two raw intensity images.
@@ -377,6 +404,10 @@ fn box_blur(img: &[f64], rows: usize, cols: usize, radius: usize) -> Vec<f64> {
 /// Runs the quality study for one video under one configuration: plans
 /// `frames` sampled frames and evaluates every computed object's PSNR.
 ///
+/// The frame walk, planning and PSNR cache stay serial (only each object
+/// evaluation's plane propagations fan out over the context's worker pool),
+/// so results are bit-identical for every worker count.
+///
 /// # Panics
 ///
 /// Panics if `frames == 0`.
@@ -385,23 +416,7 @@ pub fn video_quality(
     config: HoloArConfig,
     frames: u64,
     seed: u64,
-) -> VideoQuality {
-    video_quality_with(category, config, frames, seed, &Parallelism::serial())
-}
-
-/// [`video_quality`] with each object evaluation's plane propagations fanned
-/// out over `par`. The frame walk, planning and PSNR cache stay serial, so
-/// results are bit-identical to the serial path.
-///
-/// # Panics
-///
-/// Panics if `frames == 0`.
-pub fn video_quality_with(
-    category: VideoCategory,
-    config: HoloArConfig,
-    frames: u64,
-    seed: u64,
-    par: &Parallelism,
+    ctx: &ExecutionContext,
 ) -> VideoQuality {
     assert!(frames > 0, "need at least one frame");
     let mut planner = Planner::new(config).expect("configuration must be valid");
@@ -429,11 +444,28 @@ pub fn video_quality_with(
             );
             let psnr_db = *cache
                 .entry(key)
-                .or_insert_with(|| object_psnr_with(&item.object, item.planes, &config, par));
+                .or_insert_with(|| object_psnr(&item.object, item.planes, &config, ctx));
             objects.push(ObjectQuality { object: item.object, planes: item.planes, psnr_db });
         }
     }
     VideoQuality { category, objects }
+}
+
+/// [`video_quality`] with each object evaluation's plane propagations fanned
+/// out over `par`.
+///
+/// # Panics
+///
+/// Panics if `frames == 0`.
+#[deprecated(note = "construct an ExecutionContext and call `video_quality`")]
+pub fn video_quality_with(
+    category: VideoCategory,
+    config: HoloArConfig,
+    frames: u64,
+    seed: u64,
+    par: &Parallelism,
+) -> VideoQuality {
+    video_quality(category, config, frames, seed, &ExecutionContext::from_parallelism(par.clone()))
 }
 
 /// One point of the Fig 10b trade-off curve.
@@ -491,12 +523,17 @@ impl DesignPoint {
 /// # Panics
 ///
 /// Panics if `points` is empty or `frames == 0`.
-pub fn design_sweep(points: &[DesignPoint], frames: u64, seed: u64) -> Vec<TradeoffPoint> {
+pub fn design_sweep(
+    points: &[DesignPoint],
+    frames: u64,
+    seed: u64,
+    ctx: &ExecutionContext,
+) -> Vec<TradeoffPoint> {
     assert!(!points.is_empty(), "sweep needs at least one design point");
     points
         .iter()
         .map(|point| {
-            let (mean_psnr, mean_planes) = sweep_cell(point.config(), frames, seed);
+            let (mean_psnr, mean_planes) = sweep_cell(point.config(), frames, seed, ctx);
             TradeoffPoint { alpha: point.alpha, mean_psnr, mean_planes }
         })
         .collect()
@@ -508,26 +545,31 @@ pub fn design_sweep(points: &[DesignPoint], frames: u64, seed: u64) -> Vec<Trade
 /// # Panics
 ///
 /// Panics if `alphas` is empty or `frames == 0`.
-pub fn alpha_sweep(alphas: &[f64], frames: u64, seed: u64) -> Vec<TradeoffPoint> {
+pub fn alpha_sweep(
+    alphas: &[f64],
+    frames: u64,
+    seed: u64,
+    ctx: &ExecutionContext,
+) -> Vec<TradeoffPoint> {
     assert!(!alphas.is_empty(), "sweep needs at least one alpha");
     alphas
         .iter()
         .map(|&alpha| {
             let config = HoloArConfig::default().with_alpha(alpha);
-            let (mean_psnr, mean_planes) = sweep_cell(config, frames, seed);
+            let (mean_psnr, mean_planes) = sweep_cell(config, frames, seed, ctx);
             TradeoffPoint { alpha, mean_psnr, mean_planes }
         })
         .collect()
 }
 
 /// Fleet mean (capped PSNR, planes per object) for one configuration.
-fn sweep_cell(config: HoloArConfig, frames: u64, seed: u64) -> (f64, f64) {
+fn sweep_cell(config: HoloArConfig, frames: u64, seed: u64, ctx: &ExecutionContext) -> (f64, f64) {
     let mut psnr_sum = 0.0;
     let mut psnr_count = 0usize;
     let mut plane_sum = 0u64;
     let mut object_count = 0u64;
     for &category in &VideoCategory::ALL {
-        let vq = video_quality(category, config, frames, seed);
+        let vq = video_quality(category, config, frames, seed, ctx);
         if let Some(p) = vq.mean_psnr_capped() {
             psnr_sum += p;
             psnr_count += 1;
@@ -548,6 +590,10 @@ mod tests {
     use super::*;
     use crate::config::Scheme;
 
+    fn ctx() -> ExecutionContext {
+        ExecutionContext::serial()
+    }
+
     fn obj(track_id: u64, distance: f64, size: f64) -> ObjectAnnotation {
         ObjectAnnotation { track_id, direction: AngularPoint::CENTER, distance, size }
     }
@@ -555,15 +601,15 @@ mod tests {
     #[test]
     fn full_budget_has_no_quality_loss() {
         let cfg = HoloArConfig::default();
-        assert!(object_psnr(&obj(0, 0.6, 0.2), 16, &cfg).is_infinite());
+        assert!(object_psnr(&obj(0, 0.6, 0.2), 16, &cfg, &ctx()).is_infinite());
     }
 
     #[test]
     fn psnr_degrades_monotonically_with_fewer_planes() {
         let cfg = HoloArConfig::default();
         let o = obj(3, 0.6, 0.25); // Planet
-        let p8 = object_psnr(&o, 8, &cfg);
-        let p2 = object_psnr(&o, 2, &cfg);
+        let p8 = object_psnr(&o, 8, &cfg, &ctx());
+        let p2 = object_psnr(&o, 2, &cfg, &ctx());
         assert!(p8.is_finite() && p2.is_finite());
         assert!(p8 > p2, "8 planes ({p8:.1} dB) should beat 2 planes ({p2:.1} dB)");
     }
@@ -572,14 +618,14 @@ mod tests {
     fn moderate_approximation_keeps_acceptable_quality() {
         let cfg = HoloArConfig::default();
         // Half the planes on a mid-distance object: the Fig 10a regime.
-        let p = object_psnr(&obj(3, 0.6, 0.2), 8, &cfg);
+        let p = object_psnr(&obj(3, 0.6, 0.2), 8, &cfg, &ctx());
         assert!(p > 20.0, "8-plane PSNR {p:.1} dB unexpectedly poor");
     }
 
     #[test]
     fn video_quality_produces_observations() {
         let cfg = HoloArConfig::for_scheme(Scheme::InterIntraHolo);
-        let vq = video_quality(VideoCategory::Cup, cfg, 3, 11);
+        let vq = video_quality(VideoCategory::Cup, cfg, 3, 11, &ctx());
         assert_eq!(vq.category, VideoCategory::Cup);
         assert!(!vq.objects.is_empty());
         let mean = vq.mean_psnr_capped().unwrap();
@@ -589,14 +635,14 @@ mod tests {
     #[test]
     fn baseline_video_quality_is_lossless() {
         let cfg = HoloArConfig::for_scheme(Scheme::Baseline);
-        let vq = video_quality(VideoCategory::Cup, cfg, 2, 11);
+        let vq = video_quality(VideoCategory::Cup, cfg, 2, 11, &ctx());
         assert_eq!(vq.mean_psnr(), None, "baseline never approximates");
         assert_eq!(vq.mean_psnr_capped(), Some(50.0));
     }
 
     #[test]
     fn alpha_sweep_trades_planes_for_quality() {
-        let points = alpha_sweep(&[0.25, 0.75], 2, 5);
+        let points = alpha_sweep(&[0.25, 0.75], 2, 5, &ctx());
         assert_eq!(points.len(), 2);
         // Lower α ⇒ fewer planes ⇒ lower (or equal) PSNR.
         assert!(points[0].mean_planes <= points[1].mean_planes);
@@ -605,7 +651,7 @@ mod tests {
 
     #[test]
     fn design_sweep_is_monotonically_aggressive() {
-        let points = design_sweep(&DesignPoint::fig10b_points(), 2, 5);
+        let points = design_sweep(&DesignPoint::fig10b_points(), 2, 5, &ctx());
         assert_eq!(points.len(), 5);
         // Later (more aggressive) points compute fewer planes.
         assert!(points.last().unwrap().mean_planes < points[0].mean_planes);
@@ -617,9 +663,9 @@ mod tests {
     fn object_mse_inverts_psnr() {
         let cfg = HoloArConfig::default();
         let o = obj(3, 0.6, 0.25);
-        assert_eq!(object_mse(&o, 16, &cfg), 0.0);
-        let psnr_db = object_psnr(&o, 8, &cfg);
-        let mse = object_mse(&o, 8, &cfg);
+        assert_eq!(object_mse(&o, 16, &cfg, &ctx()), 0.0);
+        let psnr_db = object_psnr(&o, 8, &cfg, &ctx());
+        let mse = object_mse(&o, 8, &cfg, &ctx());
         assert!((10.0 * (1.0 / mse).log10() - psnr_db).abs() < 1e-9);
     }
 
@@ -635,17 +681,17 @@ mod tests {
             reused: false,
         };
         // Empty frame: nothing displayed.
-        assert_eq!(frame_psnr(&[], &cfg), None);
-        assert_eq!(frame_psnr(&[make(0, 0.0)], &cfg), None);
+        assert_eq!(frame_psnr(&[], &cfg, &ctx()), None);
+        assert_eq!(frame_psnr(&[make(0, 0.0)], &cfg, &ctx()), None);
         // All-full frame: lossless.
-        assert_eq!(frame_psnr(&[make(16, 1.0)], &cfg), Some(f64::INFINITY));
+        assert_eq!(frame_psnr(&[make(16, 1.0)], &cfg, &ctx()), Some(f64::INFINITY));
         // A mixed frame sits between its members' PSNRs.
-        let lossy = object_psnr(&obj(3, 0.6, 0.25), 4, &cfg);
-        let mixed = frame_psnr(&[make(16, 1.0), make(4, 1.0)], &cfg).unwrap();
+        let lossy = object_psnr(&obj(3, 0.6, 0.25), 4, &cfg, &ctx());
+        let mixed = frame_psnr(&[make(16, 1.0), make(4, 1.0)], &cfg, &ctx()).unwrap();
         assert!(mixed > lossy, "pooling with a lossless object must improve on {lossy:.1}");
         assert!(mixed.is_finite());
         // Lower coverage of the lossy object raises frame quality.
-        let less_lossy = frame_psnr(&[make(16, 1.0), make(4, 0.2)], &cfg).unwrap();
+        let less_lossy = frame_psnr(&[make(16, 1.0), make(4, 0.2)], &cfg, &ctx()).unwrap();
         assert!(less_lossy > mixed);
     }
 
@@ -653,35 +699,47 @@ mod tests {
     fn coherent_variant_reports_finite_loss() {
         let cfg = HoloArConfig::default();
         let o = obj(3, 0.6, 0.25);
-        let p = object_psnr_coherent(&o, 8, &cfg);
+        let p = object_psnr_coherent(&o, 8, &cfg, &ctx());
         assert!(p.is_finite() && p > 5.0, "coherent PSNR {p:.1}");
-        assert!(object_psnr_coherent(&o, 16, &cfg).is_infinite());
+        assert!(object_psnr_coherent(&o, 16, &cfg, &ctx()).is_infinite());
         // The incoherent headline metric is the more forgiving one.
-        assert!(object_psnr(&o, 8, &cfg) >= p - 1.0);
+        assert!(object_psnr(&o, 8, &cfg, &ctx()) >= p - 1.0);
     }
 
     #[test]
     fn gsw_variant_reports_finite_loss() {
         let cfg = HoloArConfig::default();
         let o = obj(3, 0.6, 0.25);
-        let p = object_psnr_gsw(&o, 8, &cfg);
+        let p = object_psnr_gsw(&o, 8, &cfg, &ctx());
         assert!(p.is_finite() && p > 5.0, "GSW PSNR {p:.1}");
-        assert!(object_psnr_gsw(&o, 16, &cfg).is_infinite());
+        assert!(object_psnr_gsw(&o, 16, &cfg, &ctx()).is_infinite());
     }
 
     #[test]
     fn parallel_quality_is_bit_identical_to_serial() {
         let cfg = HoloArConfig::default();
         let o = obj(3, 0.6, 0.25);
-        let serial = object_psnr(&o, 8, &cfg);
+        let serial = object_psnr(&o, 8, &cfg, &ctx());
         for workers in [2usize, 7] {
-            let par = Parallelism::new(workers);
-            assert_eq!(object_psnr_with(&o, 8, &cfg, &par).to_bits(), serial.to_bits());
+            let par_ctx = ExecutionContext::with_workers(workers);
+            assert_eq!(object_psnr(&o, 8, &cfg, &par_ctx).to_bits(), serial.to_bits());
         }
-        let par = Parallelism::new(3);
+        let par_ctx = ExecutionContext::with_workers(3);
         assert_eq!(
-            object_psnr_gsw_with(&o, 8, &cfg, &par).to_bits(),
-            object_psnr_gsw(&o, 8, &cfg).to_bits()
+            object_psnr_gsw(&o, 8, &cfg, &par_ctx).to_bits(),
+            object_psnr_gsw(&o, 8, &cfg, &ctx()).to_bits()
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_context_path() {
+        let cfg = HoloArConfig::default();
+        let o = obj(3, 0.6, 0.25);
+        let serial = object_psnr(&o, 8, &cfg, &ctx());
+        assert_eq!(
+            object_psnr_with(&o, 8, &cfg, &Parallelism::serial()).to_bits(),
+            serial.to_bits()
         );
     }
 
@@ -695,6 +753,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "skipped object")]
     fn zero_planes_panics() {
-        object_psnr(&obj(0, 0.6, 0.2), 0, &HoloArConfig::default());
+        object_psnr(&obj(0, 0.6, 0.2), 0, &HoloArConfig::default(), &ctx());
     }
 }

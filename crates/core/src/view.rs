@@ -10,7 +10,7 @@
 
 use crate::planner::PlanItem;
 use crate::quality::{virtual_object_for, OPTICAL_SCALE};
-use holoar_fft::Parallelism;
+use holoar_fft::{ExecutionContext, Parallelism};
 use holoar_optics::{reconstruct, OpticalConfig, Propagator};
 use holoar_sensors::angles::AngularRect;
 
@@ -55,6 +55,11 @@ impl ViewportImage {
 /// appear. Reused objects render at their cached budget — they are still
 /// displayed, just not recomputed.
 ///
+/// Per-object reconstruction fans out over the context's worker pool —
+/// whole-frame synthesis parallelizes across objects while the viewport
+/// splat stays serial in plan order, so the image is bit-identical for
+/// every worker count.
+///
 /// # Panics
 ///
 /// Panics if viewport dimensions are zero.
@@ -63,25 +68,9 @@ pub fn render_view(
     window: &AngularRect,
     rows: usize,
     cols: usize,
+    ctx: &ExecutionContext,
 ) -> ViewportImage {
-    render_view_with(items, window, rows, cols, &Parallelism::serial())
-}
-
-/// [`render_view`] with per-object reconstruction fanned out over `par` —
-/// whole-frame synthesis parallelizes across objects while the viewport
-/// splat stays serial in plan order, so the image is bit-identical to the
-/// serial path for every worker count.
-///
-/// # Panics
-///
-/// Panics if viewport dimensions are zero.
-pub fn render_view_with(
-    items: &[PlanItem],
-    window: &AngularRect,
-    rows: usize,
-    cols: usize,
-    par: &Parallelism,
-) -> ViewportImage {
+    let par = ctx.parallelism();
     assert!(rows > 0 && cols > 0, "viewport must be non-empty");
     let _span = holoar_telemetry::span_cat("core.view.render_view", "core");
     let mut pixels = vec![0.0f64; rows * cols];
@@ -152,6 +141,22 @@ pub fn render_view_with(
     ViewportImage { rows, cols, pixels }
 }
 
+/// [`render_view`] with per-object reconstruction fanned out over `par`.
+///
+/// # Panics
+///
+/// Panics if viewport dimensions are zero.
+#[deprecated(note = "construct an ExecutionContext and call `render_view`")]
+pub fn render_view_with(
+    items: &[PlanItem],
+    window: &AngularRect,
+    rows: usize,
+    cols: usize,
+    par: &Parallelism,
+) -> ViewportImage {
+    render_view(items, window, rows, cols, &ExecutionContext::from_parallelism(par.clone()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +164,10 @@ mod tests {
     use crate::planner::PlanItem;
     use holoar_sensors::angles::{deg, AngularPoint};
     use holoar_sensors::objectron::ObjectAnnotation;
+
+    fn ctx() -> ExecutionContext {
+        ExecutionContext::serial()
+    }
 
     fn window() -> AngularRect {
         AngularRect::new(AngularPoint::CENTER, deg(43.0), deg(29.0))
@@ -181,7 +190,7 @@ mod tests {
 
     #[test]
     fn empty_plan_renders_black() {
-        let v = render_view(&[], &window(), 32, 48);
+        let v = render_view(&[], &window(), 32, 48, &ctx());
         assert_eq!(v.total_luminance(), 0.0);
         assert_eq!(v.pixels.len(), 32 * 48);
     }
@@ -190,13 +199,13 @@ mod tests {
     fn skipped_objects_do_not_appear() {
         let mut it = item(0.0, 0.0, 0);
         it.coverage = 0.0;
-        let v = render_view(&[it], &window(), 32, 48);
+        let v = render_view(&[it], &window(), 32, 48, &ctx());
         assert_eq!(v.total_luminance(), 0.0);
     }
 
     #[test]
     fn centered_object_lights_the_center() {
-        let v = render_view(&[item(0.0, 0.0, 8)], &window(), 32, 48);
+        let v = render_view(&[item(0.0, 0.0, 8)], &window(), 32, 48, &ctx());
         assert!(v.total_luminance() > 0.0);
         let center = v.luminance_in(12, 18, 8, 12);
         let corner = v.luminance_in(0, 0, 8, 12);
@@ -206,7 +215,7 @@ mod tests {
     #[test]
     fn object_position_maps_to_viewport_side() {
         let v =
-            render_view(&[item(15.0, 0.0, 8)], &window(), 32, 48);
+            render_view(&[item(15.0, 0.0, 8)], &window(), 32, 48, &ctx());
         let right = v.luminance_in(8, 24, 16, 24);
         let left = v.luminance_in(8, 0, 16, 24);
         assert!(right > left, "right {right} vs left {left}");
@@ -217,12 +226,12 @@ mod tests {
         let near = {
             let mut it = item(0.0, 0.0, 8);
             it.object.distance = 0.4;
-            render_view(&[it], &window(), 32, 48)
+            render_view(&[it], &window(), 32, 48, &ctx())
         };
         let far = {
             let mut it = item(0.0, 0.0, 8);
             it.object.distance = 1.6;
-            render_view(&[it], &window(), 32, 48)
+            render_view(&[it], &window(), 32, 48, &ctx())
         };
         assert!(near.total_luminance() > far.total_luminance());
     }
@@ -246,7 +255,7 @@ mod tests {
             latency: 0.01375,
         };
         let plan = planner.plan_frame(&frame, &pose, AngularPoint::new(deg(-8.0), 0.0), 0.0);
-        let v = render_view(&plan.items, &pose.viewing_window(), 32, 48);
+        let v = render_view(&plan.items, &pose.viewing_window(), 32, 48, &ctx());
         assert!(v.total_luminance() > 0.0);
         // Both sides of the view carry light.
         assert!(v.luminance_in(0, 0, 32, 24) > 0.0);
@@ -256,16 +265,25 @@ mod tests {
     #[test]
     fn parallel_render_is_bit_identical_to_serial() {
         let items = [item(-8.0, 0.0, 8), item(8.0, 3.0, 4), item(0.0, -5.0, 2)];
-        let serial = render_view(&items, &window(), 32, 48);
+        let serial = render_view(&items, &window(), 32, 48, &ctx());
         for workers in [2usize, 7] {
-            let par = render_view_with(&items, &window(), 32, 48, &Parallelism::new(workers));
+            let par = render_view(
+                &items,
+                &window(),
+                32,
+                48,
+                &ExecutionContext::with_workers(workers),
+            );
             assert_eq!(par, serial, "workers {workers}");
         }
+        #[allow(deprecated)]
+        let wrapped = render_view_with(&items, &window(), 32, 48, &Parallelism::new(2));
+        assert_eq!(wrapped, serial);
     }
 
     #[test]
     #[should_panic(expected = "viewport must be non-empty")]
     fn zero_viewport_panics() {
-        render_view(&[], &window(), 0, 10);
+        render_view(&[], &window(), 0, 10, &ctx());
     }
 }

@@ -71,6 +71,30 @@ pub fn full_stack(seed: u64) -> Result<FaultInjector, String> {
     FaultInjector::new(seed, specs)
 }
 
+/// Per-session fault scenario for the multi-session serving layer: mild GPU
+/// interference windows plus occasional stage overruns, with the master
+/// seed salted per session so co-tenant sessions fault *independently* —
+/// the serving scheduler must absorb one session's bad window without
+/// degrading its neighbours.
+///
+/// # Errors
+///
+/// Never fails for the preset parameters; propagates spec validation.
+pub fn serve_session(seed: u64, session: u32) -> Result<FaultInjector, String> {
+    // SplitMix64-style salt: distinct sessions get decorrelated streams
+    // while (seed, session) stays fully deterministic.
+    let salted = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(session).wrapping_add(1).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    FaultInjector::new(
+        salted,
+        vec![
+            FaultSpec::new(FaultKind::SmSlowdown, 0.12, 6, 0.6),
+            FaultSpec::new(FaultKind::StageOverrun, 0.10, 4, 0.003),
+        ],
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +113,22 @@ mod tests {
         )));
         let all = full_stack(1).unwrap();
         assert_eq!(all.specs().len(), gpu.specs().len() + storm.specs().len() + 1);
+    }
+
+    #[test]
+    fn serve_sessions_fault_independently_but_deterministically() {
+        let a = serve_session(42, 0).unwrap();
+        let b = serve_session(42, 1).unwrap();
+        let a2 = serve_session(42, 0).unwrap();
+        let frames = 200u64;
+        let pattern = |inj: &FaultInjector| -> Vec<bool> {
+            (0..frames).map(|i| !inj.frame(i).is_nominal()).collect()
+        };
+        assert_eq!(pattern(&a), pattern(&a2), "same (seed, session) must replay");
+        assert_ne!(pattern(&a), pattern(&b), "sessions must be decorrelated");
+        let faulted = pattern(&a).iter().filter(|&&f| f).count();
+        assert!(faulted > 5, "scenario too quiet: {faulted}/{frames}");
+        assert!(faulted < frames as usize / 2, "scenario too loud: {faulted}/{frames}");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 pub mod bluestein;
 pub mod complex;
+pub mod context;
 pub mod dft;
 pub mod fft2d;
 pub mod parallel;
@@ -40,6 +41,7 @@ pub mod radix2;
 
 pub use bluestein::BluesteinPlan;
 pub use complex::Complex64;
+pub use context::{ExecutionContext, ExecutionContextBuilder};
 pub use fft2d::{fftshift, ifftshift, Fft2d};
 pub use parallel::{lock_unpoisoned, Parallelism, ScratchArena};
 pub use plan::{fft_forward, fft_inverse, FftPlan, FftPlanner};

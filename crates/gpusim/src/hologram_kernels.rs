@@ -223,6 +223,79 @@ pub fn fused_job_kernels(job: &HologramJob) -> Vec<KernelDesc> {
     kernels
 }
 
+/// Builds the *cross-session* merged kernel sequence for a batch of jobs
+/// sharing one device: per GSW iteration and step, every session's plane
+/// propagations coalesce into a single grid-wide launch whose grid is the
+/// sum of the per-session plane grids. This is [`fused_job_kernels`] lifted
+/// across sessions — the serving layer's batcher uses it to amortize launch
+/// overheads and drain tails over the whole fleet instead of per session.
+///
+/// Jobs with `plane_count == 0` contribute nothing. All jobs must agree on
+/// `gsw_iterations` (the batcher only merges lockstep iterations).
+///
+/// Returns the merged kernels in (iteration, forward-then-backward) order,
+/// or an empty vector when no job has work.
+///
+/// # Panics
+///
+/// Panics if any job is invalid or if jobs disagree on `gsw_iterations`.
+pub fn merged_session_kernels(jobs: &[HologramJob]) -> Vec<KernelDesc> {
+    let active: Vec<&HologramJob> = jobs.iter().filter(|j| j.plane_count > 0).collect();
+    let Some(first) = active.first() else {
+        return Vec::new();
+    };
+    for job in &active {
+        if let Err(e) = job.validate() {
+            panic!("invalid hologram job: {e}");
+        }
+        assert_eq!(
+            job.gsw_iterations, first.gsw_iterations,
+            "cross-session batching requires lockstep GSW iterations"
+        );
+    }
+    let mut kernels = Vec::with_capacity((first.gsw_iterations * 2) as usize);
+    for _ in 0..first.gsw_iterations {
+        for step in [Step::Forward, Step::Backward] {
+            let mut grid_blocks = 0u32;
+            for job in &active {
+                let covered = ((job.pixels as f64 * job.coverage).ceil() as u64).max(1);
+                let per_plane = propagation_kernel(step, covered);
+                grid_blocks = grid_blocks
+                    .saturating_add(per_plane.grid_blocks.saturating_mul(job.plane_count));
+            }
+            let covered_first =
+                ((first.pixels as f64 * first.coverage).ceil() as u64).max(1);
+            let mut merged = propagation_kernel(step, covered_first);
+            merged.name = format!("{}_xsession", step.kernel_name());
+            merged.grid_blocks = grid_blocks.max(1);
+            kernels.push(merged);
+        }
+    }
+    kernels
+}
+
+/// Per-job share of a merged batch's work, as a fraction of total grid
+/// blocks in `[0, 1]`. Used to attribute a merged launch's latency back to
+/// the sessions that contributed planes; zero-plane jobs get a zero share.
+pub fn batch_block_shares(jobs: &[HologramJob]) -> Vec<f64> {
+    let per_job: Vec<u64> = jobs
+        .iter()
+        .map(|job| {
+            if job.plane_count == 0 {
+                return 0;
+            }
+            let covered = ((job.pixels as f64 * job.coverage).ceil() as u64).max(1);
+            let per_plane = propagation_kernel(Step::Forward, covered);
+            per_plane.grid_blocks as u64 * job.plane_count as u64
+        })
+        .collect();
+    let total: u64 = per_job.iter().sum();
+    if total == 0 {
+        return vec![0.0; jobs.len()];
+    }
+    per_job.iter().map(|&b| b as f64 / total as f64).collect()
+}
+
 /// Runs a job with fused kernels (see [`fused_job_kernels`]).
 ///
 /// # Panics
@@ -375,6 +448,67 @@ mod tests {
         assert_eq!(kernels.len(), 10); // 5 iterations x (fwd + bwd)
         assert!(kernels[0].name.ends_with("_fused"));
         assert_eq!(kernels[0].grid_blocks, 16 * 1024);
+    }
+
+    #[test]
+    fn merged_batch_has_two_kernels_per_iteration_and_summed_grids() {
+        let jobs = [HologramJob::full(16), HologramJob::full(8), HologramJob::full(4)];
+        let kernels = merged_session_kernels(&jobs);
+        assert_eq!(kernels.len(), 10); // 5 iterations x (fwd + bwd)
+        assert!(kernels[0].name.ends_with("_xsession"));
+        // 512² → 1024 blocks per plane; 28 planes across the batch.
+        assert_eq!(kernels[0].grid_blocks, 28 * 1024);
+    }
+
+    #[test]
+    fn merged_batch_skips_empty_jobs_and_empty_batches() {
+        let empty = HologramJob { plane_count: 0, ..HologramJob::full(0) };
+        assert!(merged_session_kernels(&[empty]).is_empty());
+        assert!(merged_session_kernels(&[]).is_empty());
+        let kernels = merged_session_kernels(&[empty, HologramJob::full(4)]);
+        assert_eq!(kernels[0].grid_blocks, 4 * 1024);
+    }
+
+    #[test]
+    fn merged_batch_beats_sequential_jobs() {
+        // The serving-layer premise: one launch over the fleet's planes is
+        // faster than running each session's per-plane kernels in turn.
+        let jobs = vec![HologramJob::full(8); 4];
+        let mut seq_device = Device::xavier();
+        let sequential: f64 = jobs
+            .iter()
+            .map(|j| run_job(&mut seq_device, j).latency)
+            .sum();
+        let mut batch_device = Device::xavier();
+        let batched: f64 = batch_device
+            .execute_all(&merged_session_kernels(&jobs))
+            .iter()
+            .map(|s| s.time)
+            .sum();
+        assert!(batched < sequential, "batched {batched} vs sequential {sequential}");
+    }
+
+    #[test]
+    fn block_shares_are_proportional_and_sum_to_one() {
+        let jobs = [
+            HologramJob::full(12),
+            HologramJob { plane_count: 0, ..HologramJob::full(0) },
+            HologramJob::full(4),
+        ];
+        let shares = batch_block_shares(&jobs);
+        assert_eq!(shares.len(), 3);
+        assert_eq!(shares[1], 0.0);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((shares[0] / shares[2] - 3.0).abs() < 1e-9);
+        assert_eq!(batch_block_shares(&[]), Vec::<f64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "lockstep GSW iterations")]
+    fn merged_batch_rejects_mixed_iteration_counts() {
+        let mut other = HologramJob::full(8);
+        other.gsw_iterations = 3;
+        merged_session_kernels(&[HologramJob::full(8), other]);
     }
 
     #[test]

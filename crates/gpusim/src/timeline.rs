@@ -266,6 +266,32 @@ pub fn plane_stream_ops(pixels: u64, planes: u32) -> Vec<StreamOp> {
     ops
 }
 
+/// Builds the shared-device workload for a fleet of hologram jobs: session
+/// `s`'s kernel sequence (per iteration, per plane, forward then backward)
+/// goes on stream `s`, so the timeline interleaves the sessions' block
+/// waves on one SM/DRAM model the way concurrent CUDA contexts share a GPU.
+/// Jobs with `plane_count == 0` contribute nothing.
+///
+/// # Panics
+///
+/// Panics if any job with planes is invalid.
+pub fn session_stream_ops(jobs: &[crate::hologram_kernels::HologramJob]) -> Vec<StreamOp> {
+    use crate::hologram_kernels::{job_kernels, Step};
+    let mut ops = Vec::new();
+    for (s, job) in jobs.iter().enumerate() {
+        if job.plane_count == 0 {
+            continue;
+        }
+        for kernel in job_kernels(job) {
+            let mut kernel = kernel;
+            let step = if kernel.name == Step::Forward.kernel_name() { "fwd" } else { "bwd" };
+            kernel.name = format!("s{s}_{step}");
+            ops.push(StreamOp { stream: s as u32, kernel });
+        }
+    }
+    ops
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -375,6 +401,38 @@ mod tests {
             .collect();
         let serial = simulate(&serial_ops, &cfg);
         assert!(parallel.makespan <= serial.makespan + 1e-12);
+    }
+
+    #[test]
+    fn session_streams_overlap_on_the_shared_device() {
+        use crate::hologram_kernels::HologramJob;
+        let cfg = DeviceConfig::default();
+        let small = HologramJob {
+            pixels: 64 * 64,
+            plane_count: 4,
+            coverage: 1.0,
+            gsw_iterations: 1,
+        };
+        let fleet = vec![small; 4];
+        let shared = simulate(&session_stream_ops(&fleet), &cfg);
+        // Same kernels forced onto one stream: strictly serial.
+        let serial_ops: Vec<StreamOp> = session_stream_ops(&fleet)
+            .into_iter()
+            .map(|mut op| {
+                op.stream = 0;
+                op
+            })
+            .collect();
+        let serial = simulate(&serial_ops, &cfg);
+        assert!(
+            shared.makespan < serial.makespan,
+            "session streams should interleave: {} vs {}",
+            shared.makespan,
+            serial.makespan
+        );
+        // Zero-plane sessions contribute nothing.
+        let skipped = HologramJob { plane_count: 0, ..small };
+        assert_eq!(session_stream_ops(&[skipped]).len(), 0);
     }
 
     #[test]

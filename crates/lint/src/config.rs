@@ -33,8 +33,9 @@ pub const RULE_EXEMPT_PREFIXES: &[&str] = &["crates/telemetry/", "vendor/", "cra
 
 /// Valid leading segments for telemetry span/counter names (`category.name`
 /// convention; `gpu` is the synthetic simulated-GPU track).
-pub const CATEGORIES: &[&str] =
-    &["fft", "optics", "core", "pipeline", "gpusim", "gpu", "bench", "telemetry", "faults"];
+pub const CATEGORIES: &[&str] = &[
+    "fft", "optics", "core", "pipeline", "gpusim", "gpu", "bench", "telemetry", "faults", "serve",
+];
 
 /// Every rule id the engine knows; waivers naming anything else are
 /// diagnosed as malformed.
@@ -43,6 +44,7 @@ pub const RULE_IDS: &[&str] = &[
     "determinism",
     "thread-discipline",
     "telemetry-discipline",
+    "deprecated-wrapper",
     "unsafe-hygiene",
 ];
 

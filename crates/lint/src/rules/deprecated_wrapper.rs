@@ -1,0 +1,80 @@
+//! `deprecated-wrapper`: internal code goes through `ExecutionContext`,
+//! never the legacy `*_with(Parallelism)` twins.
+//!
+//! The ExecutionContext migration kept the old `*_with` entry points alive
+//! as `#[deprecated]` wrappers so downstream callers get a compiler nudge
+//! instead of a break. Inside the workspace there is no such excuse: a new
+//! internal call to a wrapper silently re-couples the caller to the pool
+//! type and dodges the shared plan/scratch reuse the context carries. Test
+//! code is exempt — the wrappers' own regression tests must keep calling
+//! them to prove the twins stay bit-identical.
+
+use crate::config::Config;
+use crate::diag::{Finding, Status};
+use crate::source::SourceFile;
+
+use super::{ident_before, Rule};
+
+pub struct DeprecatedWrapper;
+
+/// The `#[deprecated]` wrappers and the context-first replacement each
+/// finding should point at.
+const WRAPPERS: &[(&str, &str)] = &[
+    ("run_with", "gsw::run"),
+    ("run_pipelined_with", "run_pipelined"),
+    ("object_psnr_with", "object_psnr"),
+    ("object_psnr_coherent_with", "object_psnr_coherent"),
+    ("object_psnr_gsw_with", "object_psnr_gsw"),
+    ("video_quality_with", "video_quality"),
+    ("depthmap_hologram_with", "depthmap_hologram"),
+    ("hologram_from_planes_with", "hologram_from_planes"),
+    ("render_view_with", "render_view"),
+];
+
+impl Rule for DeprecatedWrapper {
+    fn id(&self) -> &'static str {
+        "deprecated-wrapper"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+        if cfg.is_rule_exempt(&file.rel) {
+            return;
+        }
+        for (line_no, line) in file.numbered() {
+            if line.in_test {
+                continue;
+            }
+            for (name, replacement) in WRAPPERS {
+                let mut search = 0;
+                while let Some(pos) = line.code[search..].find(name) {
+                    let at = search + pos;
+                    search = at + name.len();
+                    // Word-bound on both sides, and an actual call — the
+                    // next non-space char is `(`.
+                    if ident_before(&line.code, at) {
+                        continue;
+                    }
+                    let rest = line.code[at + name.len()..].trim_start();
+                    if !rest.starts_with('(') {
+                        continue;
+                    }
+                    // The wrapper's own definition (`fn name(`) is the one
+                    // permitted non-test occurrence.
+                    if line.code[..at].trim_end().ends_with("fn") {
+                        continue;
+                    }
+                    out.push(Finding {
+                        rule: "deprecated-wrapper",
+                        path: file.rel.clone(),
+                        line: line_no,
+                        message: format!(
+                            "internal call to deprecated wrapper `{name}`; construct an \
+                             `ExecutionContext` and call `{replacement}` instead"
+                        ),
+                        status: Status::Active,
+                    });
+                }
+            }
+        }
+    }
+}

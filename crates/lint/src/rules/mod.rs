@@ -5,6 +5,7 @@ use crate::config::Config;
 use crate::diag::Finding;
 use crate::source::SourceFile;
 
+pub mod deprecated_wrapper;
 pub mod determinism;
 pub mod no_panic;
 pub mod telemetry_discipline;
@@ -29,6 +30,7 @@ pub fn all(registry_text: &str, registry_rel: &str) -> Vec<Box<dyn Rule>> {
         Box::new(determinism::Determinism),
         Box::new(thread_discipline::ThreadDiscipline),
         Box::new(telemetry_discipline::TelemetryDiscipline::new(registry_text, registry_rel)),
+        Box::new(deprecated_wrapper::DeprecatedWrapper),
         Box::new(unsafe_hygiene::UnsafeHygiene::default()),
     ]
 }

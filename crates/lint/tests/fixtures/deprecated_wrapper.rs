@@ -1,0 +1,27 @@
+// Fixture: deliberate traffic through the deprecated `*_with` wrappers.
+// Never compiled; the `deprecated-wrapper` rule must flag the internal
+// calls (lines 6 and 7) but not the wrapper definition, near-miss
+// identifiers, or test code.
+pub fn hot_path(o: &Object, dm: &DepthMap) -> f64 {
+    let q = quality::object_psnr_with(o, 8, &cfg(), &Parallelism::serial());
+    q + gsw::run_with(&dm.slice(2, cfg()), cfg(), gsw_cfg(), &Parallelism::serial()).error
+}
+
+pub fn run_with(x: u32) -> u32 {
+    x
+}
+
+pub fn near_misses() {
+    my_render_view_with(1);
+    let render_view_with_plan = 3;
+    let _ = render_view_with_plan;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wrappers_stay_equivalent() {
+        let _ = super::run_with(1);
+        let _ = holoar_pipeline::run_pipelined_with(25, frames, &Parallelism::new(2));
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: an unregistered serving-layer counter the `telemetry-discipline`
+// rule must flag. Never compiled; tests scan it under the serve engine's
+// rel path against a registry that knows `counter serve.deadline.hit` and
+// `gauge serve.tick.occupancy` but not the counter on line 8.
+pub fn account_tick() {
+    holoar_telemetry::counter_add("serve.deadline.hit", 1);
+    holoar_telemetry::gauge_set("serve.tick.occupancy", 0.4);
+    holoar_telemetry::counter_add("serve.batch.retries", 1);
+}

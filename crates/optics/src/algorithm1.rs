@@ -21,7 +21,7 @@
 use crate::depthmap::{DepthMap, PlaneStack};
 use crate::field::{Field, OpticalConfig};
 use crate::propagate::Propagator;
-use holoar_fft::Parallelism;
+use holoar_fft::{ExecutionContext, Parallelism};
 
 /// Instrumentation counters for one hologram computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -67,10 +67,12 @@ pub struct HologramResult {
 /// # Examples
 ///
 /// ```
+/// use holoar_fft::ExecutionContext;
 /// use holoar_optics::{algorithm1, DepthMap, OpticalConfig};
 ///
 /// let dm = DepthMap::new(8, 8, vec![1.0; 64], vec![0.05; 64])?;
-/// let result = algorithm1::depthmap_hologram(&dm, 4, OpticalConfig::default());
+/// let ctx = ExecutionContext::serial();
+/// let result = algorithm1::depthmap_hologram(&dm, 4, OpticalConfig::default(), &ctx);
 /// assert_eq!(result.stats.plane_count, 4);
 /// # Ok::<(), holoar_optics::BuildDepthMapError>(())
 /// ```
@@ -82,63 +84,54 @@ pub fn depthmap_hologram(
     depthmap: &DepthMap,
     plane_count: usize,
     config: OpticalConfig,
+    ctx: &ExecutionContext,
 ) -> HologramResult {
     let stack = depthmap.slice(plane_count, config);
-    hologram_from_planes(&stack, config)
+    hologram_from_planes(&stack, config, ctx)
 }
 
 /// [`depthmap_hologram`] with the per-plane propagations fanned out over
-/// `par`. Bit-identical to the serial entry point for every worker count.
+/// `par`.
 ///
 /// # Panics
 ///
 /// Panics if `plane_count == 0`.
+#[deprecated(note = "construct an ExecutionContext and call `depthmap_hologram`")]
 pub fn depthmap_hologram_with(
     depthmap: &DepthMap,
     plane_count: usize,
     config: OpticalConfig,
     par: &Parallelism,
 ) -> HologramResult {
-    let stack = depthmap.slice(plane_count, config);
-    hologram_from_planes_with(&stack, config, par)
+    depthmap_hologram(depthmap, plane_count, config, &ExecutionContext::from_parallelism(par.clone()))
 }
 
 /// Computes a hologram from an already-sliced plane stack.
 ///
 /// Exposed separately so S-CGH (Fig 9c) can pass a [`PlaneStack::subset`].
 ///
-/// # Panics
-///
-/// Panics if the stack is empty.
-pub fn hologram_from_planes(stack: &PlaneStack, config: OpticalConfig) -> HologramResult {
-    hologram_from_planes_with(stack, config, &Parallelism::serial())
-}
-
-/// [`hologram_from_planes`] with the backward `DP2HP` sweep fanned out over
-/// `par`.
-///
 /// The forward compositing walk is inherently sequential (the occlusion mask
 /// carries across planes) and cheap, so it stays serial. Back-propagations
-/// are independent and run concurrently; the hologram accumulation is a
-/// floating-point reduction and stays serial in stack order, so the result
-/// is bit-identical to the serial path for every worker count. All counters
-/// in [`HologramStats`] are unchanged — parallelism is an execution detail,
-/// not a change to the modeled work.
+/// are independent and fan out over the context's worker pool; the hologram
+/// accumulation is a floating-point reduction and stays serial in stack
+/// order, so the result is bit-identical for every worker count. All
+/// counters in [`HologramStats`] are unchanged — parallelism is an execution
+/// detail, not a change to the modeled work.
 ///
 /// # Panics
 ///
 /// Panics if the stack is empty.
-pub fn hologram_from_planes_with(
+pub fn hologram_from_planes(
     stack: &PlaneStack,
     config: OpticalConfig,
-    par: &Parallelism,
+    ctx: &ExecutionContext,
 ) -> HologramResult {
     assert!(!stack.is_empty(), "hologram requires at least one depth plane");
     let _span = holoar_telemetry::span_cat("optics.algorithm1.hologram", "optics");
     holoar_telemetry::gauge_set("optics.algorithm1.planes", stack.len() as f64);
     let rows = stack.plane(0).field.rows();
     let cols = stack.plane(0).field.cols();
-    let mut prop = Propagator::with_parallelism(par.clone());
+    let mut prop = Propagator::with_context(ctx);
 
     // ---- Step 1: forward propagation with occlusion compositing ----
     // Walk nearest-first; pixels covered by a nearer plane are removed from
@@ -197,11 +190,30 @@ pub fn hologram_from_planes_with(
     HologramResult { hologram, stats }
 }
 
+/// [`hologram_from_planes`] with the backward `DP2HP` sweep fanned out over
+/// `par`.
+///
+/// # Panics
+///
+/// Panics if the stack is empty.
+#[deprecated(note = "construct an ExecutionContext and call `hologram_from_planes`")]
+pub fn hologram_from_planes_with(
+    stack: &PlaneStack,
+    config: OpticalConfig,
+    par: &Parallelism,
+) -> HologramResult {
+    hologram_from_planes(stack, config, &ExecutionContext::from_parallelism(par.clone()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::depthmap::DepthMap;
     use crate::reconstruct;
+
+    fn ctx() -> ExecutionContext {
+        ExecutionContext::serial()
+    }
 
     fn two_point_map(n: usize) -> DepthMap {
         let mut amp = vec![0.0; n * n];
@@ -217,8 +229,8 @@ mod tests {
     fn stats_scale_with_plane_count() {
         let dm = two_point_map(16);
         let cfg = OpticalConfig::default();
-        let a = depthmap_hologram(&dm, 4, cfg);
-        let b = depthmap_hologram(&dm, 8, cfg);
+        let a = depthmap_hologram(&dm, 4, cfg, &ctx());
+        let b = depthmap_hologram(&dm, 8, cfg, &ctx());
         assert_eq!(a.stats.plane_count, 4);
         assert_eq!(b.stats.plane_count, 8);
         assert_eq!(b.stats.total_propagations(), 2 * a.stats.total_propagations());
@@ -230,14 +242,14 @@ mod tests {
     #[test]
     fn hologram_is_nonzero_for_lit_input() {
         let dm = two_point_map(16);
-        let result = depthmap_hologram(&dm, 4, OpticalConfig::default());
+        let result = depthmap_hologram(&dm, 4, OpticalConfig::default(), &ctx());
         assert!(result.hologram.total_energy() > 0.0);
     }
 
     #[test]
     fn empty_scene_yields_zero_hologram() {
         let dm = DepthMap::new(8, 8, vec![0.0; 64], vec![1.0; 64]).unwrap();
-        let result = depthmap_hologram(&dm, 4, OpticalConfig::default());
+        let result = depthmap_hologram(&dm, 4, OpticalConfig::default(), &ctx());
         assert_eq!(result.hologram.total_energy(), 0.0);
         assert_eq!(result.stats.plane_count, 4);
     }
@@ -253,7 +265,7 @@ mod tests {
         depth[(n / 2) * n + n / 2] = 0.004;
         let dm = DepthMap::new(n, n, amp, depth).unwrap();
         let cfg = OpticalConfig::default();
-        let holo = depthmap_hologram(&dm, 1, cfg);
+        let holo = depthmap_hologram(&dm, 1, cfg, &ctx());
         let mut prop = Propagator::new();
         let at_focus = reconstruct::reconstruct_intensity(&holo.hologram, 0.004, &mut prop);
         let defocus = reconstruct::reconstruct_intensity(&holo.hologram, 0.012, &mut prop);
@@ -275,13 +287,13 @@ mod tests {
         amp[n * 4 + 4] = 1.0;
         depth[n * 4 + 4] = 0.01;
         let near_only = DepthMap::new(n, n, amp.clone(), depth.clone()).unwrap();
-        let near = depthmap_hologram(&near_only, 2, cfg);
+        let near = depthmap_hologram(&near_only, 2, cfg, &ctx());
 
         // Now also light a *different* pixel far away — energy should grow.
         amp[n * 2 + 2] = 1.0;
         depth[n * 2 + 2] = 0.03;
         let both = DepthMap::new(n, n, amp, depth).unwrap();
-        let two = depthmap_hologram(&both, 2, cfg);
+        let two = depthmap_hologram(&both, 2, cfg, &ctx());
         assert!(two.hologram.total_energy() > near.hologram.total_energy());
     }
 
@@ -289,9 +301,9 @@ mod tests {
     fn parallel_hologram_is_bit_identical_to_serial() {
         let dm = two_point_map(16);
         let cfg = OpticalConfig::default();
-        let serial = depthmap_hologram(&dm, 6, cfg);
+        let serial = depthmap_hologram(&dm, 6, cfg, &ctx());
         for workers in [1usize, 2, 7] {
-            let par = depthmap_hologram_with(&dm, 6, cfg, &Parallelism::new(workers));
+            let par = depthmap_hologram(&dm, 6, cfg, &ExecutionContext::with_workers(workers));
             assert_eq!(
                 par.hologram.samples(),
                 serial.hologram.samples(),
@@ -304,7 +316,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero depth planes")]
     fn zero_planes_panics() {
-        depthmap_hologram(&two_point_map(8), 0, OpticalConfig::default());
+        depthmap_hologram(&two_point_map(8), 0, OpticalConfig::default(), &ctx());
     }
 
     #[test]
@@ -313,7 +325,7 @@ mod tests {
         let cfg = OpticalConfig::default();
         let stack = dm.slice(8, cfg);
         let sub = stack.subset(2, 5);
-        let result = hologram_from_planes(&sub, cfg);
+        let result = hologram_from_planes(&sub, cfg, &ctx());
         assert_eq!(result.stats.plane_count, 4);
     }
 }

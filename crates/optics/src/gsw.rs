@@ -15,7 +15,7 @@
 use crate::depthmap::PlaneStack;
 use crate::field::{Field, OpticalConfig};
 use crate::propagate::Propagator;
-use holoar_fft::{Complex64, Parallelism};
+use holoar_fft::{Complex64, ExecutionContext, Parallelism};
 
 /// Configuration for the GSW loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,9 +48,15 @@ pub struct GswResult {
 
 /// Runs adaptive weighted Gerchberg–Saxton over a plane stack.
 ///
+/// Per-plane field construction and both propagation sweeps fan out over the
+/// context's worker pool; every floating-point reduction (hologram
+/// accumulation, energy totals, weight statistics) stays serial in plane
+/// order, so the result is bit-identical for every worker count.
+///
 /// # Examples
 ///
 /// ```
+/// use holoar_fft::ExecutionContext;
 /// use holoar_optics::{gsw, DepthMap, GswConfig, OpticalConfig};
 ///
 /// let mut amp = vec![0.0; 64 * 64];
@@ -58,7 +64,8 @@ pub struct GswResult {
 /// amp[64 * 44 + 44] = 1.0;
 /// let dm = DepthMap::new(64, 64, amp, vec![0.01; 64 * 64])?;
 /// let cfg = OpticalConfig::default();
-/// let result = gsw::run(&dm.slice(2, cfg), cfg, GswConfig::default());
+/// let ctx = ExecutionContext::serial();
+/// let result = gsw::run(&dm.slice(2, cfg), cfg, GswConfig::default(), &ctx);
 /// assert!(result.uniformity > 0.5);
 /// # Ok::<(), holoar_optics::BuildDepthMapError>(())
 /// ```
@@ -66,128 +73,221 @@ pub struct GswResult {
 /// # Panics
 ///
 /// Panics if the stack is empty or `config.iterations == 0`.
-pub fn run(stack: &PlaneStack, optics: OpticalConfig, config: GswConfig) -> GswResult {
-    run_with(stack, optics, config, &Parallelism::serial())
+pub fn run(
+    stack: &PlaneStack,
+    optics: OpticalConfig,
+    config: GswConfig,
+    ctx: &ExecutionContext,
+) -> GswResult {
+    let _span = holoar_telemetry::span_cat("optics.gsw.run", "optics");
+    let mut results = run_batch(&[stack], optics, config, ctx);
+    assert_eq!(results.len(), 1, "run_batch returns one result per stack");
+    results.swap_remove(0)
 }
 
 /// [`run`] with depth planes fanned out over `par`.
 ///
-/// Per-plane field construction and both propagation sweeps run
-/// concurrently; every floating-point reduction (hologram accumulation,
-/// energy totals, weight statistics) stays serial in plane order, so the
-/// result is bit-identical to [`run`] for every worker count.
-///
 /// # Panics
 ///
 /// Panics if the stack is empty or `config.iterations == 0`.
+#[deprecated(note = "construct an ExecutionContext and call `gsw::run`")]
 pub fn run_with(
     stack: &PlaneStack,
     optics: OpticalConfig,
     config: GswConfig,
     par: &Parallelism,
 ) -> GswResult {
-    assert!(!stack.is_empty(), "GSW requires at least one depth plane");
+    run(stack, optics, config, &ExecutionContext::from_parallelism(par.clone()))
+}
+
+/// Per-stack mutable state for the lockstep batched GSW loop.
+struct StackState {
+    rows: usize,
+    cols: usize,
+    zs: Vec<f64>,
+    targets: Vec<Vec<f64>>,
+    weights: Vec<Vec<f64>>,
+    phases: Vec<Vec<f64>>,
+    hologram: Field,
+    uniformity_trace: Vec<f64>,
+    final_uniformity: f64,
+    final_efficiency: f64,
+}
+
+/// Runs GSW over several plane stacks in lockstep, coalescing every stack's
+/// per-iteration propagation sweeps into shared batch calls.
+///
+/// This is the cross-session batching primitive: when N sessions each need a
+/// hologram for the same frame tick, one `run_batch` call propagates all
+/// their depth planes together (amortizing FFT plans, transfer functions and
+/// fan-out overhead) instead of running N separate loops. Stacks may differ
+/// in shape and plane count.
+///
+/// Each stack's arithmetic is fully independent — field construction, the
+/// per-plane propagations and the serial per-stack reductions are exactly
+/// those of [`run`] — so `run_batch(&[a, b], …)` is bit-identical to
+/// `[run(a, …), run(b, …)]` for every worker count.
+///
+/// # Panics
+///
+/// Panics if the batch or any stack is empty, or `config.iterations == 0`.
+pub fn run_batch(
+    stacks: &[&PlaneStack],
+    optics: OpticalConfig,
+    config: GswConfig,
+    ctx: &ExecutionContext,
+) -> Vec<GswResult> {
+    assert!(!stacks.is_empty(), "GSW batch requires at least one stack");
+    for stack in stacks {
+        assert!(!stack.is_empty(), "GSW requires at least one depth plane");
+    }
     assert!(config.iterations > 0, "GSW requires at least one iteration");
-    let _span = holoar_telemetry::span_cat("optics.gsw.run", "optics");
-    holoar_telemetry::gauge_set("optics.gsw.planes", stack.len() as f64);
-    let rows = stack.plane(0).field.rows();
-    let cols = stack.plane(0).field.cols();
-    let mut prop = Propagator::with_parallelism(par.clone());
-    let plane_indices: Vec<usize> = (0..stack.len()).collect();
-    let zs: Vec<f64> = stack.iter().map(|p| p.z).collect();
+    let _span = holoar_telemetry::span_cat("optics.gsw.run_batch", "optics");
+    let total_planes: usize = stacks.iter().map(|s| s.len()).sum();
+    holoar_telemetry::gauge_set("optics.gsw.planes", total_planes as f64);
+    let par = ctx.parallelism().clone();
+    let mut prop = Propagator::with_context(ctx);
 
-    // Target amplitudes and lit-pixel masks per plane.
-    let targets: Vec<Vec<f64>> = stack.iter().map(|p| p.field.amplitude()).collect();
-    let mut weights: Vec<Vec<f64>> = targets
+    let mut states: Vec<StackState> = stacks
         .iter()
-        .map(|t| t.iter().map(|&a| if a > 0.0 { 1.0 } else { 0.0 }).collect())
+        .map(|stack| {
+            let rows = stack.plane(0).field.rows();
+            let cols = stack.plane(0).field.cols();
+            // Target amplitudes and lit-pixel masks per plane.
+            let targets: Vec<Vec<f64>> =
+                stack.iter().map(|p| p.field.amplitude()).collect();
+            let weights: Vec<Vec<f64>> = targets
+                .iter()
+                .map(|t| t.iter().map(|&a| if a > 0.0 { 1.0 } else { 0.0 }).collect())
+                .collect();
+            StackState {
+                rows,
+                cols,
+                zs: stack.iter().map(|p| p.z).collect(),
+                targets,
+                weights,
+                // Per-plane phase estimates, initialized flat.
+                phases: vec![vec![0.0; rows * cols]; stack.len()],
+                hologram: Field::zeros(rows, cols, optics),
+                uniformity_trace: Vec::with_capacity(config.iterations),
+                final_uniformity: 0.0,
+                final_efficiency: 0.0,
+            }
+        })
         .collect();
-    // Per-plane phase estimates, initialized flat.
-    let mut phases: Vec<Vec<f64>> = vec![vec![0.0; rows * cols]; stack.len()];
 
-    let mut hologram = Field::zeros(rows, cols, optics);
-    let mut uniformity_trace = Vec::with_capacity(config.iterations);
-    let mut final_uniformity = 0.0;
-    let mut final_efficiency = 0.0;
+    // Flattened (stack, plane) job list, stack-major so each stack's results
+    // stay contiguous and in plane order.
+    let jobs: Vec<(usize, usize)> = states
+        .iter()
+        .enumerate()
+        .flat_map(|(s, st)| (0..st.zs.len()).map(move |p| (s, p)))
+        .collect();
 
     for _ in 0..config.iterations {
         let _iter_span = holoar_telemetry::span_cat("optics.gsw.iteration", "optics");
-        // Backward: superpose weighted targets on the hologram plane. The
+        // Backward: superpose weighted targets on each hologram plane. The
         // per-plane fields only read targets/weights/phases, so construction
-        // fans out; dark planes are skipped exactly like the serial loop.
-        let fields: Vec<Field> = par.map(&plane_indices, |&i| {
-            let mut f = Field::zeros(rows, cols, optics);
-            for idx in 0..rows * cols {
-                let a = targets[i][idx] * weights[i][idx];
+        // fans out across every stack's planes at once; dark planes are
+        // skipped exactly like the serial loop.
+        let fields: Vec<Field> = par.map(&jobs, |&(s, p)| {
+            let st = &states[s];
+            let mut f = Field::zeros(st.rows, st.cols, optics);
+            for idx in 0..st.rows * st.cols {
+                let a = st.targets[p][idx] * st.weights[p][idx];
                 if a > 0.0 {
-                    f.samples_mut()[idx] = Complex64::from_polar(a, phases[i][idx]);
+                    f.samples_mut()[idx] = Complex64::from_polar(a, st.phases[p][idx]);
                 }
             }
             f
         });
         let mut lit_fields: Vec<Field> = Vec::with_capacity(fields.len());
         let mut lit_zs: Vec<f64> = Vec::with_capacity(fields.len());
-        for (f, &z) in fields.into_iter().zip(&zs) {
+        let mut lit_owner: Vec<usize> = Vec::with_capacity(fields.len());
+        for (f, &(s, p)) in fields.into_iter().zip(&jobs) {
             if f.total_energy() > 0.0 {
                 lit_fields.push(f);
                 // `dp2hp` is propagation by `-z`.
-                lit_zs.push(-z);
+                lit_zs.push(-states[s].zs[p]);
+                lit_owner.push(s);
             }
         }
-        let mut acc = Field::zeros(rows, cols, optics);
-        // Accumulation stays serial, in plane order.
-        for contribution in &prop.propagate_planes(&lit_fields, &lit_zs) {
-            acc.accumulate(contribution);
+        // One coalesced backward sweep over every stack's lit planes;
+        // accumulation stays serial, per stack, in plane order.
+        let contributions = prop.propagate_planes(&lit_fields, &lit_zs);
+        let mut accs: Vec<Field> = states
+            .iter()
+            .map(|st| Field::zeros(st.rows, st.cols, optics))
+            .collect();
+        for (contribution, &owner) in contributions.iter().zip(&lit_owner) {
+            accs[owner].accumulate(contribution);
         }
-        // Phase-only constraint (SLM projection).
-        hologram = acc.to_phase_only();
+        for (st, acc) in states.iter_mut().zip(accs) {
+            // Phase-only constraint (SLM projection).
+            st.hologram = acc.to_phase_only();
+        }
 
-        // Forward: measure achieved amplitudes, update phases and weights.
-        // Propagation to every plane is independent; the measurement loop
-        // below is a reduction and stays serial in plane order.
-        let reconstructions = prop.propagate_batch(&hologram, &zs);
-        let mut achieved_min = f64::INFINITY;
-        let mut achieved_max = 0.0f64;
-        let mut on_target = 0.0;
-        let mut total = 0.0;
-        for (i, u) in reconstructions.iter().enumerate() {
-            total += u.total_energy();
-            let mut rels: Vec<(usize, f64)> = Vec::new();
-            for idx in 0..rows * cols {
-                if targets[i][idx] > 0.0 {
-                    let v = u.samples()[idx];
-                    phases[i][idx] = v.arg();
-                    // Normalize achieved vs desired so different target
-                    // amplitudes compare fairly.
-                    let rel = v.norm().max(1e-12) / targets[i][idx];
-                    achieved_min = achieved_min.min(rel);
-                    achieved_max = achieved_max.max(rel);
-                    rels.push((idx, rel));
-                    on_target += v.norm_sqr();
+        // Forward: measure achieved amplitudes on every stack's planes in
+        // one coalesced sweep; the measurement loop below is a reduction and
+        // stays serial, per stack, in plane order.
+        let fwd_fields: Vec<Field> =
+            jobs.iter().map(|&(s, _)| states[s].hologram.clone()).collect();
+        let fwd_zs: Vec<f64> = jobs.iter().map(|&(s, p)| states[s].zs[p]).collect();
+        let reconstructions = prop.propagate_planes(&fwd_fields, &fwd_zs);
+
+        let mut offset = 0;
+        for st in states.iter_mut() {
+            let planes = st.zs.len();
+            let recon = &reconstructions[offset..offset + planes];
+            offset += planes;
+            let mut achieved_min = f64::INFINITY;
+            let mut achieved_max = 0.0f64;
+            let mut on_target = 0.0;
+            let mut total = 0.0;
+            for (i, u) in recon.iter().enumerate() {
+                total += u.total_energy();
+                let mut rels: Vec<(usize, f64)> = Vec::new();
+                for idx in 0..st.rows * st.cols {
+                    if st.targets[i][idx] > 0.0 {
+                        let v = u.samples()[idx];
+                        st.phases[i][idx] = v.arg();
+                        // Normalize achieved vs desired so different target
+                        // amplitudes compare fairly.
+                        let rel = v.norm().max(1e-12) / st.targets[i][idx];
+                        achieved_min = achieved_min.min(rel);
+                        achieved_max = achieved_max.max(rel);
+                        rels.push((idx, rel));
+                        on_target += v.norm_sqr();
+                    }
+                }
+                if !rels.is_empty() {
+                    let mean =
+                        rels.iter().map(|&(_, r)| r).sum::<f64>() / rels.len() as f64;
+                    for &(idx, rel) in &rels {
+                        st.weights[i][idx] *= (mean / rel).powf(config.adaptivity);
+                    }
                 }
             }
-            if !rels.is_empty() {
-                let mean = rels.iter().map(|&(_, r)| r).sum::<f64>() / rels.len() as f64;
-                for &(idx, rel) in &rels {
-                    weights[i][idx] *= (mean / rel).powf(config.adaptivity);
-                }
-            }
+            st.final_uniformity = if achieved_max > 0.0 {
+                1.0 - (achieved_max - achieved_min) / (achieved_max + achieved_min)
+            } else {
+                0.0
+            };
+            st.final_efficiency = if total > 0.0 { on_target / total } else { 0.0 };
+            let u = st.final_uniformity;
+            st.uniformity_trace.push(u);
         }
-        final_uniformity = if achieved_max > 0.0 {
-            1.0 - (achieved_max - achieved_min) / (achieved_max + achieved_min)
-        } else {
-            0.0
-        };
-        final_efficiency = if total > 0.0 { on_target / total } else { 0.0 };
-        uniformity_trace.push(final_uniformity);
     }
 
-    GswResult {
-        hologram,
-        uniformity: final_uniformity,
-        efficiency: final_efficiency,
-        uniformity_trace,
-    }
+    states
+        .into_iter()
+        .map(|st| GswResult {
+            hologram: st.hologram,
+            uniformity: st.final_uniformity,
+            efficiency: st.final_efficiency,
+            uniformity_trace: st.uniformity_trace,
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -205,11 +305,16 @@ mod tests {
         DepthMap::new(n, n, amp, depth).unwrap()
     }
 
+    fn ctx() -> ExecutionContext {
+        ExecutionContext::serial()
+    }
+
     #[test]
     fn produces_phase_only_hologram() {
         let dm = spots_map(32, &[(8, 8, 0.01), (24, 24, 0.02)]);
         let cfg = OpticalConfig::default();
-        let result = run(&dm.slice(2, cfg), cfg, GswConfig { iterations: 2, adaptivity: 1.0 });
+        let result =
+            run(&dm.slice(2, cfg), cfg, GswConfig { iterations: 2, adaptivity: 1.0 }, &ctx());
         for s in result.hologram.samples() {
             let r = s.norm();
             assert!(r == 0.0 || (r - 1.0).abs() < 1e-9, "non-unit amplitude {r}");
@@ -220,7 +325,8 @@ mod tests {
     fn uniformity_in_unit_interval_and_traced() {
         let dm = spots_map(32, &[(10, 10, 0.01), (20, 20, 0.015), (16, 8, 0.02)]);
         let cfg = OpticalConfig::default();
-        let result = run(&dm.slice(3, cfg), cfg, GswConfig { iterations: 4, adaptivity: 1.0 });
+        let result =
+            run(&dm.slice(3, cfg), cfg, GswConfig { iterations: 4, adaptivity: 1.0 }, &ctx());
         assert_eq!(result.uniformity_trace.len(), 4);
         for &u in &result.uniformity_trace {
             assert!((0.0..=1.0).contains(&u));
@@ -231,7 +337,8 @@ mod tests {
     fn weighting_improves_uniformity_over_first_iteration() {
         let dm = spots_map(48, &[(12, 12, 0.01), (36, 36, 0.02), (12, 36, 0.03)]);
         let cfg = OpticalConfig::default();
-        let result = run(&dm.slice(3, cfg), cfg, GswConfig { iterations: 5, adaptivity: 1.0 });
+        let result =
+            run(&dm.slice(3, cfg), cfg, GswConfig { iterations: 5, adaptivity: 1.0 }, &ctx());
         let first = result.uniformity_trace[0];
         let best = result.uniformity_trace.iter().cloned().fold(0.0, f64::max);
         assert!(
@@ -247,8 +354,10 @@ mod tests {
         // suppression [63]: final uniformity should not be worse.
         let dm = spots_map(48, &[(12, 12, 0.01), (36, 36, 0.02), (12, 36, 0.03), (30, 10, 0.015)]);
         let cfg = OpticalConfig::default();
-        let plain = run(&dm.slice(4, cfg), cfg, GswConfig { iterations: 5, adaptivity: 0.0 });
-        let weighted = run(&dm.slice(4, cfg), cfg, GswConfig { iterations: 5, adaptivity: 1.0 });
+        let plain =
+            run(&dm.slice(4, cfg), cfg, GswConfig { iterations: 5, adaptivity: 0.0 }, &ctx());
+        let weighted =
+            run(&dm.slice(4, cfg), cfg, GswConfig { iterations: 5, adaptivity: 1.0 }, &ctx());
         assert!(
             weighted.uniformity >= plain.uniformity - 0.02,
             "weighted {:.3} vs plain {:.3}",
@@ -261,7 +370,8 @@ mod tests {
     fn efficiency_positive_for_lit_targets() {
         let dm = spots_map(32, &[(16, 16, 0.01)]);
         let cfg = OpticalConfig::default();
-        let result = run(&dm.slice(1, cfg), cfg, GswConfig { iterations: 2, adaptivity: 1.0 });
+        let result =
+            run(&dm.slice(1, cfg), cfg, GswConfig { iterations: 2, adaptivity: 1.0 }, &ctx());
         assert!(result.efficiency > 0.0);
         assert!(result.efficiency <= 1.0 + 1e-9);
     }
@@ -271,9 +381,14 @@ mod tests {
         let dm = spots_map(32, &[(8, 8, 0.01), (24, 24, 0.02), (16, 8, 0.03)]);
         let cfg = OpticalConfig::default();
         let gsw_cfg = GswConfig { iterations: 3, adaptivity: 1.0 };
-        let serial = run(&dm.slice(3, cfg), cfg, gsw_cfg);
+        let serial = run(&dm.slice(3, cfg), cfg, gsw_cfg, &ctx());
         for workers in [1usize, 2, 7] {
-            let par = run_with(&dm.slice(3, cfg), cfg, gsw_cfg, &Parallelism::new(workers));
+            let par = run(
+                &dm.slice(3, cfg),
+                cfg,
+                gsw_cfg,
+                &ExecutionContext::with_workers(workers),
+            );
             assert_eq!(par.hologram.samples(), serial.hologram.samples(), "workers {workers}");
             assert_eq!(par.uniformity.to_bits(), serial.uniformity.to_bits());
             assert_eq!(par.efficiency.to_bits(), serial.efficiency.to_bits());
@@ -285,10 +400,57 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_matches_context_path() {
+        let dm = spots_map(32, &[(8, 8, 0.01), (24, 24, 0.02)]);
+        let cfg = OpticalConfig::default();
+        let gsw_cfg = GswConfig { iterations: 2, adaptivity: 1.0 };
+        let via_ctx = run(&dm.slice(2, cfg), cfg, gsw_cfg, &ctx());
+        let via_wrapper = run_with(&dm.slice(2, cfg), cfg, gsw_cfg, &Parallelism::serial());
+        assert_eq!(via_ctx.hologram.samples(), via_wrapper.hologram.samples());
+        assert_eq!(via_ctx.uniformity.to_bits(), via_wrapper.uniformity.to_bits());
+    }
+
+    #[test]
+    fn batch_matches_independent_runs_bit_for_bit() {
+        let cfg = OpticalConfig::default();
+        let gsw_cfg = GswConfig { iterations: 3, adaptivity: 1.0 };
+        let maps = [
+            spots_map(32, &[(8, 8, 0.01), (24, 24, 0.02)]),
+            spots_map(32, &[(10, 20, 0.015), (20, 10, 0.03), (16, 16, 0.01)]),
+            spots_map(16, &[(4, 4, 0.02)]),
+        ];
+        let stacks: Vec<_> = [
+            maps[0].slice(2, cfg),
+            maps[1].slice(3, cfg),
+            maps[2].slice(1, cfg),
+        ]
+        .into_iter()
+        .collect();
+        let solo: Vec<GswResult> =
+            stacks.iter().map(|s| run(s, cfg, gsw_cfg, &ctx())).collect();
+        for workers in [1usize, 2, 7] {
+            let refs: Vec<&PlaneStack> = stacks.iter().collect();
+            let batch =
+                run_batch(&refs, cfg, gsw_cfg, &ExecutionContext::with_workers(workers));
+            assert_eq!(batch.len(), solo.len());
+            for (i, (a, b)) in batch.iter().zip(&solo).enumerate() {
+                assert_eq!(
+                    a.hologram.samples(),
+                    b.hologram.samples(),
+                    "stack {i} workers {workers}"
+                );
+                assert_eq!(a.uniformity.to_bits(), b.uniformity.to_bits());
+                assert_eq!(a.efficiency.to_bits(), b.efficiency.to_bits());
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least one iteration")]
     fn zero_iterations_panics() {
         let dm = spots_map(8, &[(4, 4, 0.01)]);
         let cfg = OpticalConfig::default();
-        run(&dm.slice(1, cfg), cfg, GswConfig { iterations: 0, adaptivity: 1.0 });
+        run(&dm.slice(1, cfg), cfg, GswConfig { iterations: 0, adaptivity: 1.0 }, &ctx());
     }
 }

@@ -22,11 +22,12 @@
 //! Generate and reconstruct a hologram of the Planet object:
 //!
 //! ```
-//! use holoar_optics::{algorithm1, reconstruct, OpticalConfig, Propagator, VirtualObject};
+//! use holoar_optics::{algorithm1, reconstruct, ExecutionContext, OpticalConfig, Propagator, VirtualObject};
 //!
 //! let cfg = OpticalConfig::default();
+//! let ctx = ExecutionContext::serial();
 //! let depthmap = VirtualObject::Planet.render(32, 32, 0.02, 0.008);
-//! let result = algorithm1::depthmap_hologram(&depthmap, 8, cfg);
+//! let result = algorithm1::depthmap_hologram(&depthmap, 8, cfg, &ctx);
 //! let mut prop = Propagator::new();
 //! let image = reconstruct::reconstruct_intensity(&result.hologram, 0.02, &mut prop);
 //! assert!(image.iter().sum::<f64>() > 0.0);
@@ -51,6 +52,7 @@ pub use field::{Field, OpticalConfig};
 pub use fresnel::FresnelPropagator;
 pub use gsw::{GswConfig, GswResult};
 pub use phase::PhaseEncoding;
+pub use holoar_fft::{ExecutionContext, ExecutionContextBuilder};
 pub use propagate::Propagator;
 pub use reconstruct::Pupil;
 pub use scene::VirtualObject;

@@ -24,13 +24,22 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use holoar_fft::{Complex64, Fft2d, Parallelism};
+use holoar_fft::{Complex64, ExecutionContext, Fft2d, Parallelism};
 
 use crate::field::{Field, OpticalConfig};
 
 /// Cache key for a transfer function: shape plus the bit patterns of the
 /// distance, wavelength and pixel pitch that define it.
 type TransferKey = (usize, usize, u64, u64, u64);
+
+/// The [`ExecutionContext`] shared slot a context-built propagator pulls its
+/// caches from: every propagator constructed from the same context (or a
+/// clone of it) shares one FFT-plan map and one transfer-function map.
+#[derive(Debug, Default)]
+struct PropagatorCaches {
+    ffts: Arc<Mutex<HashMap<(usize, usize), Fft2d>>>,
+    transfer: Arc<Mutex<HashMap<TransferKey, Arc<Vec<Complex64>>>>>,
+}
 
 /// A plane's prepared propagation inputs: a serial FFT twin plus the shared
 /// transfer function, or `None` for the zero-distance identity.
@@ -76,6 +85,20 @@ impl Propagator {
     /// propagation out over `par`.
     pub fn with_parallelism(par: Parallelism) -> Self {
         Propagator { par, ..Self::default() }
+    }
+
+    /// Creates a propagator bound to an [`ExecutionContext`]: it fans out
+    /// over the context's worker pool and shares FFT-plan and
+    /// transfer-function caches with every other propagator built from the
+    /// same context. This is how the serving layer lets all sessions
+    /// multiplexed onto one device reuse each other's transfer functions.
+    pub fn with_context(ctx: &ExecutionContext) -> Self {
+        let caches = ctx.shared("optics.propagator.caches", PropagatorCaches::default);
+        Propagator {
+            ffts: Arc::clone(&caches.ffts),
+            transfer: Arc::clone(&caches.transfer),
+            par: ctx.parallelism().clone(),
+        }
     }
 
     /// The pool handle this propagator fans out over.
@@ -380,6 +403,21 @@ mod tests {
         assert_eq!(p.cached_transfer_count(), 1);
         p.propagate(&f, 0.002);
         assert_eq!(p.cached_transfer_count(), 2);
+    }
+
+    #[test]
+    fn context_propagators_share_caches() {
+        let ctx = ExecutionContext::serial();
+        let f = point_source(16);
+        let mut a = Propagator::with_context(&ctx);
+        let mut b = Propagator::with_context(&ctx);
+        a.propagate(&f, 0.001);
+        assert_eq!(b.cached_transfer_count(), 1);
+        b.propagate(&f, 0.001); // hit in the shared cache, not a rebuild
+        assert_eq!(a.cached_transfer_count(), 1);
+        // A different context gets its own caches.
+        let other = Propagator::with_context(&ExecutionContext::serial());
+        assert_eq!(other.cached_transfer_count(), 0);
     }
 
     #[test]

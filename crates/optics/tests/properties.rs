@@ -1,7 +1,7 @@
 //! Property tests for the wave-optics engine: physical invariants that must
 //! hold for arbitrary fields, depthmaps and distances.
 
-use holoar_fft::{Complex64, Parallelism};
+use holoar_fft::{Complex64, ExecutionContext, Parallelism};
 use holoar_optics::{
     algorithm1, phase, subhologram, DepthMap, Field, FresnelPropagator, OpticalConfig,
     PhaseEncoding, Propagator, Region,
@@ -96,7 +96,12 @@ proptest! {
     /// plane count per step, sync counts follow the algorithm structure.
     #[test]
     fn algorithm1_instrumentation(dm in arb_depthmap(), planes in 1usize..12) {
-        let result = algorithm1::depthmap_hologram(&dm, planes, OpticalConfig::default());
+        let result = algorithm1::depthmap_hologram(
+            &dm,
+            planes,
+            OpticalConfig::default(),
+            &ExecutionContext::serial(),
+        );
         prop_assert_eq!(result.stats.plane_count, planes);
         prop_assert_eq!(result.stats.forward_propagations, planes);
         prop_assert_eq!(result.stats.backward_propagations, planes);
@@ -240,14 +245,14 @@ fn full_telemetry_does_not_change_gsw_output() {
     let dm = DepthMap::new(n, n, amp, depth).unwrap();
     let cfg = OpticalConfig::default();
     let gsw_cfg = GswConfig { iterations: 3, adaptivity: 1.0 };
-    let quiet = gsw::run(&dm.slice(3, cfg), cfg, gsw_cfg);
+    let quiet = gsw::run(&dm.slice(3, cfg), cfg, gsw_cfg, &ExecutionContext::serial());
 
     let previous = holoar_telemetry::mode();
     holoar_telemetry::set_mode(holoar_telemetry::TelemetryMode::Full);
-    let traced_serial = gsw::run(&dm.slice(3, cfg), cfg, gsw_cfg);
+    let traced_serial = gsw::run(&dm.slice(3, cfg), cfg, gsw_cfg, &ExecutionContext::serial());
     let traced_results: Vec<_> = [1usize, 2, 7]
         .iter()
-        .map(|&w| gsw::run_with(&dm.slice(3, cfg), cfg, gsw_cfg, &Parallelism::new(w)))
+        .map(|&w| gsw::run(&dm.slice(3, cfg), cfg, gsw_cfg, &ExecutionContext::with_workers(w)))
         .collect();
     holoar_telemetry::set_mode(previous);
 

@@ -13,7 +13,7 @@
 
 use crate::schedule::{FrameLatencies, StageWorst};
 use crate::task::TaskKind;
-use holoar_fft::Parallelism;
+use holoar_fft::{ExecutionContext, Parallelism};
 
 /// Steady-state behaviour of a pipelined execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,55 +34,50 @@ pub struct PipelinedReport {
     pub worst: StageWorst,
 }
 
-/// Runs the pipelined model over per-frame latencies from `frame_fn`.
+/// Runs the pipelined model over per-frame latencies from `frame_fn`,
+/// fanning the per-frame evaluations out over `ctx`'s worker pool.
 ///
 /// Scene reconstruction's 1-in-N cadence is amortized into its effective
 /// stage time (`latency / cadence`), since a pipelined runtime overlaps it
 /// across the frames in between.
 ///
+/// `frame_fn` must be pure per frame index (`Fn`, not `FnMut`); the
+/// reduction over frames stays serial in frame order, so the report is
+/// bit-identical for every worker count. Frame evaluations that internally
+/// synthesize holograms (through the `holoar-core` quality/executor paths)
+/// are independent across frames, which makes this the pipeline-layer entry
+/// point for whole-run parallelism.
+///
 /// # Panics
 ///
 /// Panics if `frames == 0`.
-pub fn run_pipelined<F: FnMut(u64) -> FrameLatencies>(
+pub fn run_pipelined<F: Fn(u64) -> FrameLatencies + Sync>(
     frames: u64,
-    mut frame_fn: F,
+    frame_fn: F,
+    ctx: &ExecutionContext,
 ) -> PipelinedReport {
     assert!(frames > 0, "need at least one frame");
     let _span = holoar_telemetry::span_cat("pipeline.run_pipelined", "pipeline");
-    let latencies: Vec<FrameLatencies> = (0..frames)
-        .map(|i| {
-            let _frame_span = holoar_telemetry::span_cat("pipeline.frame_eval", "pipeline");
-            frame_fn(i)
-        })
-        .collect();
+    let indices: Vec<u64> = (0..frames).collect();
+    let latencies = ctx.parallelism().map(&indices, |&i| {
+        let _frame_span = holoar_telemetry::span_cat("pipeline.frame_eval", "pipeline");
+        frame_fn(i)
+    });
     summarize(&latencies)
 }
 
-/// [`run_pipelined`] with the per-frame latency evaluations fanned out over
-/// `par`. `frame_fn` must be pure per frame index (`Fn`, not `FnMut`); the
-/// reduction over frames stays serial in frame order, so the report is
-/// bit-identical to [`run_pipelined`] for every worker count.
-///
-/// This is the pipeline-layer entry point for whole-run parallelism: frame
-/// evaluations that internally synthesize holograms (through the
-/// `holoar-core` quality/executor paths) are independent across frames.
+/// Deprecated `Parallelism`-taking twin of [`run_pipelined`].
 ///
 /// # Panics
 ///
 /// Panics if `frames == 0`.
+#[deprecated(note = "construct an ExecutionContext and call `run_pipelined`")]
 pub fn run_pipelined_with<F: Fn(u64) -> FrameLatencies + Sync>(
     frames: u64,
     frame_fn: F,
     par: &Parallelism,
 ) -> PipelinedReport {
-    assert!(frames > 0, "need at least one frame");
-    let _span = holoar_telemetry::span_cat("pipeline.run_pipelined", "pipeline");
-    let indices: Vec<u64> = (0..frames).collect();
-    let latencies = par.map(&indices, |&i| {
-        let _frame_span = holoar_telemetry::span_cat("pipeline.frame_eval", "pipeline");
-        frame_fn(i)
-    });
-    summarize(&latencies)
+    run_pipelined(frames, frame_fn, &ExecutionContext::from_parallelism(par.clone()))
 }
 
 /// Serial, frame-ordered reduction shared by both entry points.
@@ -137,9 +132,13 @@ mod tests {
         FrameLatencies { pose: 0.0138, eye: 0.0044, scene: 0.120, hologram }
     }
 
+    fn ctx() -> ExecutionContext {
+        ExecutionContext::serial()
+    }
+
     #[test]
     fn baseline_hologram_bounds_throughput() {
-        let report = run_pipelined(30, |_| latencies(0.3417));
+        let report = run_pipelined(30, |_| latencies(0.3417), &ctx());
         assert_eq!(report.bottleneck, TaskKind::Hologram);
         assert!((report.throughput_fps - 1.0 / 0.3417).abs() < 1e-9);
     }
@@ -149,7 +148,7 @@ mod tests {
         // HoloAR-level hologram latency (~130 ms/frame across objects) still
         // bottlenecks; at aggressive approximation (~35 ms) scene
         // reconstruction's amortized 40 ms takes over.
-        let fast = run_pipelined(30, |_| latencies(0.035));
+        let fast = run_pipelined(30, |_| latencies(0.035), &ctx());
         assert_eq!(fast.bottleneck, TaskKind::SceneReconstruct);
         assert!(fast.throughput_fps > 20.0);
     }
@@ -157,14 +156,14 @@ mod tests {
     #[test]
     fn pipelining_beats_serial_throughput() {
         let lat = latencies(0.100);
-        let pipelined = run_pipelined(30, |_| lat);
+        let pipelined = run_pipelined(30, |_| lat, &ctx());
         let serial = crate::schedule::run_loop(30, |_| lat);
         assert!(pipelined.throughput_fps > serial.fps);
     }
 
     #[test]
     fn motion_to_photon_is_the_stage_sum() {
-        let report = run_pipelined(10, |_| latencies(0.1));
+        let report = run_pipelined(10, |_| latencies(0.1), &ctx());
         assert!((report.mean_latency - (0.0138 + 0.0044 + 0.1)).abs() < 1e-12);
     }
 
@@ -172,7 +171,7 @@ mod tests {
     fn worst_case_surfaces_single_frame_spikes() {
         // One spiked hologram frame: the mean barely moves, the worst-case
         // pins it exactly.
-        let report = run_pipelined(20, |i| latencies(if i == 13 { 0.25 } else { 0.03 }));
+        let report = run_pipelined(20, |i| latencies(if i == 13 { 0.25 } else { 0.03 }), &ctx());
         assert!((report.worst.hologram - 0.25).abs() < 1e-12);
         assert!(report.mean_latency < 0.06);
         // Raw (unamortized) scene time is reported.
@@ -184,16 +183,19 @@ mod tests {
         // Frame latencies that vary with the index exercise the ordering of
         // the reduction.
         let frame_fn = |i: u64| latencies(0.05 + 0.013 * (i as f64 * 0.7).sin().abs());
-        let serial = run_pipelined(25, frame_fn);
+        let serial = run_pipelined(25, frame_fn, &ctx());
         for workers in [1usize, 2, 7] {
-            let par = run_pipelined_with(25, frame_fn, &Parallelism::new(workers));
+            let par = run_pipelined(25, frame_fn, &ExecutionContext::with_workers(workers));
             assert_eq!(par, serial, "workers {workers}");
         }
+        #[allow(deprecated)]
+        let legacy = run_pipelined_with(25, frame_fn, &Parallelism::new(2));
+        assert_eq!(legacy, serial, "deprecated wrapper");
     }
 
     #[test]
     #[should_panic(expected = "at least one frame")]
     fn zero_frames_panics() {
-        run_pipelined(0, |_| latencies(0.1));
+        run_pipelined(0, |_| latencies(0.1), &ctx());
     }
 }

@@ -1,0 +1,53 @@
+//! Deterministic admission control.
+//!
+//! Before the serving loop starts, each requested session's full-quality
+//! hologram cost is probed (first frame of its video, planned at the base
+//! configuration) and the batched cost of admitting the first `k` sessions
+//! is estimated on the device model. The controller admits the longest
+//! prefix — spec order, so admission is deterministic — whose batched cost
+//! fits inside `frame_budget × overload_factor`. The factor above 1.0 is
+//! deliberate: the per-session degradation ladders recover roughly that much
+//! headroom at their first shed level, so the admission gate trusts
+//! degradation to absorb a bounded overload rather than rejecting sessions
+//! a one-level trim could have served.
+
+/// Admits the longest prefix of sessions whose estimated batched cost fits
+/// the overloaded budget. `batched_estimates[k-1]` must be the batched cost
+/// of serving the first `k` sessions together (monotone non-decreasing).
+/// At least one session is always admitted when any is requested — a device
+/// that cannot serve even one degraded session is a configuration error the
+/// engine surfaces through the deadline-hit rate, not a reason to serve
+/// nobody.
+pub fn admit_count(batched_estimates: &[f64], frame_budget: f64, overload_factor: f64) -> usize {
+    let threshold = frame_budget * overload_factor;
+    let mut admitted = 0usize;
+    for (k, &estimate) in batched_estimates.iter().enumerate() {
+        if k > 0 && estimate > threshold {
+            break;
+        }
+        admitted = k + 1;
+    }
+    admitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_the_longest_fitting_prefix() {
+        let est = [0.004, 0.007, 0.010, 0.014, 0.019];
+        assert_eq!(admit_count(&est, 0.011, 1.0), 3);
+        assert_eq!(admit_count(&est, 0.011, 2.0), 5);
+    }
+
+    #[test]
+    fn always_admits_the_first_session() {
+        assert_eq!(admit_count(&[9.0, 9.5], 0.011, 1.0), 1);
+    }
+
+    #[test]
+    fn empty_request_admits_nobody() {
+        assert_eq!(admit_count(&[], 0.011, 2.0), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Cross-session plane batcher.
+//!
+//! Takes one [`HologramJob`] per session (zero planes for sessions that are
+//! deferred or reprojecting) and coalesces the whole tick's plane
+//! propagations into the merged per-(iteration, step) kernels of
+//! [`merged_session_kernels`] — amortizing launch overheads and SM drain
+//! tails across the fleet instead of paying them per plane per session.
+
+use holoar_gpusim::hologram_kernels::{batch_block_shares, merged_session_kernels};
+use holoar_gpusim::{HologramJob, KernelDesc};
+
+/// One tick's merged compute: the per-session jobs, the merged kernel
+/// sequence, and each session's block share of the batch (zero for sessions
+/// contributing no planes).
+#[derive(Debug, Clone)]
+pub struct PlaneBatch {
+    /// Per-session jobs, indexed like the engine's session list.
+    pub jobs: Vec<HologramJob>,
+    /// Merged kernels in (iteration, forward-then-backward) order.
+    pub kernels: Vec<KernelDesc>,
+    /// Per-session fraction of the batch's blocks (sums to 1 when any
+    /// session has work).
+    pub shares: Vec<f64>,
+    /// Kernel launches the per-plane sequential schedule would have used.
+    pub unbatched_launches: u64,
+}
+
+impl PlaneBatch {
+    /// Builds the merged batch for one tick.
+    pub fn build(jobs: Vec<HologramJob>) -> Self {
+        let _span = holoar_telemetry::span_cat("serve.batch.build", "serve");
+        let kernels = merged_session_kernels(&jobs);
+        let shares = batch_block_shares(&jobs);
+        let unbatched_launches: u64 = jobs
+            .iter()
+            .filter(|j| j.plane_count > 0)
+            .map(|j| 2 * u64::from(j.gsw_iterations) * u64::from(j.plane_count))
+            .sum();
+        let merged = kernels.len() as u64;
+        holoar_telemetry::counter_add("serve.batch.launches", merged);
+        holoar_telemetry::counter_add(
+            "serve.batch.launches_saved",
+            unbatched_launches.saturating_sub(merged),
+        );
+        PlaneBatch { jobs, kernels, shares, unbatched_launches }
+    }
+
+    /// Whether any session contributed planes this tick.
+    pub fn has_work(&self) -> bool {
+        !self.kernels.is_empty()
+    }
+
+    /// Launches eliminated by merging.
+    pub fn launches_saved(&self) -> u64 {
+        self.unbatched_launches.saturating_sub(self.kernels.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(planes: u32) -> HologramJob {
+        HologramJob { pixels: 64 * 64, plane_count: planes, coverage: 1.0, gsw_iterations: 5 }
+    }
+
+    #[test]
+    fn batch_merges_to_two_kernels_per_iteration() {
+        let batch = PlaneBatch::build(vec![job(12), job(0), job(20)]);
+        assert!(batch.has_work());
+        assert_eq!(batch.kernels.len(), 10, "2 kernels × 5 lockstep iterations");
+        assert_eq!(batch.unbatched_launches, 2 * 5 * 32);
+        assert_eq!(batch.launches_saved(), 320 - 10);
+        assert_eq!(batch.shares[1], 0.0);
+        let total: f64 = batch.shares.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_batch_has_no_work() {
+        let batch = PlaneBatch::build(vec![job(0), job(0)]);
+        assert!(!batch.has_work());
+        assert_eq!(batch.launches_saved(), 0);
+    }
+}

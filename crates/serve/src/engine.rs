@@ -1,0 +1,515 @@
+//! The serving engine: admission, the tick loop, and report assembly.
+//!
+//! Each *tick* is one display refresh of the shared edge device. Every
+//! admitted session contributes its planned depth planes; the batcher
+//! coalesces them into merged cross-session kernels; the device model
+//! executes the batch once; and the tick's latency is attributed back to
+//! sessions by their block share. Overload is handled in three deterministic
+//! layers, gentlest first:
+//!
+//! 1. **Degradation** — each session's
+//!    [`DegradationController`](holoar_core::DegradationController) absorbs its
+//!    *own* faults (its attributed share plus its injected overruns).
+//! 2. **QoS step-down** — when the whole batch overruns the budget, exactly
+//!    one victim (the least-focused session) is stepped down per tick, so
+//!    the fleet never degrades in lockstep.
+//! 3. **Deferral** — when the batch overruns the budget by more than
+//!    `defer_threshold`, sessions at the back of the scheduler's priority
+//!    order are deferred (stale reprojection) until the batch fits; aging
+//!    guarantees no session is deferred indefinitely.
+
+use holoar_core::degrade::{DegradationLadder, DegradationLevel};
+use holoar_core::planner::ComputePlan;
+use holoar_core::{
+    ExecutionContext, GazeInput, HoloArConfig, Planner, PoseInput, Scheme, SensorSample,
+};
+use holoar_faults::FrameFaults;
+use holoar_gpusim::hologram_kernels::{merged_session_kernels, run_job};
+use holoar_gpusim::timeline::session_stream_ops;
+use holoar_gpusim::{calibration, simulate, Device, DeviceConfig, HologramJob};
+use holoar_pipeline::pipelined::run_pipelined;
+use holoar_pipeline::schedule::FrameLatencies;
+use holoar_sensors::angles::AngularPoint;
+use holoar_sensors::eyetrack::GazeEstimate;
+use holoar_sensors::objectron::{Frame, FrameGenerator};
+use holoar_sensors::pose::PoseEstimate;
+
+use crate::admission;
+use crate::batcher::PlaneBatch;
+use crate::qos;
+use crate::quality::QualitySampler;
+use crate::report::{percentile, ServeReport, SessionReport};
+use crate::scheduler::FrameScheduler;
+use crate::session::{SessionSpec, SessionState};
+
+/// Per-session hologram resolution for the serving experiments. Serving
+/// targets lightweight per-eye holograms (64²) so the interesting regime —
+/// many small sessions sharing one device — is reachable; the paper's 512²
+/// single-user hologram saturates the device at one session.
+pub const SERVE_HOLOGRAM_PIXELS: u64 = 64 * 64;
+
+/// Frame budget for served sessions: a 90 Hz AR display refresh.
+pub const SERVE_FRAME_BUDGET: f64 = 1.0 / 90.0;
+
+/// The shared serving device: Xavier-class SMs, but 32 of them — an
+/// edge-server accelerator rather than a headset SoC. Per-session 64² plane
+/// kernels span 16 blocks, so a single session leaves most of the device
+/// idle; cross-session batching is what fills it — and a ~16-session fleet
+/// saturates it, exercising the QoS and deferral layers.
+pub fn serve_device() -> DeviceConfig {
+    DeviceConfig { sm_count: 32, ..DeviceConfig::default() }
+}
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Requested sessions, in admission-priority order.
+    pub specs: Vec<SessionSpec>,
+    /// Ticks to simulate.
+    pub frames: u64,
+    /// The shared device model.
+    pub device: DeviceConfig,
+    /// Per-tick deadline, seconds.
+    pub frame_budget: f64,
+    /// Per-session hologram resolution.
+    pub hologram_pixels: u64,
+    /// Lockstep GSW iteration count (batching requirement).
+    pub gsw_iterations: u32,
+    /// Full-quality planner configuration each session degrades from.
+    pub base: HoloArConfig,
+    /// Degradation ladder instantiated per session.
+    pub ladder: DegradationLadder,
+    /// Admission headroom multiplier on the frame budget (> 1 trusts
+    /// degradation to absorb a bounded overload).
+    pub overload_factor: f64,
+    /// Deferral trigger as a multiple of the frame budget.
+    pub defer_threshold: f64,
+    /// Recovery-hold band as a fraction of the frame budget: while the
+    /// batch runs hotter than this, session step-ups are held so a
+    /// thundering herd of recoveries cannot push the fleet back over the
+    /// deadline it just shed its way under.
+    pub hold_margin: f64,
+}
+
+impl ServeConfig {
+    /// A deterministic `sessions`-strong fleet at the serving defaults.
+    pub fn fleet(sessions: u32, frames: u64, seed: u64) -> Self {
+        ServeConfig {
+            specs: SessionSpec::fleet(sessions, seed),
+            frames,
+            device: serve_device(),
+            frame_budget: SERVE_FRAME_BUDGET,
+            hologram_pixels: SERVE_HOLOGRAM_PIXELS,
+            gsw_iterations: calibration::GSW_ITERATIONS,
+            base: HoloArConfig::for_scheme(Scheme::InterIntraHolo).without_reuse(),
+            ladder: DegradationLadder {
+                frame_budget: SERVE_FRAME_BUDGET,
+                ..DegradationLadder::default()
+            },
+            overload_factor: 2.0,
+            defer_threshold: 1.5,
+            hold_margin: 0.85,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.specs.is_empty() {
+            return Err("serving needs at least one session".into());
+        }
+        if self.frames == 0 {
+            return Err("serving needs at least one tick".into());
+        }
+        if !self.frame_budget.is_finite() || self.frame_budget <= 0.0 {
+            return Err("frame budget must be positive".into());
+        }
+        if self.hologram_pixels == 0 {
+            return Err("sessions must cover at least one pixel".into());
+        }
+        if self.gsw_iterations == 0 {
+            return Err("GSW needs at least one iteration".into());
+        }
+        if !self.overload_factor.is_finite() || self.overload_factor < 1.0 {
+            return Err("overload factor must be at least 1".into());
+        }
+        if !self.defer_threshold.is_finite() || self.defer_threshold < 1.0 {
+            return Err("defer threshold must be at least 1".into());
+        }
+        if !(self.hold_margin > 0.0 && self.hold_margin <= 1.0) {
+            return Err("hold margin must be in (0, 1]".into());
+        }
+        self.device.validate()?;
+        self.ladder.validate()?;
+        self.base.validate()
+    }
+}
+
+/// A fixated nominal sensor sample: gaze on the first object (as in the
+/// quality studies), pose centered.
+fn nominal_sample(frame: &Frame) -> SensorSample {
+    let gaze = frame.objects.first().map(|o| o.direction).unwrap_or(AngularPoint::CENTER);
+    SensorSample {
+        pose: PoseInput::Tracked(PoseEstimate {
+            orientation: AngularPoint::CENTER,
+            latency: 0.01375,
+        }),
+        gaze: GazeInput::Tracked(GazeEstimate { direction: gaze, latency: 0.0044 }),
+    }
+}
+
+/// Fraction of planned objects inside the region of focus (1.0 for an empty
+/// plan — nothing peripheral to shed).
+fn plan_focus(plan: &ComputePlan) -> f64 {
+    if plan.items.is_empty() {
+        return 1.0;
+    }
+    let in_rof = plan.items.iter().filter(|it| it.in_rof).count();
+    in_rof as f64 / plan.items.len() as f64
+}
+
+/// Collapses a plan into the session's tick job: total computed planes at
+/// the plane-weighted mean coverage.
+fn session_job(config: &ServeConfig, plan: &ComputePlan) -> HologramJob {
+    let mut planes = 0u64;
+    let mut weighted_coverage = 0.0;
+    for item in plan.items.iter().filter(|it| it.needs_compute()) {
+        planes += u64::from(item.planes);
+        weighted_coverage += f64::from(item.planes) * item.coverage;
+    }
+    let coverage = if planes == 0 {
+        1.0
+    } else {
+        (weighted_coverage / planes as f64).clamp(f64::MIN_POSITIVE, 1.0)
+    };
+    HologramJob {
+        pixels: config.hologram_pixels,
+        plane_count: planes.min(u64::from(u32::MAX)) as u32,
+        coverage,
+        gsw_iterations: config.gsw_iterations,
+    }
+}
+
+/// A no-work placeholder keeping batch indices aligned with sessions.
+fn idle_job(config: &ServeConfig) -> HologramJob {
+    HologramJob {
+        pixels: config.hologram_pixels,
+        plane_count: 0,
+        coverage: 1.0,
+        gsw_iterations: config.gsw_iterations,
+    }
+}
+
+/// Sum of kernel wall times for one batch on `device`.
+fn batch_time(device: &mut Device, kernels: &[holoar_gpusim::KernelDesc]) -> f64 {
+    device.execute_all(kernels).iter().map(|s| s.time).sum()
+}
+
+struct TickSession {
+    faults: FrameFaults,
+    job: HologramJob,
+    reprojecting: bool,
+}
+
+/// Runs the multi-session serving loop and reports fleet and per-session
+/// outcomes. Deterministic for a given configuration: identical reports at
+/// any worker count (the only parallel fan-outs are the bit-identical
+/// quality and pipeline evaluations).
+///
+/// # Errors
+///
+/// Returns a description of the first invalid configuration field or
+/// internal model construction failure.
+pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeReport, String> {
+    let _span = holoar_telemetry::span_cat("serve.run", "serve");
+    config.validate()?;
+    let requested = config.specs.len();
+
+    // -- admission: probe each session's full-quality first frame ----------
+    let mut probe_jobs = Vec::with_capacity(requested);
+    for spec in &config.specs {
+        let frame = FrameGenerator::new(spec.video, spec.seed)
+            .next()
+            .ok_or("frame generator must be infinite")?;
+        let sample = nominal_sample(&frame);
+        let plan = Planner::new(config.base)?.plan_frame_with(&frame, &sample);
+        probe_jobs.push(session_job(config, &plan));
+    }
+    let mut est_device = Device::new(config.device).map_err(|e| e.to_string())?;
+    let mut estimates = Vec::with_capacity(requested);
+    for k in 1..=requested {
+        let kernels = merged_session_kernels(&probe_jobs[..k]);
+        estimates.push(batch_time(&mut est_device, &kernels));
+    }
+    let admitted = admission::admit_count(&estimates, config.frame_budget, config.overload_factor);
+    holoar_telemetry::counter_add("serve.admission.admitted", admitted as u64);
+    holoar_telemetry::counter_add("serve.admission.rejected", (requested - admitted) as u64);
+    holoar_telemetry::gauge_set("serve.sessions.active", admitted as f64);
+
+    // -- state ------------------------------------------------------------
+    let mut states = Vec::with_capacity(admitted);
+    for spec in &config.specs[..admitted] {
+        states.push(SessionState::new(*spec, config.ladder, config.frames)?);
+    }
+    let mut scheduler = FrameScheduler::new(admitted);
+    let mut device = Device::new(config.device).map_err(|e| e.to_string())?;
+    let mut seq_device = Device::new(config.device).map_err(|e| e.to_string())?;
+    let mut batched_time_total = 0.0;
+    let mut sequential_time_total = 0.0;
+    let mut occupancy_sum = 0.0;
+    let mut occupancy_ticks = 0u64;
+    let mut merged_launches = 0u64;
+    let mut launches_saved = 0u64;
+
+    // -- tick loop --------------------------------------------------------
+    for tick in 0..config.frames {
+        let _tick = holoar_telemetry::span_cat("serve.tick", "serve");
+        let order = scheduler.order(tick);
+
+        // Phase 1: sense, decide, plan — fixed session-id order so every
+        // generator and injector advances identically regardless of
+        // scheduling history.
+        let mut ticks = Vec::with_capacity(admitted);
+        for state in states.iter_mut() {
+            let frame = state.generator.next().ok_or("frame generator must be infinite")?;
+            let faults = state.injector.frame(tick);
+            let sample = faults.degrade_sensors(&nominal_sample(&frame));
+            let level = state.ctl.decide(tick);
+            state.frames_at_level[level.index()] += 1;
+            let (job, reprojecting) = match state.ctl.config_for(&config.base) {
+                Some(level_cfg) => {
+                    let plan = Planner::new(level_cfg)?.plan_frame_with(&frame, &sample);
+                    state.observe_focus(plan_focus(&plan));
+                    (session_job(config, &plan), false)
+                }
+                // LastGood: re-present the previous hologram, no fresh planes.
+                None => (idle_job(config), true),
+            };
+            ticks.push(TickSession { faults, job, reprojecting });
+        }
+
+        // Phase 2: deferral — shed from the back of the priority order until
+        // the batch fits the deferral threshold, always keeping at least one
+        // fresh session.
+        let mut deferred = vec![false; admitted];
+        loop {
+            let jobs: Vec<HologramJob> = (0..admitted)
+                .map(|i| if deferred[i] { idle_job(config) } else { ticks[i].job })
+                .collect();
+            let kernels = merged_session_kernels(&jobs);
+            let estimate = batch_time(&mut est_device, &kernels);
+            if estimate <= config.frame_budget * config.defer_threshold {
+                break;
+            }
+            let active: Vec<usize> = order
+                .iter()
+                .copied()
+                .filter(|&i| !deferred[i] && ticks[i].job.plane_count > 0)
+                .collect();
+            let Some(&victim) = active.last().filter(|_| active.len() > 1) else {
+                break;
+            };
+            deferred[victim] = true;
+        }
+
+        // Phase 3: batched execution on the shared device.
+        let jobs: Vec<HologramJob> = (0..admitted)
+            .map(|i| if deferred[i] { idle_job(config) } else { ticks[i].job })
+            .collect();
+        let batch = PlaneBatch::build(jobs);
+        let batch_latency = batch_time(&mut device, &batch.kernels);
+        merged_launches += batch.kernels.len() as u64;
+        launches_saved += batch.launches_saved();
+        if batch.has_work() {
+            let timeline = simulate(&session_stream_ops(&batch.jobs), &config.device);
+            occupancy_sum += timeline.mean_occupancy();
+            occupancy_ticks += 1;
+            holoar_telemetry::gauge_set("serve.tick.occupancy", timeline.mean_occupancy());
+        }
+
+        // Sequential baseline: the same (pre-deferral) workload as N
+        // independent per-plane pipelines time-slicing the device.
+        for t in &ticks {
+            if t.job.plane_count > 0 {
+                sequential_time_total += run_job(&mut seq_device, &t.job).latency;
+            } else {
+                sequential_time_total += config.ladder.reproject_latency;
+            }
+        }
+        batched_time_total += batch_latency.max(config.ladder.reproject_latency);
+
+        // Phase 4: per-session attribution and accounting.
+        for i in 0..admitted {
+            let t = &ticks[i];
+            let state = &mut states[i];
+            let fresh = !deferred[i] && !t.reprojecting;
+            let completion = if fresh {
+                // The session's own faults stretch its share of the batch
+                // (its stream's kernels run derated) and add its injected
+                // stage overrun; the shared remainder runs at speed.
+                let slowdown = 1.0 / (t.faults.clock_scale * t.faults.dram_scale);
+                batch_latency + (slowdown - 1.0) * batch.shares[i] * batch_latency
+                    + t.faults.stage_overrun
+            } else {
+                config.ladder.reproject_latency
+            };
+            // The controller sees only this session's attributed cost, so
+            // one tenant's bad tick cannot stampede every ladder at once.
+            let observed = if fresh {
+                let slowdown = 1.0 / (t.faults.clock_scale * t.faults.dram_scale);
+                batch.shares[i] * batch_latency * slowdown + t.faults.stage_overrun
+            } else {
+                config.ladder.reproject_latency
+            };
+            state.ctl.observe(tick, observed);
+            let hit = !deferred[i] && completion <= config.frame_budget + 1e-12;
+            if deferred[i] {
+                state.deferred += 1;
+                holoar_telemetry::counter_add("serve.frames.deferred", 1);
+            } else {
+                state.served += 1;
+                holoar_telemetry::counter_add("serve.frames.served", 1);
+            }
+            if hit {
+                state.deadline_hits += 1;
+                holoar_telemetry::counter_add("serve.deadline.hit", 1);
+            } else {
+                holoar_telemetry::counter_add("serve.deadline.miss", 1);
+            }
+            state.latencies.push(completion);
+            scheduler.feedback(i, hit);
+        }
+
+        // Phase 5: QoS — an overloaded tick steps down exactly one victim,
+        // the least-focused session not already at the ladder floor, and
+        // holds everyone else's level: stepping up against a saturated
+        // device would outpace the one-victim-per-tick shedding.
+        if batch_latency > config.frame_budget {
+            let focus: Vec<f64> = states.iter().map(|s| s.focus).collect();
+            let eligible: Vec<bool> = (0..admitted)
+                .map(|i| {
+                    !deferred[i]
+                        && !ticks[i].reprojecting
+                        && states[i].ctl.level() != DegradationLevel::LastGood
+                })
+                .collect();
+            let level: Vec<usize> = states.iter().map(|s| s.ctl.level().index()).collect();
+            let victim = qos::pick_victim(&focus, &level, &eligible);
+            for (i, state) in states.iter_mut().enumerate() {
+                if victim == Some(i) {
+                    state.ctl.request_step_down();
+                    state.qos_step_downs += 1;
+                    holoar_telemetry::counter_add("serve.qos.step_down", 1);
+                } else {
+                    state.ctl.hold_level();
+                }
+            }
+        } else if batch_latency > config.hold_margin * config.frame_budget {
+            // Inside the hysteresis band: no shedding needed, but recoveries
+            // are held so the fleet settles just under the deadline instead
+            // of oscillating across it.
+            for state in states.iter_mut() {
+                state.ctl.hold_level();
+            }
+        }
+    }
+
+    // -- aggregate --------------------------------------------------------
+    let total_frames = admitted as u64 * config.frames;
+    let aggregate_fps = total_frames as f64 / batched_time_total.max(f64::MIN_POSITIVE);
+    let sequential_fps = total_frames as f64 / sequential_time_total.max(f64::MIN_POSITIVE);
+    holoar_telemetry::gauge_set("serve.throughput_fps", aggregate_fps);
+
+    let mut sampler = QualitySampler::new();
+    let mut sessions = Vec::with_capacity(admitted);
+    let mut all_latencies = Vec::with_capacity(total_frames as usize);
+    let mut hits_total = 0u64;
+    for state in &states {
+        let spec = state.spec;
+        // Quality probes replay the session's first frame (nominal sensors)
+        // at every level the session actually visited.
+        let frame = FrameGenerator::new(spec.video, spec.seed)
+            .next()
+            .ok_or("frame generator must be infinite")?;
+        let sample = nominal_sample(&frame);
+        let mut level_psnr = [0.0f64; 4];
+        for level in DegradationLevel::ALL {
+            let idx = level.index();
+            let needed = state.frames_at_level[idx] > 0 || level == DegradationLevel::Full;
+            if !needed {
+                continue;
+            }
+            // LastGood re-presents content last computed at the ladder
+            // floor, so it inherits the floor's quality.
+            let probe_level = match level {
+                DegradationLevel::LastGood => DegradationLevel::FloorBeta,
+                other => other,
+            };
+            let level_cfg = config.ladder.apply(probe_level, &config.base);
+            let plan = Planner::new(level_cfg)?.plan_frame_with(&frame, &sample);
+            level_psnr[idx] = sampler.plan_psnr(&plan, &level_cfg, ctx);
+        }
+        let psnr_full = level_psnr[DegradationLevel::Full.index()];
+        let psnr_weighted = DegradationLevel::ALL
+            .iter()
+            .map(|l| state.frames_at_level[l.index()] as f64 * level_psnr[l.index()])
+            .sum::<f64>()
+            / config.frames as f64;
+
+        let latencies = &state.latencies;
+        let pipeline = run_pipelined(
+            config.frames,
+            |i| FrameLatencies {
+                pose: calibration::stage_latency::POSE_ESTIMATE,
+                eye: calibration::stage_latency::EYE_TRACK,
+                scene: 0.0,
+                hologram: latencies[i as usize],
+            },
+            ctx,
+        );
+
+        hits_total += state.deadline_hits;
+        all_latencies.extend_from_slice(latencies);
+        let mean_latency = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+        sessions.push(SessionReport {
+            id: spec.id,
+            video: spec.video.name(),
+            frames: config.frames,
+            served: state.served,
+            deferred: state.deferred,
+            deadline_hits: state.deadline_hits,
+            hit_rate: state.deadline_hits as f64 / config.frames as f64,
+            frames_at_level: state.frames_at_level,
+            qos_step_downs: state.qos_step_downs,
+            max_overruns_without_stepdown: state.ctl.max_overruns_without_stepdown(),
+            mean_latency,
+            p99_latency: percentile(latencies, 0.99),
+            psnr_weighted,
+            psnr_full,
+            pipeline_fps: pipeline.throughput_fps,
+        });
+    }
+
+    Ok(ServeReport {
+        requested,
+        admitted,
+        frames: config.frames,
+        sessions,
+        aggregate_fps,
+        sequential_fps,
+        speedup_vs_sequential: aggregate_fps / sequential_fps.max(f64::MIN_POSITIVE),
+        deadline_hit_rate: hits_total as f64 / (total_frames as f64).max(1.0),
+        latency_p50: percentile(&all_latencies, 0.50),
+        latency_p99: percentile(&all_latencies, 0.99),
+        mean_occupancy: if occupancy_ticks == 0 {
+            0.0
+        } else {
+            occupancy_sum / occupancy_ticks as f64
+        },
+        merged_launches,
+        launches_saved,
+    })
+}

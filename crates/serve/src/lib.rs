@@ -1,0 +1,58 @@
+//! Multi-session hologram serving: many AR sessions, one edge device.
+//!
+//! The single-user pipeline computes one hologram per frame on a dedicated
+//! device. This crate multiplexes **N concurrent sessions** onto one
+//! simulated edge accelerator:
+//!
+//! - [`admission`] — a deterministic admission controller probes each
+//!   requested session's full-quality cost and admits the longest prefix
+//!   the (overload-tolerant) budget can carry.
+//! - [`scheduler`] — a round-robin frame scheduler with deadline-aware
+//!   priority aging orders sessions each tick; overload defers the back of
+//!   the order, never a starved session.
+//! - [`batcher`] — same-sized depth-plane propagations from *different*
+//!   sessions coalesce into single merged kernels per (GSW iteration,
+//!   step), amortizing launch overheads and SM drain tails fleet-wide.
+//! - [`qos`] — when a tick overruns the budget, exactly one victim (the
+//!   least-focused session) is stepped down through its own
+//!   `DegradationController`; the fleet never degrades in lockstep.
+//! - [`quality`] — occupancy-weighted PSNR per session, sampled through the
+//!   real optics path and compared against the single-session baseline.
+//!
+//! The engine ([`run_serve`]) is bit-deterministic for a given
+//! configuration at any [`ExecutionContext`](holoar_core::ExecutionContext)
+//! worker count.
+//!
+//! # Examples
+//!
+//! ```
+//! use holoar_core::ExecutionContext;
+//! use holoar_serve::{run_serve, ServeConfig};
+//!
+//! let config = ServeConfig::fleet(2, 4, 42);
+//! let ctx = ExecutionContext::serial();
+//! let report = run_serve(&config, &ctx).expect("fleet config is valid");
+//! assert_eq!(report.admitted, 2);
+//! assert!(report.speedup_vs_sequential > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod batcher;
+pub mod engine;
+pub mod qos;
+pub mod quality;
+pub mod report;
+pub mod scheduler;
+pub mod session;
+
+pub use batcher::PlaneBatch;
+pub use engine::{
+    run_serve, serve_device, ServeConfig, SERVE_FRAME_BUDGET, SERVE_HOLOGRAM_PIXELS,
+};
+pub use quality::{QualitySampler, PSNR_CAP};
+pub use report::{percentile, ServeReport, SessionReport};
+pub use scheduler::FrameScheduler;
+pub use session::SessionSpec;

@@ -1,0 +1,66 @@
+//! Per-session QoS policy for an overloaded device.
+//!
+//! When a tick's batched latency overruns the frame budget, the serving
+//! layer degrades **exactly one** session — the least-focused one (smallest
+//! fraction of its planned objects inside the region of focus), on the
+//! paper's premise that quality loss in the periphery is least perceptible.
+//! One victim per tick guarantees the fleet never degrades in lockstep: the
+//! overload is shed incrementally, and sessions the user is actually looking
+//! at are the last to lose quality.
+
+/// Picks the QoS victim for an overloaded tick: the eligible session with
+/// the lowest focus score. Ties break toward the session already at the
+/// deepest degradation level — compounding the shedding where quality was
+/// already sacrificed converges in the fewest victims and leaves the most
+/// sessions pristine — then toward the lower index. Sessions already at the
+/// ladder floor (or deferred/reprojecting this tick) must be marked
+/// ineligible by the caller. Returns `None` when nobody is eligible.
+pub fn pick_victim(focus: &[f64], level: &[usize], eligible: &[bool]) -> Option<usize> {
+    assert_eq!(focus.len(), eligible.len(), "focus/eligible must align");
+    assert_eq!(focus.len(), level.len(), "focus/level must align");
+    let mut victim: Option<usize> = None;
+    for i in 0..focus.len() {
+        if !eligible[i] {
+            continue;
+        }
+        let better = match victim {
+            None => true,
+            Some(v) => {
+                (focus[i], std::cmp::Reverse(level[i])) < (focus[v], std::cmp::Reverse(level[v]))
+            }
+        };
+        if better {
+            victim = Some(i);
+        }
+    }
+    victim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_the_least_focused_eligible_session() {
+        let focus = [0.9, 0.3, 0.5, 0.3];
+        let level = [0usize; 4];
+        assert_eq!(pick_victim(&focus, &level, &[true; 4]), Some(1), "ties break low");
+        assert_eq!(pick_victim(&focus, &level, &[true, false, true, true]), Some(3));
+    }
+
+    #[test]
+    fn equal_focus_compounds_on_the_deepest_level() {
+        let focus = [1.0, 1.0, 1.0];
+        let level = [0usize, 2, 1];
+        assert_eq!(pick_victim(&focus, &level, &[true; 3]), Some(1));
+        // Focus still dominates level.
+        assert_eq!(pick_victim(&[1.0, 0.2, 1.0], &level, &[true; 3]), Some(1));
+        assert_eq!(pick_victim(&[0.1, 1.0, 1.0], &level, &[true; 3]), Some(0));
+    }
+
+    #[test]
+    fn no_eligible_session_means_no_victim() {
+        assert_eq!(pick_victim(&[0.1, 0.2], &[0, 0], &[false, false]), None);
+        assert_eq!(pick_victim(&[], &[], &[]), None);
+    }
+}

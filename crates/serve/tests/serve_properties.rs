@@ -1,0 +1,110 @@
+//! Serving-layer properties: worker-count determinism, the acceptance
+//! targets for cross-session batching, and the degradation invariant under
+//! multi-session contention.
+
+use holoar_core::ExecutionContext;
+use holoar_serve::{run_serve, ServeConfig, SERVE_FRAME_BUDGET};
+use proptest::prelude::*;
+
+/// The acceptance scenario: 8 sessions, shared serving device.
+fn eight_sessions() -> ServeConfig {
+    ServeConfig::fleet(8, 40, 42)
+}
+
+#[test]
+fn serve_report_is_bit_identical_across_worker_counts() {
+    let config = ServeConfig::fleet(4, 24, 42);
+    let baseline = run_serve(&config, &ExecutionContext::serial()).expect("fleet config is valid");
+    for workers in [1usize, 2, 7] {
+        let ctx = ExecutionContext::with_workers(workers);
+        let report = run_serve(&config, &ctx).expect("fleet config is valid");
+        assert_eq!(baseline, report, "report diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn eight_sessions_meet_the_acceptance_targets() {
+    let ctx = ExecutionContext::serial();
+    let report = run_serve(&eight_sessions(), &ctx).expect("fleet config is valid");
+    assert_eq!(report.admitted, 8, "the serving device must carry 8 light sessions");
+    assert!(
+        report.speedup_vs_sequential >= 1.8,
+        "batched serving must beat 8 sequential pipelines by ≥ 1.8×, got {:.2}×",
+        report.speedup_vs_sequential
+    );
+    assert!(
+        report.deadline_hit_rate >= 0.95,
+        "deadline-hit rate {:.3} below the 95% target",
+        report.deadline_hit_rate
+    );
+    assert!(
+        report.latency_p99 <= SERVE_FRAME_BUDGET * 1.5,
+        "p99 latency {:.4}s is out of scale with the {:.4}s budget",
+        report.latency_p99,
+        SERVE_FRAME_BUDGET
+    );
+    for session in &report.sessions {
+        assert!(
+            (session.psnr_weighted - session.psnr_full).abs() <= 0.5,
+            "session {} weighted PSNR {:.2} dB strays more than 0.5 dB from its \
+             single-session baseline {:.2} dB",
+            session.id,
+            session.psnr_weighted,
+            session.psnr_full
+        );
+    }
+    assert!(report.mean_occupancy > 0.0 && report.mean_occupancy <= 1.0);
+    assert!(report.launches_saved > 0, "batching must eliminate per-plane launches");
+}
+
+#[test]
+fn oversubscription_degrades_incrementally_never_in_lockstep() {
+    // 24 sessions oversubscribe the 90 Hz budget, so QoS must engage.
+    let config = ServeConfig::fleet(24, 100, 7);
+    let ctx = ExecutionContext::serial();
+    let report = run_serve(&config, &ctx).expect("fleet config is valid");
+    let qos_total: u64 = report.sessions.iter().map(|s| s.qos_step_downs).sum();
+    assert!(qos_total > 0, "an oversubscribed fleet must trigger QoS step-downs");
+    // One victim per tick: QoS can never have touched more sessions in one
+    // tick than ticks elapsed, and some session must have kept full-quality
+    // frames (degradation is incremental, not fleet-wide).
+    assert!(qos_total <= config.frames);
+    assert!(
+        report.sessions.iter().any(|s| s.frames_at_level[0] > 0),
+        "lockstep degradation: no session retained any full-quality frame"
+    );
+    // The ladder invariant holds for every session even under contention.
+    for session in &report.sessions {
+        assert!(
+            session.max_overruns_without_stepdown <= 1,
+            "session {} tolerated {} consecutive overruns without shedding",
+            session.id,
+            session.max_overruns_without_stepdown
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any small fleet replays bit-identically and keeps its books
+    /// consistent: frames partition into served + deferred, deadline hits
+    /// never exceed frames, and level occupancy sums to the tick count.
+    #[test]
+    fn serving_replays_and_keeps_consistent_books(
+        sessions in 1u32..5,
+        frames in 4u64..16,
+        seed in 0u64..1_000,
+    ) {
+        let config = ServeConfig::fleet(sessions, frames, seed);
+        let ctx = ExecutionContext::serial();
+        let a = run_serve(&config, &ctx).expect("fleet config is valid");
+        let b = run_serve(&config, &ctx).expect("fleet config is valid");
+        prop_assert_eq!(&a, &b);
+        for s in &a.sessions {
+            prop_assert_eq!(s.served + s.deferred, frames);
+            prop_assert!(s.deadline_hits <= frames);
+            prop_assert_eq!(s.frames_at_level.iter().sum::<u64>(), frames);
+        }
+    }
+}

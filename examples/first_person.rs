@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example first_person`
 
-use holoar::core::{render_view, HoloArConfig, Planner, Scheme};
+use holoar::core::{render_view, ExecutionContext, HoloArConfig, Planner, Scheme};
 use holoar::sensors::angles::{deg, AngularPoint};
 use holoar::sensors::objectron::{Frame, ObjectAnnotation};
 use holoar::sensors::pose::PoseEstimate;
@@ -64,12 +64,13 @@ fn main() {
         (((gaze.azimuth + window.width / 2.0) / window.width) * cols as f64) as usize,
     );
 
+    let ctx = ExecutionContext::serial();
     let mut panels = Vec::new();
     let mut captions = Vec::new();
     for scheme in [Scheme::Baseline, Scheme::InterIntraHolo] {
         let mut planner = Planner::new(HoloArConfig::for_scheme(scheme)).unwrap();
         let plan = planner.plan_frame(&frame, &pose, gaze, 0.0044);
-        let view = render_view(&plan.items, &window, rows, cols);
+        let view = render_view(&plan.items, &window, rows, cols, &ctx);
         panels.push(ascii(&view.pixels, rows, cols, gaze_px));
         let budgets: Vec<String> = plan.items.iter().map(|i| i.planes.to_string()).collect();
         captions.push(format!(

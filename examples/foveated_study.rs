@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --release --example foveated_study`
 
-use holoar::core::{evaluation, quality, HoloArConfig, Planner, Scheme};
+use holoar::core::{evaluation, quality, ExecutionContext, HoloArConfig, Planner, Scheme};
 use holoar::gpusim::Device;
 use holoar::metrics::ACCEPTABLE_PSNR_DB;
 use holoar::sensors::objectron::VideoCategory;
@@ -28,7 +28,7 @@ fn main() {
     let alphas = [0.125, 0.25, 0.375, 0.5, 0.75];
     println!("alpha sweep (Inter-Intra-Holo), quality path:");
     println!("{:<8} {:>14} {:>18}", "alpha", "mean PSNR dB", "planes/object");
-    for point in quality::alpha_sweep(&alphas, 3, 11) {
+    for point in quality::alpha_sweep(&alphas, 3, 11, &ExecutionContext::serial()) {
         println!(
             "{:<8.3} {:>14.1} {:>18.1} {}",
             point.alpha,

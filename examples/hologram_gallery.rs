@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example hologram_gallery`
 
-use holoar::optics::{algorithm1, reconstruct, OpticalConfig, Propagator, VirtualObject};
+use holoar::optics::{algorithm1, reconstruct, ExecutionContext, OpticalConfig, Propagator, VirtualObject};
 
 const RAMP: &[u8] = b" .:-=+*#%@";
 
@@ -36,11 +36,12 @@ fn main() {
     let n = 40;
     let z = 0.006;
     let mut prop = Propagator::new();
+    let ctx = ExecutionContext::serial();
 
     for object in VirtualObject::ALL {
         let depthmap = object.render(n, n, z, 0.0025);
-        let full = algorithm1::depthmap_hologram(&depthmap, 16, optics);
-        let approx = algorithm1::depthmap_hologram(&depthmap, 3, optics);
+        let full = algorithm1::depthmap_hologram(&depthmap, 16, optics, &ctx);
+        let approx = algorithm1::depthmap_hologram(&depthmap, 3, optics, &ctx);
         let img_full = reconstruct::reconstruct_intensity(&full.hologram, z, &mut prop);
         let img_approx = reconstruct::reconstruct_intensity(&approx.hologram, z, &mut prop);
         println!(

@@ -6,13 +6,14 @@
 use holoar::core::{quality, HoloArConfig};
 use holoar::gpusim::{hologram_kernels, Device, HologramJob};
 use holoar::metrics::ACCEPTABLE_PSNR_DB;
-use holoar::optics::{algorithm1, reconstruct, OpticalConfig, Propagator, VirtualObject};
+use holoar::optics::{algorithm1, reconstruct, ExecutionContext, OpticalConfig, Propagator, VirtualObject};
 use holoar::sensors::angles::AngularPoint;
 use holoar::sensors::objectron::ObjectAnnotation;
 
 fn main() {
     // --- 1. A virtual object and its depthmap -----------------------------
     let optics = OpticalConfig::default();
+    let ctx = ExecutionContext::serial();
     let depthmap = VirtualObject::Planet.render(64, 64, 0.006, 0.003);
     println!(
         "Planet depthmap: {} lit pixels, depth range {:?} m",
@@ -21,7 +22,7 @@ fn main() {
     );
 
     // --- 2. The full 16-plane hologram (Algorithm 1) ----------------------
-    let full = algorithm1::depthmap_hologram(&depthmap, 16, optics);
+    let full = algorithm1::depthmap_hologram(&depthmap, 16, optics, &ctx);
     println!(
         "16-plane hologram: {} propagations, {} intra-block syncs",
         full.stats.total_propagations(),
@@ -44,7 +45,7 @@ fn main() {
     let config = HoloArConfig::default();
     println!("\nplane budget -> PSNR vs the 16-plane baseline:");
     for planes in [12u32, 8, 4, 2] {
-        let psnr = quality::object_psnr(&object, planes, &config);
+        let psnr = quality::object_psnr(&object, planes, &config, &ctx);
         println!(
             "  {planes:>2} planes: {psnr:>5.1} dB {}",
             if psnr >= ACCEPTABLE_PSNR_DB { "(acceptable for AR)" } else { "" }

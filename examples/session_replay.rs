@@ -9,8 +9,8 @@
 //! Run with: `cargo run --release --example session_replay`
 
 use holoar::core::{
-    executor, quality, GazeInput, HoloArConfig, MotionGuard, Planner, PoseInput, Scheme,
-    SensorSample,
+    executor, quality, ExecutionContext, GazeInput, HoloArConfig, MotionGuard, Planner,
+    PoseInput, Scheme, SensorSample,
 };
 use holoar::gpusim::Device;
 use holoar::sensors::objectron::VideoCategory;
@@ -31,6 +31,7 @@ fn main() {
 
     // --- Replay under three conditions --------------------------------------
     let config = HoloArConfig::for_scheme(Scheme::InterIntraHolo);
+    let ctx = ExecutionContext::serial();
     for (name, dropout, guard_on) in [
         ("all sensors healthy", false, false),
         ("eye tracker drops every 3rd frame", true, false),
@@ -53,7 +54,7 @@ fn main() {
             };
             let sensors = SensorSample { pose: PoseInput::Tracked(tf.pose), gaze };
             let plan = planner.plan_frame_with(&tf.frame, &sensors);
-            if let Some(p) = quality::frame_psnr(&plan.items, &config) {
+            if let Some(p) = quality::frame_psnr(&plan.items, &config, &ctx) {
                 if p.is_finite() {
                     frame_psnr_sum += p;
                     frame_psnr_count += 1;

@@ -5,7 +5,7 @@
 use holoar::core::{executor, HoloArConfig, Planner, Scheme};
 use holoar::gpusim::Device;
 use holoar::metrics::{psnr, Image};
-use holoar::optics::{algorithm1, OpticalConfig, VirtualObject};
+use holoar::optics::{algorithm1, ExecutionContext, OpticalConfig, VirtualObject};
 use holoar::sensors::angles::{deg, AngularPoint};
 use holoar::sensors::objectron::{Frame, ObjectAnnotation};
 use holoar::sensors::pose::PoseEstimate;
@@ -98,7 +98,7 @@ proptest! {
     fn hologram_quality_identities(obj_idx in 0usize..6, planes in 2usize..10) {
         let optics = OpticalConfig::default();
         let depthmap = VirtualObject::ALL[obj_idx].render(24, 24, 0.006, 0.002);
-        let result = algorithm1::depthmap_hologram(&depthmap, planes, optics);
+        let result = algorithm1::depthmap_hologram(&depthmap, planes, optics, &ExecutionContext::serial());
         prop_assert!(result.hologram.total_energy() > 0.0);
         prop_assert_eq!(result.stats.plane_count, planes);
 

@@ -2,7 +2,7 @@
 //! by real evaluation latencies, the event-driven timeline, the viewport
 //! compositor, trace replay determinism, and the motion/application guards.
 
-use holoar::core::{evaluation, render_view, HoloArConfig, MotionGuard, Planner, Scheme};
+use holoar::core::{evaluation, render_view, ExecutionContext, HoloArConfig, MotionGuard, Planner, Scheme};
 use holoar::gpusim::timeline::{plane_stream_ops, simulate};
 use holoar::gpusim::{Device, DeviceConfig};
 use holoar::pipeline::graph::{ar_frame_graph, schedule_frame};
@@ -73,8 +73,8 @@ fn composed_view_dims_with_approximation_but_never_disappears() {
     let base_plan = base_planner.plan_frame(&frame, &pose, gaze, 0.0);
     let holo_plan = holo_planner.plan_frame(&frame, &pose, gaze, 0.0044);
     let window = pose.viewing_window();
-    let base_view = render_view(&base_plan.items, &window, 24, 40);
-    let holo_view = render_view(&holo_plan.items, &window, 24, 40);
+    let base_view = render_view(&base_plan.items, &window, 24, 40, &ExecutionContext::serial());
+    let holo_view = render_view(&holo_plan.items, &window, 24, 40, &ExecutionContext::serial());
     // Every object the baseline displays, HoloAR displays too.
     if base_view.total_luminance() > 0.0 {
         assert!(holo_view.total_luminance() > 0.0, "approximation must not blank objects");

@@ -2,7 +2,7 @@
 //! reconstruction quality below what AR applications tolerate (§5.4), and
 //! quality must respond to the knobs in the expected direction.
 
-use holoar::core::{quality, HoloArConfig, Scheme};
+use holoar::core::{quality, ExecutionContext, HoloArConfig, Scheme};
 use holoar::sensors::angles::AngularPoint;
 use holoar::sensors::objectron::{ObjectAnnotation, VideoCategory};
 
@@ -17,7 +17,7 @@ fn inter_intra_keeps_acceptable_average_quality() {
     let mut sum = 0.0;
     let mut count = 0;
     for &v in &VideoCategory::ALL {
-        if let Some(p) = quality::video_quality(v, config, 3, 42).mean_psnr_capped() {
+        if let Some(p) = quality::video_quality(v, config, 3, 42, &ExecutionContext::serial()).mean_psnr_capped() {
             sum += p;
             count += 1;
         }
@@ -34,9 +34,9 @@ fn psnr_ladder_is_monotone_for_every_virtual_object() {
     let config = HoloArConfig::default();
     for track_id in 0..6u64 {
         let obj = object(track_id, 0.6, 0.25);
-        let p12 = quality::object_psnr(&obj, 12, &config);
-        let p6 = quality::object_psnr(&obj, 6, &config);
-        let p2 = quality::object_psnr(&obj, 2, &config);
+        let p12 = quality::object_psnr(&obj, 12, &config, &ExecutionContext::serial());
+        let p6 = quality::object_psnr(&obj, 6, &config, &ExecutionContext::serial());
+        let p2 = quality::object_psnr(&obj, 2, &config, &ExecutionContext::serial());
         // Allow a small tolerance: quantization ties can leave neighbouring
         // budgets within fractions of a dB of each other.
         assert!(
@@ -55,8 +55,8 @@ fn farther_objects_tolerate_approximation_better() {
     let config = HoloArConfig::default();
     let near_deep = object(3, 0.45, 0.40);
     let far_shallow = object(3, 2.0, 0.15);
-    let near_psnr = quality::object_psnr(&near_deep, 4, &config);
-    let far_psnr = quality::object_psnr(&far_shallow, 4, &config);
+    let near_psnr = quality::object_psnr(&near_deep, 4, &config, &ExecutionContext::serial());
+    let far_psnr = quality::object_psnr(&far_shallow, 4, &config, &ExecutionContext::serial());
     assert!(
         far_psnr > near_psnr,
         "far/shallow ({far_psnr:.1} dB) should beat near/deep ({near_psnr:.1} dB) at 4 planes"
@@ -69,12 +69,12 @@ fn baseline_and_inter_in_rof_are_lossless() {
     // objects. Both must report infinite PSNR for the full budget.
     let config = HoloArConfig::default();
     let obj = object(1, 0.5, 0.2);
-    assert!(quality::object_psnr(&obj, config.full_planes, &config).is_infinite());
+    assert!(quality::object_psnr(&obj, config.full_planes, &config, &ExecutionContext::serial()).is_infinite());
 }
 
 #[test]
 fn design_points_trade_planes_for_quality_monotonically() {
-    let points = quality::design_sweep(&quality::DesignPoint::fig10b_points(), 2, 7);
+    let points = quality::design_sweep(&quality::DesignPoint::fig10b_points(), 2, 7, &ExecutionContext::serial());
     // Plane budgets must be non-increasing along the aggressiveness axis.
     for pair in points.windows(2) {
         assert!(
