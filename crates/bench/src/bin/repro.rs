@@ -26,6 +26,11 @@ fn main() {
     if raw.first().map(String::as_str) == Some("lint") {
         std::process::exit(holoar_lint::cli(&raw[1..]));
     }
+    // `repro perf-gate FILE` re-reads a BENCH_parallel.json artifact and
+    // enforces the hot-path floors (the CI perf smoke step).
+    if raw.first().map(String::as_str) == Some("perf-gate") {
+        std::process::exit(holoar_bench::perfgate::cli(&raw[1..]));
+    }
 
     let mut cfg = ExperimentConfig::default();
     let mut ids: Vec<String> = Vec::new();
@@ -94,6 +99,8 @@ fn main() {
                      --trace-out writes a Chrome-trace (Perfetto) span timeline to FILE\n\
                      --metrics-json writes the counters/gauges/histograms registry to FILE\n\
                      repro lint [--format json] runs the workspace static-analysis pass\n\
+                     repro perf-gate FILE [--f32-floor X] [--par-floor Y] [--min-workers N] \
+                     enforces the hot-path floors over a --bench-json artifact\n\
                      HOLOAR_TELEMETRY=off|summary|full selects the telemetry mode \
                      (either export flag implies full)",
                     experiments::ALL_EXPERIMENTS.join(" ")

@@ -16,6 +16,7 @@
 
 pub mod csv;
 pub mod experiments;
+pub mod perfgate;
 pub mod report;
 
 pub use experiments::{run, ExperimentConfig, ALL_EXPERIMENTS};

@@ -1,0 +1,404 @@
+//! CI perf-smoke gate over `BENCH_parallel.json`.
+//!
+//! `repro parallel --bench-json` records one timing cell per (workload,
+//! worker count, precision) triple plus the f32 quality gate. This module
+//! re-reads that artifact and enforces the hot-path floors, so CI fails
+//! when a change regresses the fast path rather than when someone happens
+//! to eyeball the numbers:
+//!
+//! * **Hard invariants** — every cell bit-identical to its same-precision
+//!   single-worker twin, the f32 quality gate passing, and the fixed
+//!   worker/precision cell grid present. These hold on any host.
+//! * **Speedup floors** — the design targets (≥1.3× single-thread from
+//!   f32, ≥2× parallel GSW at 7 workers) multiplied by a generous noise
+//!   margin, and only enforced on hosts with enough cores to express them:
+//!   a single-core container cannot show a parallel speedup, and a scalar
+//!   narrow-core measures f32 ≈ f64 (the f32 win is a bandwidth/SIMD
+//!   effect). Skipped floors are reported as SKIPPED, never silently.
+
+use holoar_telemetry::jsonlite::{self, Json};
+
+/// Floors and conditioning for [`evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateConfig {
+    /// Design floor for the single-thread f32 speedup on the fft2d 256x256
+    /// and gsw cells (reference: f64 single-thread).
+    pub f32_floor: f64,
+    /// Design floor for the parallel GSW speedup at 7 workers.
+    pub par_floor: f64,
+    /// Fraction of each floor actually enforced — generous margin for CI
+    /// timer noise and shared runners.
+    pub noise_margin: f64,
+    /// Minimum `host_workers` before the speedup floors apply at all.
+    pub min_host_workers: usize,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig { f32_floor: 1.3, par_floor: 2.0, noise_margin: 0.8, min_host_workers: 4 }
+    }
+}
+
+/// What the gate concluded: hard failures (non-empty fails CI) plus a
+/// human-readable line-per-check report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// One entry per violated check; empty means the gate passes.
+    pub failures: Vec<String>,
+    /// Line-per-check report (PASS / FAIL / SKIPPED with reasons).
+    pub report: String,
+}
+
+impl GateOutcome {
+    /// Whether CI should go green.
+    pub fn pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The worker counts and precisions every artifact must carry (mirrors
+/// `experiments::BENCH_WORKERS` × both precisions).
+const REQUIRED_WORKERS: [usize; 3] = [1, 2, 7];
+const REQUIRED_PRECISIONS: [&str; 2] = ["f64", "f32"];
+
+/// One cell pulled out of the artifact.
+#[derive(Debug, Clone, PartialEq)]
+struct Cell {
+    label: String,
+    workers: usize,
+    precision: String,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+/// Evaluates the gate over the text of a `BENCH_parallel.json` artifact.
+///
+/// # Errors
+///
+/// Returns a message when the artifact is unparseable or missing required
+/// fields — CI should treat that exactly like a failed gate.
+pub fn evaluate(json_text: &str, cfg: &GateConfig) -> Result<GateOutcome, String> {
+    let doc = jsonlite::parse(json_text).map_err(|e| e.to_string())?;
+    if doc.get("bench").and_then(Json::as_str) != Some("parallel") {
+        return Err("artifact is not a parallel bench (missing \"bench\": \"parallel\")".into());
+    }
+    let host_workers = doc
+        .get("host_workers")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric \"host_workers\"")? as usize;
+    let gate_pass = doc
+        .get("f32_quality_gate")
+        .and_then(|g| g.get("pass"))
+        .and_then(|p| match p {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        })
+        .ok_or("missing \"f32_quality_gate\".\"pass\"")?;
+    let cells = parse_cells(&doc)?;
+
+    let mut failures = Vec::new();
+    let mut report = String::new();
+    let mut check = |line: String, failed: bool| {
+        report.push_str(if failed { "FAIL " } else { "pass " });
+        report.push_str(&line);
+        report.push('\n');
+        if failed {
+            failures.push(line);
+        }
+    };
+
+    // Hard invariants: hold on any host.
+    check(format!("f32 quality gate pass = {gate_pass}"), !gate_pass);
+    for cell in &cells {
+        if !cell.bit_identical {
+            check(
+                format!(
+                    "cell {} workers={} {} is not bit-identical to its serial twin",
+                    cell.label, cell.workers, cell.precision
+                ),
+                true,
+            );
+        }
+    }
+    let labels: Vec<&str> = {
+        let mut ls: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+        ls.sort_unstable();
+        ls.dedup();
+        ls
+    };
+    for label in &labels {
+        for workers in REQUIRED_WORKERS {
+            for precision in REQUIRED_PRECISIONS {
+                let present = cells.iter().any(|c| {
+                    c.label == *label && c.workers == workers && c.precision == precision
+                });
+                if !present {
+                    check(
+                        format!("missing cell {label} workers={workers} {precision}"),
+                        true,
+                    );
+                }
+            }
+        }
+    }
+
+    // Speedup floors: conditioned on the host being able to express them.
+    let floors_apply = host_workers >= cfg.min_host_workers;
+    if !floors_apply {
+        report.push_str(&format!(
+            "SKIPPED speedup floors: host has {host_workers} worker(s), floors need >= {} \
+             (single-core hosts cannot express parallel or bandwidth wins)\n",
+            cfg.min_host_workers
+        ));
+    } else {
+        let f32_effective = cfg.f32_floor * cfg.noise_margin;
+        for label in ["fft2d 256x256", "gsw 48x48 8 planes"] {
+            match find(&cells, label, 1, "f32") {
+                Some(cell) => check(
+                    format!(
+                        "f32 single-thread {label}: {:.2}x >= {f32_effective:.2}x \
+                         (floor {:.2}x, noise margin {:.2})",
+                        cell.speedup, cfg.f32_floor, cfg.noise_margin
+                    ),
+                    cell.speedup < f32_effective,
+                ),
+                None => check(format!("missing f32 single-thread cell for {label}"), true),
+            }
+        }
+        let par_effective = cfg.par_floor * cfg.noise_margin;
+        // Either precision may carry the parallel win; gate the best.
+        let best = REQUIRED_PRECISIONS
+            .iter()
+            .filter_map(|p| find(&cells, "gsw 48x48 8 planes", 7, p))
+            .map(|c| c.speedup)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best.is_finite() {
+            check(
+                format!(
+                    "parallel gsw at 7 workers: {best:.2}x >= {par_effective:.2}x \
+                     (floor {:.2}x, noise margin {:.2})",
+                    cfg.par_floor, cfg.noise_margin
+                ),
+                best < par_effective,
+            );
+        } else {
+            check("missing gsw cell at 7 workers".to_string(), true);
+        }
+    }
+
+    Ok(GateOutcome { failures, report })
+}
+
+fn find<'a>(cells: &'a [Cell], label: &str, workers: usize, precision: &str) -> Option<&'a Cell> {
+    cells
+        .iter()
+        .find(|c| c.label == label && c.workers == workers && c.precision == precision)
+}
+
+fn parse_cells(doc: &Json) -> Result<Vec<Cell>, String> {
+    let raw = doc.get("cells").and_then(Json::as_array).ok_or("missing \"cells\" array")?;
+    let mut cells = Vec::with_capacity(raw.len());
+    for (i, item) in raw.iter().enumerate() {
+        let field = |key: &str| format!("cell {i} missing \"{key}\"");
+        cells.push(Cell {
+            label: item
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or_else(|| field("label"))?
+                .to_string(),
+            workers: item.get("workers").and_then(Json::as_f64).ok_or_else(|| field("workers"))?
+                as usize,
+            precision: item
+                .get("precision")
+                .and_then(Json::as_str)
+                .ok_or_else(|| field("precision"))?
+                .to_string(),
+            speedup: item.get("speedup").and_then(Json::as_f64).ok_or_else(|| field("speedup"))?,
+            bit_identical: match item.get("bit_identical") {
+                Some(Json::Bool(b)) => *b,
+                _ => return Err(field("bit_identical")),
+            },
+        });
+    }
+    Ok(cells)
+}
+
+/// CLI driver for `repro perf-gate FILE [--f32-floor X] [--par-floor Y]
+/// [--min-workers N]`: prints the report and returns the process exit code.
+pub fn cli(args: &[String]) -> i32 {
+    let mut cfg = GateConfig::default();
+    let mut path: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--f32-floor" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.f32_floor = v,
+                None => return usage("--f32-floor requires a number"),
+            },
+            "--par-floor" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.par_floor = v,
+                None => return usage("--par-floor requires a number"),
+            },
+            "--min-workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.min_host_workers = v,
+                None => return usage("--min-workers requires an integer"),
+            },
+            other if path.is_none() && !other.starts_with('-') => path = Some(other),
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+    let Some(path) = path else {
+        return usage("missing artifact path");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf-gate: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    match evaluate(&text, &cfg) {
+        Ok(outcome) => {
+            print!("{}", outcome.report);
+            if outcome.pass() {
+                println!("perf-gate: PASS");
+                0
+            } else {
+                println!("perf-gate: FAIL ({} violation(s))", outcome.failures.len());
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("perf-gate: {e}");
+            2
+        }
+    }
+}
+
+fn usage(msg: &str) -> i32 {
+    eprintln!(
+        "perf-gate: {msg}\nusage: repro perf-gate FILE [--f32-floor X] [--par-floor Y] \
+         [--min-workers N]"
+    );
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(host_workers: usize, gsw7: f64, f32_one: f64, identical: bool) -> String {
+        let mut cells = String::new();
+        for label in ["fft2d 128x128", "fft2d 256x256", "gsw 48x48 8 planes"] {
+            for workers in REQUIRED_WORKERS {
+                for precision in REQUIRED_PRECISIONS {
+                    let speedup = if label == "gsw 48x48 8 planes" && workers == 7 {
+                        gsw7
+                    } else if precision == "f32" && workers == 1 {
+                        f32_one
+                    } else {
+                        1.0
+                    };
+                    cells.push_str(&format!(
+                        "{}{{\"label\": \"{label}\", \"workers\": {workers}, \
+                         \"precision\": \"{precision}\", \"serial_ms\": 1.0, \
+                         \"parallel_ms\": 1.0, \"speedup\": {speedup}, \
+                         \"bit_identical\": {identical}}}",
+                        if cells.is_empty() { "" } else { ",\n" },
+                    ));
+                }
+            }
+        }
+        format!(
+            "{{\"bench\": \"parallel\", \"host_workers\": {host_workers},\n\
+             \"f32_quality_gate\": {{\"psnr_db\": 50.0, \"threshold_db\": 40.0, \
+             \"pass\": true}},\n\"cells\": [{cells}]}}"
+        )
+    }
+
+    #[test]
+    fn healthy_artifact_on_a_big_host_passes() {
+        let outcome =
+            evaluate(&artifact(8, 3.0, 1.4, true), &GateConfig::default()).unwrap();
+        assert!(outcome.pass(), "{}", outcome.report);
+        assert!(outcome.report.contains("parallel gsw at 7 workers"));
+    }
+
+    #[test]
+    fn single_core_hosts_skip_the_speedup_floors() {
+        // Speedups of 1.0 would fail the floors, but a 1-worker host skips
+        // them — only the hard invariants apply.
+        let outcome =
+            evaluate(&artifact(1, 0.9, 0.9, true), &GateConfig::default()).unwrap();
+        assert!(outcome.pass(), "{}", outcome.report);
+        assert!(outcome.report.contains("SKIPPED speedup floors"));
+    }
+
+    #[test]
+    fn slow_parallel_gsw_fails_on_a_big_host() {
+        let outcome =
+            evaluate(&artifact(8, 1.1, 1.4, true), &GateConfig::default()).unwrap();
+        assert!(!outcome.pass());
+        assert!(outcome.failures.iter().any(|f| f.contains("parallel gsw")));
+    }
+
+    #[test]
+    fn slow_f32_fails_on_a_big_host() {
+        let outcome =
+            evaluate(&artifact(8, 3.0, 0.8, true), &GateConfig::default()).unwrap();
+        assert!(!outcome.pass());
+        assert!(outcome.failures.iter().any(|f| f.contains("f32 single-thread")));
+    }
+
+    #[test]
+    fn broken_bit_identity_fails_everywhere() {
+        let outcome =
+            evaluate(&artifact(1, 3.0, 1.4, false), &GateConfig::default()).unwrap();
+        assert!(!outcome.pass());
+        assert!(outcome.failures.iter().any(|f| f.contains("bit-identical")));
+    }
+
+    #[test]
+    fn failed_quality_gate_fails_everywhere() {
+        let json = artifact(1, 3.0, 1.4, true).replace("\"pass\": true", "\"pass\": false");
+        let outcome = evaluate(&json, &GateConfig::default()).unwrap();
+        assert!(!outcome.pass());
+        assert!(outcome.failures.iter().any(|f| f.contains("quality gate")));
+    }
+
+    #[test]
+    fn missing_cells_are_detected() {
+        let thin = "{\"bench\": \"parallel\", \"host_workers\": 1,\n\
+             \"f32_quality_gate\": {\"psnr_db\": 50.0, \"threshold_db\": 40.0, \"pass\": true},\n\
+             \"cells\": [{\"label\": \"gsw 48x48 8 planes\", \"workers\": 1, \
+             \"precision\": \"f64\", \"serial_ms\": 1.0, \"parallel_ms\": 1.0, \
+             \"speedup\": 1.0, \"bit_identical\": true}]}";
+        let outcome = evaluate(thin, &GateConfig::default()).unwrap();
+        assert!(!outcome.pass());
+        assert!(outcome.failures.iter().any(|f| f.contains("missing cell")));
+    }
+
+    #[test]
+    fn real_artifact_round_trips_through_the_gate() {
+        // The actual generator output must always clear the hard
+        // invariants, whatever this host's speedups look like.
+        let json = crate::experiments::parallel_bench_json();
+        let outcome = evaluate(&json, &GateConfig::default()).unwrap();
+        for failure in &outcome.failures {
+            assert!(
+                failure.contains("single-thread") || failure.contains("parallel gsw"),
+                "hard invariant violated: {failure}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_artifacts_are_errors_not_passes() {
+        assert!(evaluate("not json", &GateConfig::default()).is_err());
+        assert!(evaluate("{}", &GateConfig::default()).is_err());
+        assert!(
+            evaluate("{\"bench\": \"serve\"}", &GateConfig::default()).is_err(),
+            "wrong bench kind must not pass"
+        );
+    }
+}

@@ -15,7 +15,7 @@
 
 use crate::config::HoloArConfig;
 use crate::planner::Planner;
-use holoar_fft::{ExecutionContext, Parallelism};
+use holoar_fft::ExecutionContext;
 use holoar_metrics::{psnr, Image};
 use holoar_optics::{reconstruct, OpticalConfig, Propagator, VirtualObject};
 use std::collections::HashMap;
@@ -136,21 +136,6 @@ pub fn object_psnr(
     psnr(&reference, &test).expect("shapes match by construction")
 }
 
-/// [`object_psnr`] with reconstruction propagations fanned out over `par`.
-///
-/// # Panics
-///
-/// Panics if `planes == 0`.
-#[deprecated(note = "construct an ExecutionContext and call `object_psnr`")]
-pub fn object_psnr_with(
-    obj: &ObjectAnnotation,
-    planes: u32,
-    config: &HoloArConfig,
-    par: &Parallelism,
-) -> f64 {
-    object_psnr(obj, planes, config, &ExecutionContext::from_parallelism(par.clone()))
-}
-
 /// Mean squared error (on peak-normalized, speckle-averaged all-in-focus
 /// composites) of an approximated hologram versus its full-budget baseline.
 /// Zero when the budget is already full.
@@ -245,22 +230,6 @@ pub fn object_psnr_coherent(
     psnr_between(&img_base, &img_approx, n)
 }
 
-/// [`object_psnr_coherent`] with hologram synthesis and reconstruction
-/// fanned out over `par`.
-///
-/// # Panics
-///
-/// Panics if `planes == 0`.
-#[deprecated(note = "construct an ExecutionContext and call `object_psnr_coherent`")]
-pub fn object_psnr_coherent_with(
-    obj: &ObjectAnnotation,
-    planes: u32,
-    config: &HoloArConfig,
-    par: &Parallelism,
-) -> f64 {
-    object_psnr_coherent(obj, planes, config, &ExecutionContext::from_parallelism(par.clone()))
-}
-
 /// GSW (phase-only) PSNR variant: runs the paper's actual hologram
 /// algorithm — adaptive weighted Gerchberg–Saxton — at both budgets and
 /// compares the phase-only holograms' reconstructions.
@@ -305,21 +274,6 @@ pub fn object_psnr_gsw(
     let img_base = reconstruct::reconstruct_intensity(&full.hologram, z_center, &mut prop);
     let img_approx = reconstruct::reconstruct_intensity(&approx.hologram, z_center, &mut prop);
     psnr_between(&img_base, &img_approx, n)
-}
-
-/// [`object_psnr_gsw`] with the GSW plane sweeps fanned out over `par`.
-///
-/// # Panics
-///
-/// Panics if `planes == 0`.
-#[deprecated(note = "construct an ExecutionContext and call `object_psnr_gsw`")]
-pub fn object_psnr_gsw_with(
-    obj: &ObjectAnnotation,
-    planes: u32,
-    config: &HoloArConfig,
-    par: &Parallelism,
-) -> f64 {
-    object_psnr_gsw(obj, planes, config, &ExecutionContext::from_parallelism(par.clone()))
 }
 
 /// Speckle-averaged, normalized PSNR between two raw intensity images.
@@ -449,23 +403,6 @@ pub fn video_quality(
         }
     }
     VideoQuality { category, objects }
-}
-
-/// [`video_quality`] with each object evaluation's plane propagations fanned
-/// out over `par`.
-///
-/// # Panics
-///
-/// Panics if `frames == 0`.
-#[deprecated(note = "construct an ExecutionContext and call `video_quality`")]
-pub fn video_quality_with(
-    category: VideoCategory,
-    config: HoloArConfig,
-    frames: u64,
-    seed: u64,
-    par: &Parallelism,
-) -> VideoQuality {
-    video_quality(category, config, frames, seed, &ExecutionContext::from_parallelism(par.clone()))
 }
 
 /// One point of the Fig 10b trade-off curve.
@@ -728,18 +665,6 @@ mod tests {
         assert_eq!(
             object_psnr_gsw(&o, 8, &cfg, &par_ctx).to_bits(),
             object_psnr_gsw(&o, 8, &cfg, &ctx()).to_bits()
-        );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_context_path() {
-        let cfg = HoloArConfig::default();
-        let o = obj(3, 0.6, 0.25);
-        let serial = object_psnr(&o, 8, &cfg, &ctx());
-        assert_eq!(
-            object_psnr_with(&o, 8, &cfg, &Parallelism::serial()).to_bits(),
-            serial.to_bits()
         );
     }
 

@@ -10,7 +10,7 @@
 
 use crate::planner::PlanItem;
 use crate::quality::{virtual_object_for, OPTICAL_SCALE};
-use holoar_fft::{ExecutionContext, Parallelism};
+use holoar_fft::ExecutionContext;
 use holoar_optics::{reconstruct, OpticalConfig, Propagator};
 use holoar_sensors::angles::AngularRect;
 
@@ -141,22 +141,6 @@ pub fn render_view(
     ViewportImage { rows, cols, pixels }
 }
 
-/// [`render_view`] with per-object reconstruction fanned out over `par`.
-///
-/// # Panics
-///
-/// Panics if viewport dimensions are zero.
-#[deprecated(note = "construct an ExecutionContext and call `render_view`")]
-pub fn render_view_with(
-    items: &[PlanItem],
-    window: &AngularRect,
-    rows: usize,
-    cols: usize,
-    par: &Parallelism,
-) -> ViewportImage {
-    render_view(items, window, rows, cols, &ExecutionContext::from_parallelism(par.clone()))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,9 +260,6 @@ mod tests {
             );
             assert_eq!(par, serial, "workers {workers}");
         }
-        #[allow(deprecated)]
-        let wrapped = render_view_with(&items, &window(), 32, 48, &Parallelism::new(2));
-        assert_eq!(wrapped, serial);
     }
 
     #[test]

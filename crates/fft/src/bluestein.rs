@@ -7,31 +7,27 @@
 //!
 //! The identity used: `nk = (n² + k² − (k−n)²) / 2`, which rewrites the DFT as
 //! a convolution of the chirp-premultiplied input with the conjugate chirp.
+//!
+//! Generic over scalar precision; chirp angles are always evaluated in `f64`
+//! and narrowed (see [`crate::real`]), and the per-thread convolution
+//! workspace is per-precision so f32 and f64 transforms never share buffers.
 
-use std::cell::RefCell;
-
-use crate::complex::Complex64;
+use crate::complex::Complex;
 use crate::radix2::Radix2Plan;
-
-thread_local! {
-    /// Per-thread convolution workspace, recycled across calls so the hot
-    /// propagation loops never allocate per transform. Thread-local (rather
-    /// than plan-local) because plans are shared immutably across workers.
-    static CONV_WORK: RefCell<Vec<Complex64>> = const { RefCell::new(Vec::new()) };
-}
+use crate::real::Real;
 
 /// Precomputed state for arbitrary-length transforms of one fixed size.
 #[derive(Debug, Clone)]
-pub struct BluesteinPlan {
+pub struct BluesteinPlan<T: Real = f64> {
     n: usize,
     /// Chirp `e^{-iπk²/n}` for the forward direction, `k < n`.
-    chirp: Vec<Complex64>,
+    chirp: Vec<Complex<T>>,
     /// FFT of the zero-padded conjugate chirp (forward direction).
-    kernel_fft: Vec<Complex64>,
-    inner: Radix2Plan,
+    kernel_fft: Vec<Complex<T>>,
+    inner: Radix2Plan<T>,
 }
 
-impl BluesteinPlan {
+impl<T: Real> BluesteinPlan<T> {
     /// Builds a plan for length `n`.
     ///
     /// # Panics
@@ -40,15 +36,15 @@ impl BluesteinPlan {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "bluestein plan requires a non-zero length");
         let m = (2 * n - 1).next_power_of_two();
-        let inner = Radix2Plan::new(m);
+        let inner: Radix2Plan<T> = Radix2Plan::new(m);
         let mut chirp = Vec::with_capacity(n);
         for k in 0..n {
             // Reduce k² mod 2n before converting to angle to avoid precision
             // loss for large n.
             let kk = (k * k) % (2 * n);
-            chirp.push(Complex64::cis(-std::f64::consts::PI * kk as f64 / n as f64));
+            chirp.push(Complex::<T>::cis_f64(-std::f64::consts::PI * kk as f64 / n as f64));
         }
-        let mut kernel = vec![Complex64::ZERO; m];
+        let mut kernel = vec![Complex::<T>::ZERO; m];
         if let (Some(k0), Some(c0)) = (kernel.first_mut(), chirp.first()) {
             *k0 = c0.conj();
         }
@@ -76,7 +72,7 @@ impl BluesteinPlan {
     /// # Panics
     ///
     /// Panics if `buf.len() != self.len()`.
-    pub fn forward(&self, buf: &mut [Complex64]) {
+    pub fn forward(&self, buf: &mut [Complex<T>]) {
         assert_eq!(buf.len(), self.n, "buffer length {} does not match plan length {}", buf.len(), self.n);
         self.run(buf, false);
     }
@@ -89,12 +85,12 @@ impl BluesteinPlan {
     /// # Panics
     ///
     /// Panics if `buf.len() != self.len()`.
-    pub fn inverse(&self, buf: &mut [Complex64]) {
+    pub fn inverse(&self, buf: &mut [Complex<T>]) {
         assert_eq!(buf.len(), self.n, "buffer length {} does not match plan length {}", buf.len(), self.n);
         self.run(buf, true);
     }
 
-    fn run(&self, buf: &mut [Complex64], invert: bool) {
+    fn run(&self, buf: &mut [Complex<T>], invert: bool) {
         let n = self.n;
         let m = self.inner.len();
         if invert {
@@ -104,24 +100,23 @@ impl BluesteinPlan {
         }
         // The inner transform is always radix-2, never another Bluestein
         // plan, so this thread-local borrow cannot re-enter.
-        CONV_WORK.with(|cell| {
-            let mut work = cell.borrow_mut();
+        T::with_conv_work(|work| {
             work.clear();
-            work.resize(m, Complex64::ZERO);
+            work.resize(m, Complex::ZERO);
             for k in 0..n {
                 work[k] = buf[k] * self.chirp[k];
             }
-            self.inner.forward(&mut work);
+            self.inner.forward(work);
             for (w, k) in work.iter_mut().zip(&self.kernel_fft) {
                 *w *= *k;
             }
-            self.inner.inverse(&mut work);
+            self.inner.inverse(work);
             for k in 0..n {
                 buf[k] = work[k] * self.chirp[k];
             }
         });
         if invert {
-            let s = 1.0 / n as f64;
+            let s = T::from_usize(n).recip();
             for v in buf.iter_mut() {
                 *v = v.conj().scale(s);
             }
@@ -132,6 +127,7 @@ impl BluesteinPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::complex::{Complex32, Complex64};
     use crate::dft;
 
     fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
@@ -190,7 +186,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-zero length")]
     fn rejects_zero_length() {
-        BluesteinPlan::new(0);
+        BluesteinPlan::<f64>::new(0);
     }
 
     #[test]
@@ -200,5 +196,34 @@ mod tests {
         let mut fast = x.clone();
         BluesteinPlan::new(n).forward(&mut fast);
         assert_close(&fast, &dft::forward(&x), 1e-6);
+    }
+
+    #[test]
+    fn f32_plan_tracks_f64_reference_on_awkward_sizes() {
+        for n in [3usize, 17, 48, 101] {
+            let x = signal(n);
+            let mut narrow: Vec<Complex32> = x.iter().map(|z| z.to_c32()).collect();
+            BluesteinPlan::new(n).forward(&mut narrow);
+            let wide = dft::forward(&x);
+            for (a, b) in narrow.iter().zip(&wide) {
+                assert!(
+                    (a.to_c64() - *b).norm() < 2e-3 * (n as f64).max(1.0),
+                    "n={n}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_inverse_roundtrip() {
+        let n = 48; // the GSW plane size — the f32 path's hottest length
+        let plan: BluesteinPlan<f32> = BluesteinPlan::new(n);
+        let x: Vec<Complex32> = signal(n).iter().map(|z| z.to_c32()).collect();
+        let mut buf = x.clone();
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&x) {
+            assert!((*a - *b).norm() < 1e-3);
+        }
     }
 }

@@ -15,9 +15,9 @@
 //! sessions multiplexed onto that device share plan/transfer caches and a
 //! scratch arena; a unit test passes `ExecutionContext::serial()`; a bench
 //! passes `ExecutionContext::auto()`. The old `*_with(…, &Parallelism)`
-//! twins survive as `#[deprecated]` wrappers over this path (and
-//! `holoar-lint`'s `deprecated-wrapper` rule keeps new internal callers off
-//! them).
+//! twins are gone — every entry point takes a context directly, and
+//! `holoar-lint`'s `deprecated-wrapper` rule keeps the legacy names from
+//! coming back.
 //!
 //! # Examples
 //!
@@ -46,6 +46,41 @@ use crate::parallel::{lock_unpoisoned, Parallelism};
 /// inserted once and shared by every clone of the owning context.
 type SlotMap = HashMap<&'static str, Arc<dyn Any + Send + Sync>>;
 
+/// Scalar precision compute entry points should run their hot loops at.
+///
+/// [`Precision::F64`] is the bit-identity reference the repro experiments
+/// and tests pin; [`Precision::F32`] halves the working-set bytes through
+/// the FFT and GSW kernels and is gated by the quality experiment in
+/// `repro parallel` (occupancy-weighted PSNR within tolerance of the f64
+/// reference on the repro scenes). Public APIs keep `f64` fields at the
+/// boundary either way — precision is an internal compute policy, not a
+/// data-format change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// 32-bit hot loops (throughput path; quality-gated).
+    F32,
+    /// 64-bit hot loops (reference; the default).
+    #[default]
+    F64,
+}
+
+impl Precision {
+    /// Stable lower-case name (`"f32"` / `"f64"`), used in bench JSON and
+    /// log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::F64 => "f64",
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// The single execution handle compute entry points accept: parallelism,
 /// telemetry intent, and shared caches, bundled.
 ///
@@ -55,6 +90,7 @@ type SlotMap = HashMap<&'static str, Arc<dyn Any + Send + Sync>>;
 pub struct ExecutionContext {
     par: Parallelism,
     telemetry: TelemetryMode,
+    precision: Precision,
     slots: Arc<Mutex<SlotMap>>,
 }
 
@@ -88,13 +124,14 @@ impl ExecutionContext {
     }
 
     /// Wraps an existing pool handle in a fresh context (fresh shared
-    /// slots). This is the adapter the `#[deprecated]` `*_with` wrappers
-    /// use; new code should construct contexts via [`builder`](Self::builder)
-    /// and thread them through instead.
+    /// slots). Handy when a caller already owns a [`Parallelism`]; new code
+    /// should construct contexts via [`builder`](Self::builder) and thread
+    /// them through instead.
     pub fn from_parallelism(par: Parallelism) -> Self {
         ExecutionContext {
             par,
             telemetry: holoar_telemetry::mode(),
+            precision: Precision::default(),
             slots: Arc::new(Mutex::new(HashMap::new())),
         }
     }
@@ -125,6 +162,14 @@ impl ExecutionContext {
     /// `repro` — apply it once via `holoar_telemetry::set_mode`.
     pub fn telemetry(&self) -> TelemetryMode {
         self.telemetry
+    }
+
+    /// The scalar precision hot loops driven by this context should run at.
+    /// Defaults to [`Precision::F64`], the bit-identity reference; compute
+    /// entry points that have an f32 kernel (propagation, GSW) dispatch on
+    /// this value.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Fetches the shared value stored under `key`, creating it with `init`
@@ -175,6 +220,7 @@ impl ExecutionContext {
 pub struct ExecutionContextBuilder {
     par: Option<Parallelism>,
     telemetry: Option<TelemetryMode>,
+    precision: Option<Precision>,
 }
 
 impl ExecutionContextBuilder {
@@ -201,11 +247,21 @@ impl ExecutionContextBuilder {
         self
     }
 
+    /// Selects the hot-loop scalar precision (defaults to
+    /// [`Precision::F64`]).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = Some(precision);
+        self
+    }
+
     /// Builds the context. Parallelism defaults to serial.
     pub fn build(self) -> ExecutionContext {
         let mut ctx = ExecutionContext::from_parallelism(self.par.unwrap_or_default());
         if let Some(mode) = self.telemetry {
             ctx.telemetry = mode;
+        }
+        if let Some(precision) = self.precision {
+            ctx.precision = precision;
         }
         ctx
     }
@@ -241,6 +297,17 @@ mod tests {
         let ctx = ExecutionContext::builder().build();
         assert!(ctx.is_serial());
         assert_eq!(ctx.telemetry(), holoar_telemetry::mode());
+        assert_eq!(ctx.precision(), Precision::F64);
+    }
+
+    #[test]
+    fn builder_selects_precision() {
+        let ctx = ExecutionContext::builder().precision(Precision::F32).build();
+        assert_eq!(ctx.precision(), Precision::F32);
+        assert_eq!(ctx.precision().as_str(), "f32");
+        assert_eq!(Precision::F64.to_string(), "f64");
+        // Clones carry the policy with them.
+        assert_eq!(ctx.clone().precision(), Precision::F32);
     }
 
     #[test]

@@ -4,19 +4,42 @@
 //! The 2-D transform is separable: FFT every row, then FFT every column.
 //! The column pass transposes through a scratch buffer (borrowed from the
 //! pool's [`ScratchArena`](crate::parallel::ScratchArena)) so the 1-D
-//! kernels always run on contiguous
-//! memory. Both passes fan out over the transform's [`Parallelism`] handle —
-//! rows (and transposed columns) are independent, so the parallel result is
-//! bit-identical to the serial one regardless of worker count.
+//! kernels always run on contiguous memory; the transpose itself runs in
+//! cache-sized tiles (see [`transpose_into`]) instead of walking one full
+//! strided column at a time. Both passes fan out over the transform's
+//! [`Parallelism`] handle — rows (and transposed columns) are independent,
+//! so the parallel result is bit-identical to the serial one regardless of
+//! worker count.
+//!
+//! # Real-input specialization
+//!
+//! Amplitude planes enter propagation as purely real fields (zero imaginary
+//! part): depth-sliced targets, and the first GSW backward sweep before any
+//! phase accumulates. [`Fft2d::forward`] detects that case with a cheap scan
+//! and routes it through [`Fft2d::forward_real`], which packs **two real
+//! rows into one complex row** (`z = a + i·b`), runs half the row
+//! transforms, and separates the two spectra with the Hermitian unpack
+//! `A[k] = (Z[k] + conj(Z[n−k]))/2`, `B[k] = (Z[k] − conj(Z[n−k]))/(2i)`.
+//! Because the public entry point dispatches, the complex path and the real
+//! path agree bit-for-bit on real inputs by construction, and the packing
+//! works for any row length (radix-2 and Bluestein alike).
 
-use crate::complex::Complex64;
+use crate::complex::Complex;
 use crate::parallel::Parallelism;
 use crate::plan::{FftPlan, FftPlanner};
+use crate::real::Real;
+
+/// Tile edge for the cache-blocked transpose: 32×32 complex tiles keep both
+/// the strided reads and the contiguous writes of a tile resident in L1 for
+/// either precision (32 KiB ≥ 32·32·16 B).
+const TRANSPOSE_BLOCK: usize = 32;
 
 /// A planned 2-D FFT for a fixed `(rows, cols)` shape.
 ///
 /// [`Fft2d::new`] plans a serial transform; [`Fft2d::with_parallelism`]
 /// attaches a worker pool that the row and column passes fan out over.
+/// Generic over scalar precision (`Fft2d` in type positions defaults to the
+/// `f64` reference; `Fft2d<f32>` is the throughput path).
 ///
 /// # Examples
 ///
@@ -31,15 +54,15 @@ use crate::plan::{FftPlan, FftPlanner};
 /// assert!(buf[1].norm() < 1e-9);
 /// ```
 #[derive(Debug, Clone)]
-pub struct Fft2d {
+pub struct Fft2d<T: Real = f64> {
     rows: usize,
     cols: usize,
-    row_plan: FftPlan,
-    col_plan: FftPlan,
+    row_plan: FftPlan<T>,
+    col_plan: FftPlan<T>,
     par: Parallelism,
 }
 
-impl Fft2d {
+impl<T: Real> Fft2d<T> {
     /// Plans a serial transform for a `rows × cols` row-major buffer.
     ///
     /// # Panics
@@ -91,7 +114,7 @@ impl Fft2d {
     /// plans). Used by callers that parallelize at a coarser granularity —
     /// e.g. across depth planes — and must not oversubscribe with a nested
     /// fan-out.
-    pub fn serial_equivalent(&self) -> Fft2d {
+    pub fn serial_equivalent(&self) -> Fft2d<T> {
         Fft2d {
             rows: self.rows,
             cols: self.cols,
@@ -103,12 +126,34 @@ impl Fft2d {
 
     /// Forward 2-D FFT, in place.
     ///
+    /// Purely real inputs (every imaginary part exactly zero) are detected
+    /// and routed through the packed real-row kernel — same output, roughly
+    /// half the row-pass work. See [`Fft2d::forward_real`].
+    ///
     /// # Panics
     ///
     /// Panics if `buf.len() != rows * cols`.
-    pub fn forward(&self, buf: &mut [Complex64]) {
+    pub fn forward(&self, buf: &mut [Complex<T>]) {
         let _span = holoar_telemetry::span_cat("fft.fft2d.forward", "fft");
-        self.run(buf, true);
+        self.forward_detect(buf);
+    }
+
+    /// Forward 2-D FFT of a purely real field, in place.
+    ///
+    /// This is the kernel [`Fft2d::forward`] dispatches to when its input
+    /// scan finds no imaginary energy, exposed for callers that know their
+    /// field is an amplitude plane and for the property tests pinning
+    /// dispatch equivalence. The two entry points are bit-identical on real
+    /// inputs by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len() != rows * cols` or any sample has a non-zero
+    /// imaginary part.
+    pub fn forward_real(&self, buf: &mut [Complex<T>]) {
+        let _span = holoar_telemetry::span_cat("fft.fft2d.forward_real", "fft");
+        assert!(is_all_real(buf), "forward_real requires a purely real input field");
+        self.run_real_forward(buf);
     }
 
     /// Inverse 2-D FFT (with `1/(rows·cols)` normalization), in place.
@@ -116,7 +161,7 @@ impl Fft2d {
     /// # Panics
     ///
     /// Panics if `buf.len() != rows * cols`.
-    pub fn inverse(&self, buf: &mut [Complex64]) {
+    pub fn inverse(&self, buf: &mut [Complex<T>]) {
         let _span = holoar_telemetry::span_cat("fft.fft2d.inverse", "fft");
         self.run(buf, false);
     }
@@ -131,7 +176,7 @@ impl Fft2d {
     /// # Panics
     ///
     /// Panics if any buffer's length differs from `rows * cols`.
-    pub fn forward_batch(&self, bufs: &mut [Vec<Complex64>]) {
+    pub fn forward_batch(&self, bufs: &mut [Vec<Complex<T>>]) {
         let _span = holoar_telemetry::span_cat("fft.fft2d.forward_batch", "fft");
         self.run_batch(bufs, true);
     }
@@ -143,18 +188,22 @@ impl Fft2d {
     /// # Panics
     ///
     /// Panics if any buffer's length differs from `rows * cols`.
-    pub fn inverse_batch(&self, bufs: &mut [Vec<Complex64>]) {
+    pub fn inverse_batch(&self, bufs: &mut [Vec<Complex<T>>]) {
         let _span = holoar_telemetry::span_cat("fft.fft2d.inverse_batch", "fft");
         self.run_batch(bufs, false);
     }
 
-    fn run_batch(&self, bufs: &mut [Vec<Complex64>], forward: bool) {
+    fn run_batch(&self, bufs: &mut [Vec<Complex<T>>], forward: bool) {
         if bufs.is_empty() {
             return;
         }
         if self.par.is_serial() || bufs.len() == 1 {
             for buf in bufs.iter_mut() {
-                self.run(buf, forward);
+                if forward {
+                    self.forward_detect(buf);
+                } else {
+                    self.run(buf, false);
+                }
             }
             return;
         }
@@ -164,12 +213,27 @@ impl Fft2d {
         let plan = self.serial_equivalent();
         self.par.for_each_chunk(bufs, 1, |_, span| {
             for buf in span {
-                plan.run(buf, forward);
+                if forward {
+                    plan.forward_detect(buf);
+                } else {
+                    plan.run(buf, false);
+                }
             }
         });
     }
 
-    fn run(&self, buf: &mut [Complex64], forward: bool) {
+    /// Forward entry shared by [`Fft2d::forward`] and the batch path:
+    /// detects purely real inputs and takes the packed-row kernel for them.
+    fn forward_detect(&self, buf: &mut [Complex<T>]) {
+        if is_all_real(buf) {
+            holoar_telemetry::counter_add("fft.fft2d.real_dispatch", 1);
+            self.run_real_forward(buf);
+        } else {
+            self.run(buf, true);
+        }
+    }
+
+    fn check_shape(&self, buf: &[Complex<T>]) {
         assert_eq!(
             buf.len(),
             self.rows * self.cols,
@@ -178,8 +242,11 @@ impl Fft2d {
             self.rows,
             self.cols
         );
-        let (rows, cols) = (self.rows, self.cols);
+    }
 
+    fn run(&self, buf: &mut [Complex<T>], forward: bool) {
+        self.check_shape(buf);
+        let cols = self.cols;
         // Row pass: rows are independent; each worker transforms a
         // contiguous block of whole rows.
         self.par.for_each_chunk(buf, cols, |_, span| {
@@ -191,21 +258,54 @@ impl Fft2d {
                 }
             }
         });
+        self.column_pass(buf, forward);
+    }
 
-        // Column pass: gather each column into the transposed scratch
-        // buffer, transform it contiguously, then scatter back. Both halves
-        // split the work by whole columns (then whole rows), so workers
-        // never share an output element.
-        let mut transposed = self.par.arena().take(rows * cols);
+    fn run_real_forward(&self, buf: &mut [Complex<T>]) {
+        self.check_shape(buf);
+        let cols = self.cols;
+        // Packed row pass: adjacent real rows a, b transform together as
+        // z = a + i·b; the Hermitian unpack separates the two spectra. Pair
+        // boundaries are fixed (rows 2k and 2k+1), so the output does not
+        // depend on how pairs are chunked across workers.
+        let paired = (self.rows - self.rows % 2) * cols;
+        let (pairs, rest) = buf.split_at_mut(paired);
+        if !pairs.is_empty() {
+            self.par.for_each_chunk(pairs, 2 * cols, |_, span| {
+                let mut packed = T::arena_take(self.par.arena(), cols);
+                for pair in span.chunks_exact_mut(2 * cols) {
+                    let (a, b) = pair.split_at_mut(cols);
+                    for ((p, za), zb) in packed.iter_mut().zip(a.iter()).zip(b.iter()) {
+                        *p = Complex::new(za.re, zb.re);
+                    }
+                    self.row_plan.forward(&mut packed);
+                    unpack_pair(&packed, a, b);
+                }
+                T::arena_give(self.par.arena(), packed);
+            });
+        }
+        // Odd trailing row: its imaginary parts are zero, so the plain
+        // complex transform is already the real transform.
+        for row in rest.chunks_exact_mut(cols) {
+            self.row_plan.forward(row);
+        }
+        self.column_pass(buf, true);
+    }
+
+    /// Column pass shared by every forward/inverse variant: blocked-gather
+    /// each span of columns into the transposed scratch buffer, transform
+    /// them contiguously, then blocked-scatter back. Both halves split the
+    /// work by whole columns (then whole rows), so workers never share an
+    /// output element.
+    fn column_pass(&self, buf: &mut [Complex<T>], forward: bool) {
+        let (rows, cols) = (self.rows, self.cols);
+        let mut transposed = T::arena_take(self.par.arena(), rows * cols);
         {
-            let source: &[Complex64] = buf;
+            let source: &[Complex<T>] = buf;
             self.par.for_each_chunk(&mut transposed, rows, |offset, span| {
                 let first_col = offset / rows;
-                for (i, column) in span.chunks_exact_mut(rows).enumerate() {
-                    let c = first_col + i;
-                    for (r, sample) in column.iter_mut().enumerate() {
-                        *sample = source[r * cols + c];
-                    }
+                gather_transposed(source, rows, cols, first_col, span);
+                for column in span.chunks_exact_mut(rows) {
                     if forward {
                         self.col_plan.forward(column);
                     } else {
@@ -215,18 +315,87 @@ impl Fft2d {
             });
         }
         {
-            let transposed: &[Complex64] = &transposed;
+            let source: &[Complex<T>] = &transposed;
             self.par.for_each_chunk(buf, cols, |offset, span| {
                 let first_row = offset / cols;
-                for (i, row) in span.chunks_exact_mut(cols).enumerate() {
-                    let r = first_row + i;
-                    for (c, sample) in row.iter_mut().enumerate() {
-                        *sample = transposed[c * rows + r];
-                    }
-                }
+                gather_transposed(source, cols, rows, first_row, span);
             });
         }
-        self.par.arena().give(transposed);
+        T::arena_give(self.par.arena(), transposed);
+    }
+}
+
+/// Whether every sample's imaginary part is exactly zero (`±0.0`).
+fn is_all_real<T: Real>(buf: &[Complex<T>]) -> bool {
+    buf.iter().all(|z| z.im == T::ZERO)
+}
+
+/// Separates the spectra of two real rows transformed as one packed complex
+/// row: `a ← DFT(re(z))`, `b ← DFT(im(z))` via the Hermitian identities.
+fn unpack_pair<T: Real>(packed: &[Complex<T>], a: &mut [Complex<T>], b: &mut [Complex<T>]) {
+    let n = packed.len();
+    // k = 0 is self-conjugate: Z[0] = Â[0] + i·B̂[0] with both DCs real.
+    if let (Some(z0), Some(a0), Some(b0)) = (packed.first(), a.first_mut(), b.first_mut()) {
+        *a0 = Complex::new(z0.re, T::ZERO);
+        *b0 = Complex::new(z0.im, T::ZERO);
+    }
+    for k in 1..n {
+        let j = n - k;
+        let zk = packed[k];
+        let zj = packed[j];
+        a[k] = Complex::new((zk.re + zj.re) * T::HALF, (zk.im - zj.im) * T::HALF);
+        b[k] = Complex::new((zk.im + zj.im) * T::HALF, (zj.re - zk.re) * T::HALF);
+    }
+}
+
+/// Writes the transpose of the row-major `src_rows × src_cols` matrix
+/// `source` into `dst` (which becomes `src_cols × src_rows` row-major),
+/// copying cache-sized tiles so neither side's stride walks a full matrix
+/// dimension per element. Pure data movement: bit-identical to the naive
+/// nested loop by construction, which the property tests pin across shapes.
+///
+/// # Panics
+///
+/// Panics if `dst.len() != source.len()` or `source.len() != src_rows *
+/// src_cols`.
+pub fn transpose_into<T: Real>(
+    source: &[Complex<T>],
+    src_rows: usize,
+    src_cols: usize,
+    dst: &mut [Complex<T>],
+) {
+    assert_eq!(source.len(), src_rows * src_cols, "source length does not match shape");
+    assert_eq!(dst.len(), source.len(), "transpose destination length mismatch");
+    gather_transposed(source, src_rows, src_cols, 0, dst);
+}
+
+/// The spanned tile-copy behind [`transpose_into`] and the column passes:
+/// transposes source columns `[first_col, first_col + span.len()/src_rows)`
+/// of the `src_rows × src_cols` matrix into the row-major `span`.
+fn gather_transposed<T: Real>(
+    source: &[Complex<T>],
+    src_rows: usize,
+    src_cols: usize,
+    first_col: usize,
+    span: &mut [Complex<T>],
+) {
+    let span_cols = span.len() / src_rows;
+    let mut tile_r = 0;
+    while tile_r < src_rows {
+        let r_end = (tile_r + TRANSPOSE_BLOCK).min(src_rows);
+        let mut tile_c = 0;
+        while tile_c < span_cols {
+            let c_end = (tile_c + TRANSPOSE_BLOCK).min(span_cols);
+            for c in tile_c..c_end {
+                let dst_base = c * src_rows;
+                let src_col = first_col + c;
+                for r in tile_r..r_end {
+                    span[dst_base + r] = source[r * src_cols + src_col];
+                }
+            }
+            tile_c = c_end;
+        }
+        tile_r = r_end;
     }
 }
 
@@ -238,7 +407,7 @@ impl Fft2d {
 /// # Panics
 ///
 /// Panics if `buf.len() != rows * cols`.
-pub fn fftshift(buf: &mut [Complex64], rows: usize, cols: usize) {
+pub fn fftshift<T: Real>(buf: &mut [Complex<T>], rows: usize, cols: usize) {
     shift(buf, rows, cols, rows.div_ceil(2), cols.div_ceil(2));
 }
 
@@ -247,14 +416,14 @@ pub fn fftshift(buf: &mut [Complex64], rows: usize, cols: usize) {
 /// # Panics
 ///
 /// Panics if `buf.len() != rows * cols`.
-pub fn ifftshift(buf: &mut [Complex64], rows: usize, cols: usize) {
+pub fn ifftshift<T: Real>(buf: &mut [Complex<T>], rows: usize, cols: usize) {
     shift(buf, rows, cols, rows / 2, cols / 2);
 }
 
 /// Rotates rows up by `row_by` and columns left by `col_by`, entirely in
 /// place. Even dimensions take the half-swap fast path (a quadrant swap);
 /// odd dimensions fall back to slice rotation, which is also allocation-free.
-fn shift(buf: &mut [Complex64], rows: usize, cols: usize, row_by: usize, col_by: usize) {
+fn shift<T: Real>(buf: &mut [Complex<T>], rows: usize, cols: usize, row_by: usize, col_by: usize) {
     assert_eq!(buf.len(), rows * cols, "buffer length does not match shape");
     if rows == 0 || cols == 0 {
         return;
@@ -286,11 +455,18 @@ fn shift(buf: &mut [Complex64], rows: usize, cols: usize, row_by: usize, col_by:
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::complex::Complex64;
     use crate::dft;
 
     fn image(rows: usize, cols: usize) -> Vec<Complex64> {
         (0..rows * cols)
             .map(|i| Complex64::new((i as f64 * 0.23).sin(), (i as f64 * 0.91).cos()))
+            .collect()
+    }
+
+    fn real_image(rows: usize, cols: usize) -> Vec<Complex64> {
+        (0..rows * cols)
+            .map(|i| Complex64::new((i as f64 * 0.23).sin() + 0.4 * (i as f64 * 0.05).cos(), 0.0))
             .collect()
     }
 
@@ -371,6 +547,116 @@ mod tests {
     }
 
     #[test]
+    fn real_input_matches_reference_2d_dft() {
+        // Covers radix-2 and Bluestein row lengths, odd row counts (one
+        // unpaired trailing row) and single-row/column edge shapes.
+        for (rows, cols) in [(2usize, 2usize), (4, 8), (3, 5), (8, 3), (5, 7), (1, 6), (6, 1)] {
+            let x = real_image(rows, cols);
+            let mut fast = x.clone();
+            Fft2d::new(rows, cols).forward(&mut fast);
+            let slow = dft2d(&x, rows, cols);
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((*a - *b).norm() < 1e-8, "shape {rows}x{cols}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_dispatch_is_bit_identical_to_forward_real() {
+        for (rows, cols) in [(4usize, 4usize), (5, 7), (9, 16), (12, 20)] {
+            let x = real_image(rows, cols);
+            let fft = Fft2d::new(rows, cols);
+            let mut via_forward = x.clone();
+            fft.forward(&mut via_forward);
+            let mut via_real = x.clone();
+            fft.forward_real(&mut via_real);
+            assert_eq!(via_forward, via_real, "shape {rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn real_path_is_bit_identical_across_worker_counts() {
+        for (rows, cols) in [(8usize, 6usize), (5, 7), (9, 16), (16, 16)] {
+            let x = real_image(rows, cols);
+            let mut serial = x.clone();
+            Fft2d::new(rows, cols).forward(&mut serial);
+            for workers in [2usize, 3, 7] {
+                let mut parallel = x.clone();
+                Fft2d::with_parallelism(rows, cols, Parallelism::new(workers))
+                    .forward(&mut parallel);
+                assert_eq!(serial, parallel, "real {rows}x{cols} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "purely real")]
+    fn forward_real_rejects_complex_input() {
+        let mut buf = image(4, 4);
+        Fft2d::new(4, 4).forward_real(&mut buf);
+    }
+
+    #[test]
+    fn real_roundtrip_recovers_the_field() {
+        let (rows, cols) = (12, 10);
+        let fft = Fft2d::new(rows, cols);
+        let x = real_image(rows, cols);
+        let mut buf = x.clone();
+        fft.forward(&mut buf);
+        fft.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&x) {
+            assert!((*a - *b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_is_bit_identical_to_naive() {
+        // Shapes straddle the 32-element tile edge and include Bluestein
+        // (non-power-of-two) dimensions and degenerate single-row/column
+        // cases.
+        for (rows, cols) in [
+            (1usize, 1usize),
+            (1, 17),
+            (17, 1),
+            (5, 7),
+            (31, 33),
+            (32, 32),
+            (33, 65),
+            (48, 20),
+            (64, 64),
+        ] {
+            let x = image(rows, cols);
+            let mut blocked = vec![Complex64::ZERO; rows * cols];
+            transpose_into(&x, rows, cols, &mut blocked);
+            let mut naive = vec![Complex64::ZERO; rows * cols];
+            for r in 0..rows {
+                for c in 0..cols {
+                    naive[c * rows + r] = x[r * cols + c];
+                }
+            }
+            assert_eq!(blocked, naive, "shape {rows}x{cols}");
+        }
+    }
+
+    #[test]
+    fn f32_transform_tracks_f64_reference() {
+        let (rows, cols) = (12, 20);
+        let x = image(rows, cols);
+        let mut wide = x.clone();
+        Fft2d::new(rows, cols).forward(&mut wide);
+        let mut narrow: Vec<crate::complex::Complex32> = x.iter().map(|z| z.to_c32()).collect();
+        let fft32: Fft2d<f32> = Fft2d::new(rows, cols);
+        fft32.forward(&mut narrow);
+        for (w, n) in wide.iter().zip(&narrow) {
+            assert!((*w - n.to_c64()).norm() < 1e-3, "{w} vs {n}");
+        }
+        fft32.inverse(&mut narrow);
+        for (orig, n) in x.iter().zip(&narrow) {
+            assert!((*orig - n.to_c64()).norm() < 1e-4);
+        }
+    }
+
+    #[test]
     fn serial_equivalent_matches_parallel_plan() {
         let fft = Fft2d::with_parallelism(8, 8, Parallelism::new(4));
         let serial = fft.serial_equivalent();
@@ -430,8 +716,31 @@ mod tests {
     }
 
     #[test]
+    fn batch_takes_the_real_path_per_buffer() {
+        // A batch mixing real and complex planes must agree with per-buffer
+        // forward() calls (which dispatch per input) at every worker count.
+        let (rows, cols) = (6, 5);
+        let inputs: Vec<Vec<Complex64>> = vec![
+            real_image(rows, cols),
+            image(rows, cols),
+            real_image(rows, cols),
+        ];
+        let serial = Fft2d::new(rows, cols);
+        let mut expected = inputs.clone();
+        for buf in &mut expected {
+            serial.forward(buf);
+        }
+        for workers in [1usize, 2, 7] {
+            let fft = Fft2d::with_parallelism(rows, cols, Parallelism::new(workers));
+            let mut batch = inputs.clone();
+            fft.forward_batch(&mut batch);
+            assert_eq!(batch, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
     fn empty_batch_is_a_no_op() {
-        Fft2d::new(4, 4).forward_batch(&mut []);
+        Fft2d::<f64>::new(4, 4).forward_batch(&mut []);
     }
 
     #[test]

@@ -6,11 +6,17 @@
 //! avoids external numeric dependencies, so this crate supplies everything the
 //! optics layer needs:
 //!
-//! * [`Complex64`] — complex arithmetic,
+//! * [`Complex64`]/[`Complex32`] — complex arithmetic over either scalar
+//!   precision (the [`Real`] trait abstracts `f32`/`f64`; `f64` is the
+//!   bit-identity reference, `f32` the quality-gated throughput path
+//!   selected via [`context::Precision`]),
 //! * [`dft`] — an `O(n²)` reference transform used as the test oracle,
 //! * [`FftPlanner`]/[`FftPlan`] — cached fast transforms (radix-2
-//!   Cooley–Tukey for powers of two, Bluestein chirp-z otherwise),
-//! * [`Fft2d`], [`fftshift`], [`ifftshift`] — separable 2-D transforms.
+//!   Cooley–Tukey for powers of two, Bluestein chirp-z otherwise), with
+//!   per-stage contiguous twiddle tables precomputed at plan time,
+//! * [`Fft2d`], [`fftshift`], [`ifftshift`] — separable 2-D transforms with
+//!   a cache-blocked transpose between passes and a packed real-input row
+//!   kernel that [`Fft2d::forward`] auto-dispatches to on amplitude planes.
 //!
 //! # Examples
 //!
@@ -38,11 +44,13 @@ pub mod fft2d;
 pub mod parallel;
 pub mod plan;
 pub mod radix2;
+pub mod real;
 
 pub use bluestein::BluesteinPlan;
-pub use complex::Complex64;
-pub use context::{ExecutionContext, ExecutionContextBuilder};
-pub use fft2d::{fftshift, ifftshift, Fft2d};
+pub use complex::{Complex, Complex32, Complex64};
+pub use context::{ExecutionContext, ExecutionContextBuilder, Precision};
+pub use fft2d::{fftshift, ifftshift, transpose_into, Fft2d};
 pub use parallel::{lock_unpoisoned, Parallelism, ScratchArena};
-pub use plan::{fft_forward, fft_inverse, FftPlan, FftPlanner};
+pub use plan::{fft_forward, fft_inverse, global_cached_len_count, FftPlan, FftPlanner};
 pub use radix2::Radix2Plan;
+pub use real::Real;

@@ -3,14 +3,17 @@
 //!
 //! [`FftPlanner`] is the entry point the rest of the workspace uses; the
 //! optics crate keeps one planner per thread of work and transforms thousands
-//! of rows/columns of the same length through it.
+//! of rows/columns of the same length through it. Planners (and the
+//! process-wide caches behind them) are per scalar precision: an f32 planner
+//! hands out f32 tables and never touches the f64 cache.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
 
 use crate::bluestein::BluesteinPlan;
-use crate::complex::Complex64;
+use crate::complex::Complex;
 use crate::radix2::Radix2Plan;
+use crate::real::Real;
 
 /// A ready-to-run FFT of one fixed length.
 ///
@@ -28,17 +31,17 @@ use crate::radix2::Radix2Plan;
 /// assert!((buf[0].re - 8.0).abs() < 1e-12); // all energy in DC
 /// ```
 #[derive(Debug, Clone)]
-pub struct FftPlan {
-    algo: Arc<Algo>,
+pub struct FftPlan<T: Real = f64> {
+    algo: Arc<Algo<T>>,
 }
 
 #[derive(Debug)]
-enum Algo {
-    Radix2(Radix2Plan),
-    Bluestein(BluesteinPlan),
+enum Algo<T: Real> {
+    Radix2(Radix2Plan<T>),
+    Bluestein(BluesteinPlan<T>),
 }
 
-impl FftPlan {
+impl<T: Real> FftPlan<T> {
     /// The transform length.
     pub fn len(&self) -> usize {
         match &*self.algo {
@@ -57,7 +60,7 @@ impl FftPlan {
     /// # Panics
     ///
     /// Panics if `buf.len() != self.len()`.
-    pub fn forward(&self, buf: &mut [Complex64]) {
+    pub fn forward(&self, buf: &mut [Complex<T>]) {
         match &*self.algo {
             Algo::Radix2(p) => p.forward(buf),
             Algo::Bluestein(p) => p.forward(buf),
@@ -69,7 +72,7 @@ impl FftPlan {
     /// # Panics
     ///
     /// Panics if `buf.len() != self.len()`.
-    pub fn inverse(&self, buf: &mut [Complex64]) {
+    pub fn inverse(&self, buf: &mut [Complex<T>]) {
         match &*self.algo {
             Algo::Radix2(p) => p.inverse(buf),
             Algo::Bluestein(p) => p.inverse(buf),
@@ -89,36 +92,38 @@ impl FftPlan {
 /// let b = planner.plan(512); // radix-2 path
 /// assert_eq!(a.len(), 480);
 /// assert_eq!(b.len(), 512);
+/// # let mut buf = vec![holoar_fft::Complex64::ONE; 480];
+/// # a.forward(&mut buf);
 /// ```
 #[derive(Debug, Default)]
-pub struct FftPlanner {
-    cache: HashMap<usize, FftPlan>,
+pub struct FftPlanner<T: Real = f64> {
+    cache: HashMap<usize, FftPlan<T>>,
 }
 
-impl FftPlanner {
+impl<T: Real> FftPlanner<T> {
     /// Creates an empty planner.
     pub fn new() -> Self {
-        Self::default()
+        FftPlanner { cache: HashMap::new() }
     }
 
     /// Returns a plan for length `n`, building and caching it on first use.
     ///
     /// Plans come from a process-wide thread-safe cache: the twiddle and
     /// chirp tables for each length are computed exactly once per process
-    /// and shared (behind an [`Arc`]) by every planner and every worker
-    /// thread. The planner keeps a local lock-free mirror so repeated
-    /// `plan()` calls on a hot path touch no lock after first use.
+    /// *per precision* and shared (behind an [`Arc`]) by every planner and
+    /// every worker thread. The planner keeps a local lock-free mirror so
+    /// repeated `plan()` calls on a hot path touch no lock after first use.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
-    pub fn plan(&mut self, n: usize) -> FftPlan {
+    pub fn plan(&mut self, n: usize) -> FftPlan<T> {
         assert!(n > 0, "cannot plan a zero-length transform");
         if let Some(plan) = self.cache.get(&n) {
             holoar_telemetry::counter_add("fft.plan_cache.local_hit", 1);
             return plan.clone();
         }
-        let plan = global_plan(n);
+        let plan = global_plan::<T>(n);
         self.cache.insert(n, plan.clone());
         plan
     }
@@ -129,12 +134,10 @@ impl FftPlanner {
     }
 }
 
-/// The process-wide plan cache behind [`FftPlanner::plan`].
-static GLOBAL_PLANS: OnceLock<Mutex<HashMap<usize, FftPlan>>> = OnceLock::new();
-
-/// Fetches (building once, process-wide) the shared plan for length `n`.
-fn global_plan(n: usize) -> FftPlan {
-    let cache = GLOBAL_PLANS.get_or_init(|| Mutex::new(HashMap::new()));
+/// Fetches (building once, process-wide per precision) the shared plan for
+/// length `n`.
+fn global_plan<T: Real>(n: usize) -> FftPlan<T> {
+    let cache = T::global_plan_cache();
     let mut cache = crate::parallel::lock_unpoisoned(cache);
     match cache.entry(n) {
         std::collections::hash_map::Entry::Occupied(hit) => {
@@ -154,12 +157,10 @@ fn global_plan(n: usize) -> FftPlan {
     }
 }
 
-/// Number of distinct lengths in the process-wide plan cache.
-pub fn global_cached_len_count() -> usize {
-    GLOBAL_PLANS
-        .get()
-        .map(|cache| crate::parallel::lock_unpoisoned(cache).len())
-        .unwrap_or(0)
+/// Number of distinct lengths in the process-wide plan cache for precision
+/// `T` (defaults to the `f64` reference cache).
+pub fn global_cached_len_count<T: Real>() -> usize {
+    crate::parallel::lock_unpoisoned(T::global_plan_cache()).len()
 }
 
 /// One-shot forward FFT convenience for callers without a planner.
@@ -176,7 +177,7 @@ pub fn global_cached_len_count() -> usize {
 /// # Panics
 ///
 /// Panics if `buf` is empty.
-pub fn fft_forward(buf: &mut [Complex64]) {
+pub fn fft_forward<T: Real>(buf: &mut [Complex<T>]) {
     FftPlanner::new().plan(buf.len()).forward(buf);
 }
 
@@ -185,18 +186,19 @@ pub fn fft_forward(buf: &mut [Complex64]) {
 /// # Panics
 ///
 /// Panics if `buf` is empty.
-pub fn fft_inverse(buf: &mut [Complex64]) {
+pub fn fft_inverse<T: Real>(buf: &mut [Complex<T>]) {
     FftPlanner::new().plan(buf.len()).inverse(buf);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::complex::{Complex32, Complex64};
     use crate::dft;
 
     #[test]
     fn planner_caches_plans() {
-        let mut planner = FftPlanner::new();
+        let mut planner = FftPlanner::<f64>::new();
         planner.plan(16);
         planner.plan(16);
         planner.plan(17);
@@ -221,7 +223,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "zero-length")]
     fn zero_length_plan_panics() {
-        FftPlanner::new().plan(0);
+        FftPlanner::<f64>::new().plan(0);
     }
 
     #[test]
@@ -252,15 +254,35 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FftPlan>();
         assert_send_sync::<FftPlanner>();
+        assert_send_sync::<FftPlan<f32>>();
+        assert_send_sync::<FftPlanner<f32>>();
     }
 
     #[test]
     fn global_cache_shares_tables_across_planners() {
-        let a = FftPlanner::new().plan(4096);
-        let b = FftPlanner::new().plan(4096);
+        let a = FftPlanner::<f64>::new().plan(4096);
+        let b = FftPlanner::<f64>::new().plan(4096);
         // Same Arc, not merely equal contents: the tables were built once.
         assert!(Arc::ptr_eq(&a.algo, &b.algo));
-        assert!(global_cached_len_count() >= 1);
+        assert!(global_cached_len_count::<f64>() >= 1);
+    }
+
+    #[test]
+    fn precisions_have_independent_caches() {
+        let wide = FftPlanner::<f64>::new().plan(96);
+        let narrow = FftPlanner::<f32>::new().plan(96);
+        assert_eq!(wide.len(), narrow.len());
+        // An f32 transform through the narrow plan stays close to the f64
+        // transform of the same data through the wide plan.
+        let x64: Vec<Complex64> =
+            (0..96).map(|i| Complex64::new((i as f64 * 0.21).sin(), 0.3)).collect();
+        let mut a = x64.clone();
+        wide.forward(&mut a);
+        let mut b: Vec<Complex32> = x64.iter().map(|z| z.to_c32()).collect();
+        narrow.forward(&mut b);
+        for (w, n) in a.iter().zip(&b) {
+            assert!((*w - n.to_c64()).norm() < 1e-3);
+        }
     }
 
     #[test]

@@ -5,20 +5,38 @@
 //! precomputed once per plan so repeated transforms of the same size — the
 //! common case when propagating many depth planes of identical resolution —
 //! pay no trigonometry.
+//!
+//! # Twiddle layout
+//!
+//! The butterfly loop of pass `len` historically read a master length-`n/2`
+//! table at stride `n/len`, so early passes touched one cache line per
+//! twiddle. The plan now stores **per-stage contiguous tables** (flattened
+//! into one buffer, `n−1` entries per direction): each pass walks its
+//! twiddles sequentially, and the inverse direction gets its own
+//! pre-conjugated table so the hot loop carries no `invert` branch. The
+//! values are copied from the same `f64`-evaluated master table, so results
+//! are unchanged.
 
-use crate::complex::Complex64;
+use crate::complex::Complex;
+use crate::real::Real;
 
 /// Precomputed state for radix-2 transforms of one fixed length.
+///
+/// Generic over scalar precision; `Radix2Plan` in type positions defaults to
+/// the `f64` reference precision.
 #[derive(Debug, Clone)]
-pub struct Radix2Plan {
+pub struct Radix2Plan<T: Real = f64> {
     n: usize,
-    /// Twiddles for the *forward* transform: `e^{-2πik/n}` for `k < n/2`.
-    twiddles: Vec<Complex64>,
+    /// Forward per-stage twiddles, stages concatenated smallest first:
+    /// pass `len` owns the `len/2` entries `e^{-2πik/len}`, `k < len/2`.
+    fwd: Vec<Complex<T>>,
+    /// The same layout, conjugated, for the inverse direction.
+    inv: Vec<Complex<T>>,
     /// Bit-reversal permutation indices.
     rev: Vec<u32>,
 }
 
-impl Radix2Plan {
+impl<T: Real> Radix2Plan<T> {
     /// Builds a plan for length `n`.
     ///
     /// # Panics
@@ -27,9 +45,24 @@ impl Radix2Plan {
     pub fn new(n: usize) -> Self {
         assert!(n.is_power_of_two(), "radix-2 plan requires a power-of-two length, got {n}");
         let half = n / 2;
-        let mut twiddles = Vec::with_capacity(half);
+        // Master table in f64: e^{-2πik/n} for k < n/2. Per-stage tables are
+        // copies of these values (stage `len` reads stride n/len), narrowed
+        // once, so both precisions derive from the same f64 trigonometry.
+        let mut master = Vec::with_capacity(half);
         for k in 0..half {
-            twiddles.push(Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64));
+            master.push(Complex::<T>::cis_f64(-2.0 * std::f64::consts::PI * k as f64 / n as f64));
+        }
+        let mut fwd = Vec::with_capacity(n.saturating_sub(1));
+        let mut inv = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2;
+        while len <= n {
+            let stride = n / len;
+            for k in 0..len / 2 {
+                let w = master[k * stride];
+                fwd.push(w);
+                inv.push(w.conj());
+            }
+            len *= 2;
         }
         let bits = n.trailing_zeros();
         let mut rev = vec![0u32; n];
@@ -38,7 +71,7 @@ impl Radix2Plan {
             // index to 0, so no special case is needed.
             *r = (i as u32).reverse_bits() >> (32 - bits.max(1));
         }
-        Radix2Plan { n, twiddles, rev }
+        Radix2Plan { n, fwd, inv, rev }
     }
 
     /// The transform length this plan was built for.
@@ -56,8 +89,8 @@ impl Radix2Plan {
     /// # Panics
     ///
     /// Panics if `buf.len() != self.len()`.
-    pub fn forward(&self, buf: &mut [Complex64]) {
-        self.run(buf, false);
+    pub fn forward(&self, buf: &mut [Complex<T>]) {
+        self.run(buf, &self.fwd);
     }
 
     /// Inverse transform, in place, including the `1/n` normalization.
@@ -65,15 +98,15 @@ impl Radix2Plan {
     /// # Panics
     ///
     /// Panics if `buf.len() != self.len()`.
-    pub fn inverse(&self, buf: &mut [Complex64]) {
-        self.run(buf, true);
-        let k = 1.0 / self.n as f64;
+    pub fn inverse(&self, buf: &mut [Complex<T>]) {
+        self.run(buf, &self.inv);
+        let k = T::from_usize(self.n).recip();
         for v in buf.iter_mut() {
             *v = v.scale(k);
         }
     }
 
-    fn run(&self, buf: &mut [Complex64], invert: bool) {
+    fn run(&self, buf: &mut [Complex<T>], stage_twiddles: &[Complex<T>]) {
         let n = self.n;
         assert_eq!(buf.len(), n, "buffer length {} does not match plan length {n}", buf.len());
         if n == 1 {
@@ -86,24 +119,22 @@ impl Radix2Plan {
                 buf.swap(i, j);
             }
         }
-        // Butterfly passes. `stride` is how far apart consecutive twiddles of
-        // this pass sit in the length-n/2 twiddle table.
+        // Butterfly passes: pass `len` reads its own contiguous twiddle
+        // table at `stage_twiddles[base..base + len/2]`.
         let mut len = 2;
+        let mut base = 0;
         while len <= n {
             let half = len / 2;
-            let stride = n / len;
+            let twiddles = &stage_twiddles[base..base + half];
             for start in (0..n).step_by(len) {
-                for k in 0..half {
-                    let mut w = self.twiddles[k * stride];
-                    if invert {
-                        w = w.conj();
-                    }
+                for (k, w) in twiddles.iter().enumerate() {
                     let a = buf[start + k];
-                    let b = buf[start + k + half] * w;
+                    let b = buf[start + k + half] * *w;
                     buf[start + k] = a + b;
                     buf[start + k + half] = a - b;
                 }
             }
+            base += half;
             len *= 2;
         }
     }
@@ -112,6 +143,7 @@ impl Radix2Plan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::complex::{Complex32, Complex64};
     use crate::dft;
 
     fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
@@ -170,7 +202,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "power-of-two")]
     fn rejects_non_power_of_two() {
-        Radix2Plan::new(12);
+        Radix2Plan::<f64>::new(12);
     }
 
     #[test]
@@ -190,5 +222,34 @@ mod tests {
         plan.forward(&mut a);
         plan.forward(&mut b);
         assert_close(&a, &b, 0.0 + f64::EPSILON);
+    }
+
+    #[test]
+    fn f32_plan_tracks_f64_reference() {
+        for n in [4usize, 16, 128] {
+            let x = signal(n);
+            let mut narrow: Vec<Complex32> = x.iter().map(|z| z.to_c32()).collect();
+            Radix2Plan::new(n).forward(&mut narrow);
+            let wide = dft::forward(&x);
+            for (a, b) in narrow.iter().zip(&wide) {
+                assert!(
+                    (a.to_c64() - *b).norm() < 1e-3 * n as f64,
+                    "n={n}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip_is_near_identity() {
+        let n = 64;
+        let plan: Radix2Plan<f32> = Radix2Plan::new(n);
+        let x: Vec<Complex32> = signal(n).iter().map(|z| z.to_c32()).collect();
+        let mut buf = x.clone();
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&x) {
+            assert!((*a - *b).norm() < 1e-4);
+        }
     }
 }

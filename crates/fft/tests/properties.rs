@@ -1,7 +1,9 @@
 //! Property-based tests for the FFT substrate: algebraic identities that must
 //! hold for every length and every input, fast path or slow path.
 
-use holoar_fft::{dft, fftshift, ifftshift, Complex64, Fft2d, FftPlanner, Parallelism};
+use holoar_fft::{
+    dft, fftshift, ifftshift, transpose_into, Complex64, Fft2d, FftPlanner, Parallelism,
+};
 use proptest::prelude::*;
 
 fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
@@ -122,6 +124,91 @@ proptest! {
             );
             prop_assert!((*s - *f * phase).norm() <= 1e-8 * mag);
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path specializations must be invisible in the numbers: the packed
+// real-input row kernel and the cache-blocked transpose are pure
+// reorganizations of the same arithmetic and data movement.
+// ---------------------------------------------------------------------------
+
+fn real_shape_and_data() -> impl Strategy<Value = (usize, usize, Vec<Complex64>)> {
+    // Shapes up to 20×20 cover radix-2 and Bluestein row/column lengths and
+    // both parities of the row count (odd = one unpaired trailing row).
+    (1usize..20, 1usize..20).prop_flat_map(|(rows, cols)| {
+        prop::collection::vec(
+            (-1e3f64..1e3).prop_map(|re| Complex64::new(re, 0.0)),
+            rows * cols..=rows * cols,
+        )
+        .prop_map(move |data| (rows, cols, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `forward` on a purely real buffer is bit-identical to `forward_real`
+    /// (the public complex entry point dispatches to the packed real
+    /// kernel), for every shape and worker count.
+    #[test]
+    fn real_input_dispatch_is_bit_identical(
+        (rows, cols, x) in real_shape_and_data(),
+        workers in prop::sample::select(vec![1usize, 2, 7]),
+    ) {
+        let fft = Fft2d::with_parallelism(rows, cols, Parallelism::new(workers));
+        let mut via_forward = x.clone();
+        fft.forward(&mut via_forward);
+        let mut via_real = x.clone();
+        fft.forward_real(&mut via_real);
+        prop_assert_eq!(&via_forward, &via_real);
+        // And the parallel fan-out stays invisible for the real path too.
+        let mut serial = x.clone();
+        Fft2d::new(rows, cols).forward(&mut serial);
+        prop_assert_eq!(&via_forward, &serial);
+    }
+
+    /// The packed real-input transform agrees with the O(n²) reference DFT
+    /// on both rows and columns.
+    #[test]
+    fn real_input_fft_matches_reference((rows, cols, x) in real_shape_and_data()) {
+        let mut fast = x.clone();
+        Fft2d::new(rows, cols).forward(&mut fast);
+        // Reference: 1-D DFT of every row, then of every column.
+        let mut slow: Vec<Complex64> = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            slow.extend(dft::forward(&x[r * cols..(r + 1) * cols]));
+        }
+        let mut out = vec![Complex64::ZERO; rows * cols];
+        for c in 0..cols {
+            let col: Vec<Complex64> = (0..rows).map(|r| slow[r * cols + c]).collect();
+            for (r, v) in dft::forward(&col).into_iter().enumerate() {
+                out[r * cols + c] = v;
+            }
+        }
+        let scale: f64 = x.iter().map(|z| z.norm()).sum::<f64>().max(1.0);
+        for (a, b) in fast.iter().zip(&out) {
+            prop_assert!((*a - *b).norm() <= 1e-9 * scale);
+        }
+    }
+
+    /// The cache-blocked transpose is bit-identical to the naive nested
+    /// loop for every shape, including Bluestein (non-power-of-two) ones
+    /// and shapes straddling the tile edge.
+    #[test]
+    fn blocked_transpose_matches_naive(rows in 1usize..70, cols in 1usize..70) {
+        let x: Vec<Complex64> = (0..rows * cols)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let mut blocked = vec![Complex64::ZERO; rows * cols];
+        transpose_into(&x, rows, cols, &mut blocked);
+        let mut naive = vec![Complex64::ZERO; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                naive[c * rows + r] = x[r * cols + c];
+            }
+        }
+        prop_assert_eq!(blocked, naive);
     }
 }
 

@@ -21,7 +21,7 @@
 use crate::depthmap::{DepthMap, PlaneStack};
 use crate::field::{Field, OpticalConfig};
 use crate::propagate::Propagator;
-use holoar_fft::{ExecutionContext, Parallelism};
+use holoar_fft::ExecutionContext;
 
 /// Instrumentation counters for one hologram computation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,22 +88,6 @@ pub fn depthmap_hologram(
 ) -> HologramResult {
     let stack = depthmap.slice(plane_count, config);
     hologram_from_planes(&stack, config, ctx)
-}
-
-/// [`depthmap_hologram`] with the per-plane propagations fanned out over
-/// `par`.
-///
-/// # Panics
-///
-/// Panics if `plane_count == 0`.
-#[deprecated(note = "construct an ExecutionContext and call `depthmap_hologram`")]
-pub fn depthmap_hologram_with(
-    depthmap: &DepthMap,
-    plane_count: usize,
-    config: OpticalConfig,
-    par: &Parallelism,
-) -> HologramResult {
-    depthmap_hologram(depthmap, plane_count, config, &ExecutionContext::from_parallelism(par.clone()))
 }
 
 /// Computes a hologram from an already-sliced plane stack.
@@ -188,21 +172,6 @@ pub fn hologram_from_planes(
         inter_block_syncs: 2,
     };
     HologramResult { hologram, stats }
-}
-
-/// [`hologram_from_planes`] with the backward `DP2HP` sweep fanned out over
-/// `par`.
-///
-/// # Panics
-///
-/// Panics if the stack is empty.
-#[deprecated(note = "construct an ExecutionContext and call `hologram_from_planes`")]
-pub fn hologram_from_planes_with(
-    stack: &PlaneStack,
-    config: OpticalConfig,
-    par: &Parallelism,
-) -> HologramResult {
-    hologram_from_planes(stack, config, &ExecutionContext::from_parallelism(par.clone()))
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 use crate::depthmap::PlaneStack;
 use crate::field::{Field, OpticalConfig};
 use crate::propagate::Propagator;
-use holoar_fft::{Complex64, ExecutionContext, Parallelism};
+use holoar_fft::{Complex64, ExecutionContext};
 
 /// Configuration for the GSW loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,21 +85,6 @@ pub fn run(
     results.swap_remove(0)
 }
 
-/// [`run`] with depth planes fanned out over `par`.
-///
-/// # Panics
-///
-/// Panics if the stack is empty or `config.iterations == 0`.
-#[deprecated(note = "construct an ExecutionContext and call `gsw::run`")]
-pub fn run_with(
-    stack: &PlaneStack,
-    optics: OpticalConfig,
-    config: GswConfig,
-    par: &Parallelism,
-) -> GswResult {
-    run(stack, optics, config, &ExecutionContext::from_parallelism(par.clone()))
-}
-
 /// Per-stack mutable state for the lockstep batched GSW loop.
 struct StackState {
     rows: usize,
@@ -145,6 +130,9 @@ pub fn run_batch(
     let _span = holoar_telemetry::span_cat("optics.gsw.run_batch", "optics");
     let total_planes: usize = stacks.iter().map(|s| s.len()).sum();
     holoar_telemetry::gauge_set("optics.gsw.planes", total_planes as f64);
+    if ctx.precision() == holoar_fft::Precision::F32 {
+        holoar_telemetry::counter_add("optics.gsw.precision_f32", 1);
+    }
     let par = ctx.parallelism().clone();
     let mut prop = Propagator::with_context(ctx);
 
@@ -397,18 +385,6 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_matches_context_path() {
-        let dm = spots_map(32, &[(8, 8, 0.01), (24, 24, 0.02)]);
-        let cfg = OpticalConfig::default();
-        let gsw_cfg = GswConfig { iterations: 2, adaptivity: 1.0 };
-        let via_ctx = run(&dm.slice(2, cfg), cfg, gsw_cfg, &ctx());
-        let via_wrapper = run_with(&dm.slice(2, cfg), cfg, gsw_cfg, &Parallelism::serial());
-        assert_eq!(via_ctx.hologram.samples(), via_wrapper.hologram.samples());
-        assert_eq!(via_ctx.uniformity.to_bits(), via_wrapper.uniformity.to_bits());
     }
 
     #[test]

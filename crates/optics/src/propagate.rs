@@ -24,7 +24,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-use holoar_fft::{Complex64, ExecutionContext, Fft2d, Parallelism};
+use holoar_fft::{Complex32, Complex64, ExecutionContext, Fft2d, Parallelism, Precision};
 
 use crate::field::{Field, OpticalConfig};
 
@@ -32,18 +32,33 @@ use crate::field::{Field, OpticalConfig};
 /// distance, wavelength and pixel pitch that define it.
 type TransferKey = (usize, usize, u64, u64, u64);
 
+/// Shared FFT-plan map at one scalar precision.
+type FftMap<T> = Arc<Mutex<HashMap<(usize, usize), Fft2d<T>>>>;
+
+/// Shared transfer-function map at one complex width.
+type TransferMap<C> = Arc<Mutex<HashMap<TransferKey, Arc<Vec<C>>>>>;
+
 /// The [`ExecutionContext`] shared slot a context-built propagator pulls its
 /// caches from: every propagator constructed from the same context (or a
-/// clone of it) shares one FFT-plan map and one transfer-function map.
+/// clone of it) shares one FFT-plan map and one transfer-function map (per
+/// precision).
 #[derive(Debug, Default)]
 struct PropagatorCaches {
-    ffts: Arc<Mutex<HashMap<(usize, usize), Fft2d>>>,
-    transfer: Arc<Mutex<HashMap<TransferKey, Arc<Vec<Complex64>>>>>,
+    ffts: FftMap<f64>,
+    transfer: TransferMap<Complex64>,
+    ffts32: FftMap<f32>,
+    transfer32: TransferMap<Complex32>,
 }
 
-/// A plane's prepared propagation inputs: a serial FFT twin plus the shared
-/// transfer function, or `None` for the zero-distance identity.
-type PreparedPlane = Option<(Fft2d, Arc<Vec<Complex64>>)>;
+/// A plane's prepared propagation inputs: the zero-distance identity, or a
+/// serial FFT twin plus the shared transfer function at the propagator's
+/// precision.
+#[derive(Debug)]
+enum PreparedPlane {
+    Identity,
+    Wide(Fft2d, Arc<Vec<Complex64>>),
+    Narrow(Fft2d<f32>, Arc<Vec<Complex32>>),
+}
 
 /// Angular-spectrum propagator with cached plans and transfer functions.
 ///
@@ -68,15 +83,23 @@ type PreparedPlane = Option<(Fft2d, Arc<Vec<Complex64>>)>;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Propagator {
-    ffts: Arc<Mutex<HashMap<(usize, usize), Fft2d>>>,
+    ffts: FftMap<f64>,
     /// Transfer functions, `Arc`-shared so batch workers borrow them
     /// without copying.
-    transfer: Arc<Mutex<HashMap<TransferKey, Arc<Vec<Complex64>>>>>,
+    transfer: TransferMap<Complex64>,
+    /// f32 twins of the two caches above, populated only when the
+    /// propagator runs at [`Precision::F32`]. The f32 transfer tables are
+    /// narrowed from the cached f64 tables, not rebuilt, so both precisions
+    /// share one trigonometry pass per distance.
+    ffts32: FftMap<f32>,
+    transfer32: TransferMap<Complex32>,
     par: Parallelism,
+    precision: Precision,
 }
 
 impl Propagator {
-    /// Creates an empty serial propagator.
+    /// Creates an empty serial propagator (at the default `f64` reference
+    /// precision).
     pub fn new() -> Self {
         Self::default()
     }
@@ -88,22 +111,39 @@ impl Propagator {
     }
 
     /// Creates a propagator bound to an [`ExecutionContext`]: it fans out
-    /// over the context's worker pool and shares FFT-plan and
-    /// transfer-function caches with every other propagator built from the
-    /// same context. This is how the serving layer lets all sessions
-    /// multiplexed onto one device reuse each other's transfer functions.
+    /// over the context's worker pool, runs its hot loops at the context's
+    /// [`Precision`], and shares FFT-plan and transfer-function caches with
+    /// every other propagator built from the same context. This is how the
+    /// serving layer lets all sessions multiplexed onto one device reuse
+    /// each other's transfer functions.
     pub fn with_context(ctx: &ExecutionContext) -> Self {
         let caches = ctx.shared("optics.propagator.caches", PropagatorCaches::default);
         Propagator {
             ffts: Arc::clone(&caches.ffts),
             transfer: Arc::clone(&caches.transfer),
+            ffts32: Arc::clone(&caches.ffts32),
+            transfer32: Arc::clone(&caches.transfer32),
             par: ctx.parallelism().clone(),
+            precision: ctx.precision(),
         }
+    }
+
+    /// This propagator with its hot-loop precision overridden (caches and
+    /// pool are shared with `self`). Fields stay `f64` at the boundary
+    /// either way; [`Precision::F32`] narrows the samples and transfer
+    /// table around the transform and widens the result back.
+    pub fn with_precision(&self, precision: Precision) -> Self {
+        Propagator { precision, ..self.clone() }
     }
 
     /// The pool handle this propagator fans out over.
     pub fn parallelism(&self) -> &Parallelism {
         &self.par
+    }
+
+    /// The scalar precision propagation hot loops run at.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Propagates `field` by a signed distance `z` (meters). Positive `z`
@@ -121,9 +161,18 @@ impl Propagator {
             return field.clone();
         }
         let _span = holoar_telemetry::span_cat("optics.propagate", "optics");
-        let fft = self.fft_for(field.rows(), field.cols());
-        let h = self.transfer_for(field.rows(), field.cols(), field.config(), z);
-        apply_transfer(field, &fft, &h)
+        match self.precision {
+            Precision::F64 => {
+                let fft = self.fft_for(field.rows(), field.cols());
+                let h = self.transfer_for(field.rows(), field.cols(), field.config(), z);
+                apply_transfer(field, &fft, &h)
+            }
+            Precision::F32 => {
+                let fft = self.fft32_for(field.rows(), field.cols());
+                let h = self.transfer32_for(field.rows(), field.cols(), field.config(), z);
+                apply_transfer32(field, &fft, &h)
+            }
+        }
     }
 
     /// Propagates one field to many distances concurrently, returning the
@@ -142,17 +191,14 @@ impl Propagator {
         let (rows, cols) = (field.rows(), field.cols());
         // Warm both caches serially so insertion order (and therefore
         // `cached_transfer_count`) matches the serial loop exactly.
-        let fft = self.fft_for(rows, cols).serial_equivalent();
-        let jobs: Vec<Option<Arc<Vec<Complex64>>>> = zs
+        let jobs: Vec<PreparedPlane> = zs
             .iter()
-            .map(|&z| {
-                assert!(z.is_finite(), "propagation distance must be finite");
-                (z != 0.0).then(|| self.transfer_for(rows, cols, field.config(), z))
-            })
+            .map(|&z| self.prepare(rows, cols, field.config(), z))
             .collect();
-        self.par.map(&jobs, |transfer| match transfer {
-            None => field.clone(),
-            Some(h) => apply_transfer(field, &fft, h),
+        self.par.map(&jobs, |prepared| match prepared {
+            PreparedPlane::Identity => field.clone(),
+            PreparedPlane::Wide(fft, h) => apply_transfer(field, fft, h),
+            PreparedPlane::Narrow(fft, h) => apply_transfer32(field, fft, h),
         })
     }
 
@@ -173,19 +219,39 @@ impl Propagator {
             .iter()
             .zip(zs)
             .map(|(field, &z)| {
-                assert!(z.is_finite(), "propagation distance must be finite");
-                let prepared = (z != 0.0).then(|| {
-                    let fft = self.fft_for(field.rows(), field.cols()).serial_equivalent();
-                    let h = self.transfer_for(field.rows(), field.cols(), field.config(), z);
-                    (fft, h)
-                });
-                (field, prepared)
+                (field, self.prepare(field.rows(), field.cols(), field.config(), z))
             })
             .collect();
         self.par.map(&jobs, |(field, prepared)| match prepared {
-            None => (*field).clone(),
-            Some((fft, h)) => apply_transfer(field, fft, h),
+            PreparedPlane::Identity => (*field).clone(),
+            PreparedPlane::Wide(fft, h) => apply_transfer(field, fft, h),
+            PreparedPlane::Narrow(fft, h) => apply_transfer32(field, fft, h),
         })
+    }
+
+    /// Resolves one plane's propagation inputs at this propagator's
+    /// precision, warming the plan and transfer caches serially (so cache
+    /// insertion order matches the serial loop exactly). The returned FFT
+    /// twin is serial: batch entry points parallelize *across* planes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is not finite.
+    fn prepare(&self, rows: usize, cols: usize, cfg: OpticalConfig, z: f64) -> PreparedPlane {
+        assert!(z.is_finite(), "propagation distance must be finite");
+        if z == 0.0 {
+            return PreparedPlane::Identity;
+        }
+        match self.precision {
+            Precision::F64 => PreparedPlane::Wide(
+                self.fft_for(rows, cols).serial_equivalent(),
+                self.transfer_for(rows, cols, cfg, z),
+            ),
+            Precision::F32 => PreparedPlane::Narrow(
+                self.fft32_for(rows, cols).serial_equivalent(),
+                self.transfer32_for(rows, cols, cfg, z),
+            ),
+        }
     }
 
     /// `HP2DP` from Algorithm 1: hologram plane → the depth plane at distance
@@ -228,6 +294,20 @@ impl Propagator {
         }
     }
 
+    /// The cached (or newly planned) f32 FFT for a shape.
+    fn fft32_for(&self, rows: usize, cols: usize) -> Fft2d<f32> {
+        match holoar_fft::lock_unpoisoned(&self.ffts32).entry((rows, cols)) {
+            std::collections::hash_map::Entry::Occupied(hit) => {
+                holoar_telemetry::counter_add("optics.fft_cache.hit", 1);
+                hit.get().clone()
+            }
+            std::collections::hash_map::Entry::Vacant(miss) => {
+                holoar_telemetry::counter_add("optics.fft_cache.miss", 1);
+                miss.insert(Fft2d::with_parallelism(rows, cols, self.par.clone())).clone()
+            }
+        }
+    }
+
     /// The cached (or newly built) transfer function for a shape/distance.
     fn transfer_for(
         &self,
@@ -257,6 +337,31 @@ impl Propagator {
             }
         }
     }
+
+    /// The cached f32 transfer function for a shape/distance, narrowed from
+    /// the cached f64 table (one trigonometry pass serves both precisions).
+    fn transfer32_for(
+        &self,
+        rows: usize,
+        cols: usize,
+        cfg: OpticalConfig,
+        z: f64,
+    ) -> Arc<Vec<Complex32>> {
+        let key =
+            (rows, cols, z.to_bits(), cfg.wavelength.to_bits(), cfg.pitch.to_bits());
+        if let Some(hit) = holoar_fft::lock_unpoisoned(&self.transfer32).get(&key) {
+            holoar_telemetry::counter_add("optics.transfer_cache.hit", 1);
+            return Arc::clone(hit);
+        }
+        holoar_telemetry::counter_add("optics.transfer_cache.miss", 1);
+        // Narrow outside the lock: transfer_for takes the f64 map's lock.
+        let wide = self.transfer_for(rows, cols, cfg, z);
+        let narrow = Arc::new(wide.iter().map(|t| t.to_c32()).collect::<Vec<Complex32>>());
+        holoar_fft::lock_unpoisoned(&self.transfer32)
+            .entry(key)
+            .or_insert(narrow)
+            .clone()
+    }
 }
 
 /// The core propagation step: FFT → multiply by `H` → inverse FFT.
@@ -268,6 +373,22 @@ fn apply_transfer(field: &Field, fft: &Fft2d, h: &[Complex64]) -> Field {
     }
     fft.inverse(&mut spectrum);
     Field::from_data(field.rows(), field.cols(), field.config(), spectrum)
+}
+
+/// [`apply_transfer`] with the transform and multiply in f32: samples narrow
+/// on the way in and widen on the way out, so the [`Field`] boundary stays
+/// `f64`. Purely real inputs keep exact zero imaginary parts under
+/// narrowing, so the real-input FFT fast path still fires.
+fn apply_transfer32(field: &Field, fft: &Fft2d<f32>, h: &[Complex32]) -> Field {
+    let mut spectrum: Vec<Complex32> =
+        field.samples().iter().map(|s| s.to_c32()).collect();
+    fft.forward(&mut spectrum);
+    for (s, t) in spectrum.iter_mut().zip(h) {
+        *s *= *t;
+    }
+    fft.inverse(&mut spectrum);
+    let wide: Vec<Complex64> = spectrum.iter().map(|s| s.to_c64()).collect();
+    Field::from_data(field.rows(), field.cols(), field.config(), wide)
 }
 
 /// Builds the (band-limited) angular-spectrum transfer function for a
@@ -468,6 +589,75 @@ mod tests {
     #[should_panic(expected = "must be finite")]
     fn non_finite_distance_panics() {
         Propagator::new().propagate(&point_source(8), f64::NAN);
+    }
+
+    fn gaussian(n: usize) -> Field {
+        let cfg = OpticalConfig::default();
+        let mut f = Field::zeros(n, n, cfg);
+        for r in 0..n {
+            for c in 0..n {
+                let dr = r as f64 - n as f64 / 2.0;
+                let dc = c as f64 - n as f64 / 2.0;
+                f.set(r, c, Complex64::new((-(dr * dr + dc * dc) / 40.0).exp(), 0.0));
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn f32_precision_tracks_f64_within_tolerance() {
+        let f = gaussian(32);
+        let mut wide = Propagator::new();
+        let mut narrow = wide.with_precision(Precision::F32);
+        assert_eq!(narrow.precision(), Precision::F32);
+        let a = wide.propagate(&f, 0.002);
+        let b = narrow.propagate(&f, 0.002);
+        let scale = f.total_energy().sqrt().max(1.0);
+        for (x, y) in a.samples().iter().zip(b.samples()) {
+            assert!((*x - *y).norm() < 1e-3 * scale, "{x} vs {y}");
+        }
+        // Precision is a compute policy, not a physics change: energy still
+        // approximately conserved through the narrow path.
+        assert!((a.total_energy() - b.total_energy()).abs() / a.total_energy() < 1e-3);
+    }
+
+    #[test]
+    fn context_precision_reaches_the_propagator() {
+        let ctx = holoar_fft::ExecutionContext::builder().precision(Precision::F32).build();
+        let p = Propagator::with_context(&ctx);
+        assert_eq!(p.precision(), Precision::F32);
+        assert_eq!(Propagator::new().precision(), Precision::F64);
+    }
+
+    #[test]
+    fn f32_batches_are_bit_identical_across_worker_counts() {
+        let f = gaussian(24);
+        let zs = [0.001, 0.0, -0.002, 0.003];
+        let serial: Vec<Field> = {
+            let mut p = Propagator::new().with_precision(Precision::F32);
+            zs.iter().map(|&z| p.propagate(&f, z)).collect()
+        };
+        for workers in [2usize, 7] {
+            let mut p = Propagator::with_parallelism(Parallelism::new(workers))
+                .with_precision(Precision::F32);
+            let batch = p.propagate_batch(&f, &zs);
+            for (i, (a, b)) in batch.iter().zip(&serial).enumerate() {
+                assert_eq!(a.samples(), b.samples(), "plane {i} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_transfer_tables_narrow_the_cached_f64_tables() {
+        let f = gaussian(16);
+        let mut p = Propagator::new().with_precision(Precision::F32);
+        p.propagate(&f, 0.001);
+        // The narrow path warms the wide cache too (tables are narrowed,
+        // not rebuilt), so the shared count reflects one distance.
+        assert_eq!(p.cached_transfer_count(), 1);
+        let mut wide = p.with_precision(Precision::F64);
+        wide.propagate(&f, 0.001); // hit, not a rebuild
+        assert_eq!(p.cached_transfer_count(), 1);
     }
 
     #[test]

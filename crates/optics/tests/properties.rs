@@ -227,6 +227,68 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Precision policy: the f32 compute path is a throughput choice, not a
+// physics change — on Objectron-statistics scenes (16×16 maps, depths in
+// the 4–10 mm band the dataset slices to) its output must stay within
+// tolerance of the f64 reference.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// f32 propagation tracks the f64 reference sample-by-sample.
+    #[test]
+    fn f32_propagation_within_tolerance(field in arb_smooth_field(), z_um in 100.0f64..3000.0) {
+        use holoar_fft::Precision;
+        let z = z_um * 1e-6;
+        prop_assume!(field.total_energy() > 1e-6);
+        let wide = Propagator::new().propagate(&field, z);
+        let narrow = Propagator::new().with_precision(Precision::F32).propagate(&field, z);
+        let scale = field.total_energy().sqrt();
+        for (a, b) in wide.samples().iter().zip(narrow.samples()) {
+            prop_assert!((*a - *b).norm() < 1e-3 * scale, "{a} vs {b}");
+        }
+    }
+
+    /// An f32 GSW run reconstructs the same scene as the f64 reference:
+    /// summary metrics agree and the per-plane reconstructions (driven by
+    /// the f64 reference propagator) match within a small relative error.
+    #[test]
+    fn gsw_f32_matches_f64_within_tolerance(dm in arb_depthmap(), planes in 1usize..4) {
+        use holoar_fft::Precision;
+        use holoar_optics::{gsw, GswConfig};
+        prop_assume!(dm.lit_pixel_count() > 0);
+        let cfg = OpticalConfig::default();
+        let gsw_cfg = GswConfig { iterations: 2, adaptivity: 1.0 };
+        let stack = dm.slice(planes, cfg);
+        let wide = gsw::run(&stack, cfg, gsw_cfg, &ExecutionContext::serial());
+        let narrow_ctx = ExecutionContext::builder().precision(Precision::F32).build();
+        let narrow = gsw::run(&stack, cfg, gsw_cfg, &narrow_ctx);
+        prop_assert!(
+            (wide.uniformity - narrow.uniformity).abs() < 0.05,
+            "uniformity {} vs {}", wide.uniformity, narrow.uniformity
+        );
+        prop_assert!(
+            (wide.efficiency - narrow.efficiency).abs() < 0.05,
+            "efficiency {} vs {}", wide.efficiency, narrow.efficiency
+        );
+        let mut reference = Propagator::new();
+        for plane in stack.iter() {
+            let a = reference.propagate(&wide.hologram, plane.z);
+            let b = reference.propagate(&narrow.hologram, plane.z);
+            let err: f64 = a
+                .intensity()
+                .iter()
+                .zip(b.intensity())
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum();
+            let norm: f64 = a.intensity().iter().map(|x| x * x).sum::<f64>().max(1e-12);
+            prop_assert!(err / norm < 0.05, "relative intensity error {}", err / norm);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Telemetry is observation only: enabling `full` tracing must not change a
 // single bit of the optical output, serial or parallel.
 // ---------------------------------------------------------------------------

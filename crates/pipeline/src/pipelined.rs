@@ -13,7 +13,7 @@
 
 use crate::schedule::{FrameLatencies, StageWorst};
 use crate::task::TaskKind;
-use holoar_fft::{ExecutionContext, Parallelism};
+use holoar_fft::ExecutionContext;
 
 /// Steady-state behaviour of a pipelined execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -66,21 +66,7 @@ pub fn run_pipelined<F: Fn(u64) -> FrameLatencies + Sync>(
     summarize(&latencies)
 }
 
-/// Deprecated `Parallelism`-taking twin of [`run_pipelined`].
-///
-/// # Panics
-///
-/// Panics if `frames == 0`.
-#[deprecated(note = "construct an ExecutionContext and call `run_pipelined`")]
-pub fn run_pipelined_with<F: Fn(u64) -> FrameLatencies + Sync>(
-    frames: u64,
-    frame_fn: F,
-    par: &Parallelism,
-) -> PipelinedReport {
-    run_pipelined(frames, frame_fn, &ExecutionContext::from_parallelism(par.clone()))
-}
-
-/// Serial, frame-ordered reduction shared by both entry points.
+/// Serial, frame-ordered reduction behind [`run_pipelined`].
 fn summarize(latencies: &[FrameLatencies]) -> PipelinedReport {
     let _span = holoar_telemetry::span_cat("pipeline.summarize", "pipeline");
     let frames = latencies.len() as u64;
@@ -188,9 +174,6 @@ mod tests {
             let par = run_pipelined(25, frame_fn, &ExecutionContext::with_workers(workers));
             assert_eq!(par, serial, "workers {workers}");
         }
-        #[allow(deprecated)]
-        let legacy = run_pipelined_with(25, frame_fn, &Parallelism::new(2));
-        assert_eq!(legacy, serial, "deprecated wrapper");
     }
 
     #[test]
