@@ -23,6 +23,21 @@ fn spans_burst() -> usize {
     black_box(n)
 }
 
+/// The histogram path now feeds a quantile sketch on every record; this
+/// burst times that whole site (bucket increment + sketch key/increment)
+/// so the sketch's cost stays visible in the bench report.
+fn histogram_burst() -> usize {
+    let mut n = 0usize;
+    for i in 0..SPANS_PER_ITER {
+        holoar_telemetry::histogram_record_us(
+            "pipeline.sim_frame_latency_us",
+            black_box(10.0 + (i % 97) as f64),
+        );
+        n += 1;
+    }
+    black_box(n)
+}
+
 fn bench_telemetry_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("telemetry_overhead");
     group.sample_size(20);
@@ -38,6 +53,19 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
                 holoar_telemetry::set_mode(mode);
                 holoar_telemetry::reset();
                 b.iter(spans_burst);
+                holoar_telemetry::set_mode(TelemetryMode::Off);
+                holoar_telemetry::reset();
+            },
+        );
+    }
+    for (mode, label) in [(TelemetryMode::Off, "off"), (TelemetryMode::Summary, "summary")] {
+        group.bench_with_input(
+            BenchmarkId::new("histogram_sketch", label),
+            &mode,
+            |b, &mode| {
+                holoar_telemetry::set_mode(mode);
+                holoar_telemetry::reset();
+                b.iter(histogram_burst);
                 holoar_telemetry::set_mode(TelemetryMode::Off);
                 holoar_telemetry::reset();
             },

@@ -8,6 +8,12 @@
 //! multi-session load generator (sweeping fleet sizes unless `--sessions`
 //! pins one) and optionally exports the sweep as `BENCH_serve.json`.
 //!
+//! Observability: `repro slo [--sessions N] [--slo-json FILE]` renders the
+//! SLO dashboard for one fleet (default 8 sessions) — sketch quantiles,
+//! error budgets, burn-rate alerts, critical-path attribution — and writes
+//! `BENCH_slo.json` (the default path when the `slo` experiment is
+//! requested explicitly; `--slo-json` overrides it).
+//!
 //! `repro lint [...]` runs the workspace static-analysis pass instead
 //! (see the `holoar-lint` crate); remaining arguments go to the linter.
 //!
@@ -39,6 +45,7 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut serve_json_path: Option<String> = None;
+    let mut slo_json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -66,6 +73,11 @@ fn main() {
                     args.next().unwrap_or_else(|| die("--serve-json requires a file path")),
                 );
             }
+            "--slo-json" => {
+                slo_json_path = Some(
+                    args.next().unwrap_or_else(|| die("--slo-json requires a file path")),
+                );
+            }
             "--sessions" => {
                 cfg.sessions = Some(
                     args.next()
@@ -89,18 +101,20 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [<experiment>...] [--frames N] [--seed S] [--sessions N] \
-                     [--csv FILE] [--bench-json FILE] [--serve-json FILE] [--trace-out FILE] \
-                     [--metrics-json FILE]\n\
+                     [--csv FILE] [--bench-json FILE] [--serve-json FILE] [--slo-json FILE] \
+                     [--trace-out FILE] [--metrics-json FILE]\n\
                      experiments: {} all\n\
-                     --sessions pins the serve experiment to one fleet size (default: sweep)\n\
+                     --sessions pins the serve/slo experiments to one fleet size\n\
                      --csv writes the Fig 7/8 evaluation matrix as CSV to FILE\n\
                      --bench-json writes the parallel-engine timing cells as JSON to FILE\n\
                      --serve-json writes the multi-session serving sweep as JSON to FILE\n\
+                     --slo-json writes the SLO dashboard artifact as JSON to FILE \
+                     (an explicit `slo` experiment writes BENCH_slo.json by default)\n\
                      --trace-out writes a Chrome-trace (Perfetto) span timeline to FILE\n\
                      --metrics-json writes the counters/gauges/histograms registry to FILE\n\
                      repro lint [--format json] runs the workspace static-analysis pass\n\
-                     repro perf-gate FILE [--f32-floor X] [--par-floor Y] [--min-workers N] \
-                     enforces the hot-path floors over a --bench-json artifact\n\
+                     repro perf-gate [FILE] [--serve FILE] [--f32-floor X] [--par-floor Y] \
+                     [--min-workers N] enforces the floors over the JSON artifacts\n\
                      HOLOAR_TELEMETRY=off|summary|full selects the telemetry mode \
                      (either export flag implies full)",
                     experiments::ALL_EXPERIMENTS.join(" ")
@@ -121,6 +135,10 @@ fn main() {
         holoar_telemetry::set_mode(TelemetryMode::Full);
     }
 
+    // "explicitly requested" means the user typed `slo`, not that it rode
+    // along in the `all` expansion — only the former writes BENCH_slo.json
+    // without --slo-json.
+    let slo_explicit = ids.iter().any(|i| i == "slo");
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = experiments::ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
@@ -143,6 +161,17 @@ fn main() {
             die(&format!("cannot write {path}: {e}"));
         }
         eprintln!("wrote serving sweep to {path}");
+    }
+    // An explicit `slo` run emits its artifact by default; `--slo-json`
+    // overrides the path (and forces the export for any experiment set).
+    let slo_json_path =
+        slo_json_path.or_else(|| slo_explicit.then(|| "BENCH_slo.json".to_string()));
+    if let Some(path) = slo_json_path {
+        let json = experiments::slo_bench_json(&cfg);
+        if let Err(e) = std::fs::write(&path, json) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote SLO dashboard artifact to {path}");
     }
     if let Some(path) = csv_path {
         let matrix = holoar_core::evaluation::evaluate_matrix(

@@ -1387,11 +1387,238 @@ pub fn serve_bench_json(cfg: &ExperimentConfig) -> String {
     out
 }
 
+/// Runs the SLO observability fleet once: `--sessions` sessions (default 8)
+/// with full per-session SLO tracking. Uses the auto execution context
+/// (`HOLOAR_THREADS` sizes the pool) so the byte-identity CI check
+/// genuinely exercises worker counts; the serving engine guarantees the
+/// report is bit-identical regardless.
+pub fn slo_measurements(cfg: &ExperimentConfig) -> (u32, holoar_serve::ServeReport) {
+    let ctx = ExecutionContext::auto();
+    let sessions = cfg.sessions.unwrap_or(8);
+    let config = holoar_serve::ServeConfig::fleet(sessions, cfg.frames, cfg.seed);
+    let report = holoar_serve::run_serve(&config, &ctx).expect("fleet configs are valid");
+    (sessions, report)
+}
+
+/// Observability study: the SLO dashboard for one serving fleet —
+/// per-session sketch quantiles, error budgets, burn-rate alerts,
+/// signal-annotated step-downs, and critical-path stage attribution
+/// (`repro slo`, exported with `--slo-json BENCH_slo.json`).
+pub fn slo(cfg: &ExperimentConfig) -> String {
+    let (sessions, report) = slo_measurements(cfg);
+    let fleet = &report.slo;
+    let mut out = format!(
+        "== SLO dashboard: {sessions}-session fleet (seed {}, {} frames, target {:.0}%, \
+         sketch α {:.1}%) ==\n\
+         fleet latency p50 {} | p90 {} | p99 {} | p99.9 {}\n\
+         error budget remaining {:.1}% — burn alerts: {} fast, {} slow\n\
+         recent window ({} ticks): hit rate {}, queue depth {:.2}, occupancy {:.2}\n\n",
+        cfg.seed,
+        cfg.frames,
+        fleet.target * 100.0,
+        fleet.sketch_alpha * 100.0,
+        ms(fleet.latency_p50),
+        ms(fleet.latency_p90),
+        ms(fleet.latency_p99),
+        ms(fleet.latency_p999),
+        fleet.error_budget_remaining * 100.0,
+        fleet.fast_burn_events,
+        fleet.slow_burn_events,
+        holoar_serve::SloConfig::default().fast_window,
+        pct(fleet.recent_hit_rate),
+        fleet.recent_queue_depth,
+        fleet.recent_occupancy,
+    );
+
+    let mut t = Table::new([
+        "Session",
+        "Video",
+        "p50",
+        "p99",
+        "p99.9",
+        "Budget left",
+        "Burns",
+        "Step-downs",
+        "Recent lvl",
+        "Worst tick",
+        "Dominant stage",
+    ]);
+    for s in &report.sessions {
+        let dominant = s
+            .slo
+            .worst_frame_path
+            .last()
+            .map_or_else(|| "-".to_string(), |(name, _)| name.clone());
+        t.row([
+            s.id.to_string(),
+            s.video.to_string(),
+            ms(s.slo.latency_p50),
+            ms(s.slo.latency_p99),
+            ms(s.slo.latency_p999),
+            pct(s.slo.error_budget_remaining),
+            s.slo.burn_events.len().to_string(),
+            s.slo.step_downs.len().to_string(),
+            format!("{:.2}", s.slo.recent_level),
+            s.slo.worst_frame.to_string(),
+            dominant,
+        ]);
+    }
+    out.push_str(&t.render());
+
+    // Fleet-wide critical-path attribution: per-stage self time summed over
+    // every session's synthesized span trees.
+    let mut totals: std::collections::BTreeMap<&str, f64> = std::collections::BTreeMap::new();
+    for s in &report.sessions {
+        for row in &s.slo.stages {
+            *totals.entry(row.stage.as_str()).or_insert(0.0) += row.total_s;
+        }
+    }
+    let grand: f64 = totals.values().sum();
+    let mut rows: Vec<(&str, f64)> = totals.into_iter().collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(b.0)));
+    let mut stage_table = Table::new(["Stage", "Total (ms)", "Share"]);
+    for (stage, total_s) in &rows {
+        stage_table.row([
+            (*stage).to_string(),
+            format!("{:.2}", total_s * 1e3),
+            pct(total_s / grand.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    out.push_str("\n-- critical-path stage attribution (fleet) --\n");
+    out.push_str(&stage_table.render());
+
+    // Every step-down names its triggering signal (the acceptance bar).
+    let mut signals = String::new();
+    let mut shown = 0usize;
+    let mut total_downs = 0usize;
+    for s in &report.sessions {
+        for tr in &s.slo.step_downs {
+            total_downs += 1;
+            if shown < 12 {
+                signals.push_str(&format!(
+                    "  session {:>2} frame {:>4}: {} -> {} ({}, signal: {})\n",
+                    s.id,
+                    tr.frame,
+                    tr.from.name(),
+                    tr.to.name(),
+                    tr.reason.name(),
+                    tr.signal,
+                ));
+                shown += 1;
+            }
+        }
+    }
+    if total_downs > shown {
+        signals.push_str(&format!("  ... {} more\n", total_downs - shown));
+    }
+    out.push_str(&format!("\n-- degradation step-downs ({total_downs}), each with its SLO signal --\n"));
+    out.push_str(if signals.is_empty() { "  (none — the fleet fit its budget)\n" } else { &signals });
+    out
+}
+
+/// The [`slo`] run as a JSON artifact (`BENCH_slo.json`): session-level
+/// p50/p99/p99.9, burn-rate events, signal-annotated step-downs, and the
+/// critical-path stage breakdown. Hand-serialized; byte-identical across
+/// reruns and worker counts at a fixed seed.
+pub fn slo_bench_json(cfg: &ExperimentConfig) -> String {
+    let (sessions, report) = slo_measurements(cfg);
+    let fleet = &report.slo;
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"slo\",\n");
+    out.push_str(&format!("  \"sessions\": {sessions},\n"));
+    out.push_str(&format!("  \"frames\": {},\n", cfg.frames));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("  \"target\": {:.4},\n", fleet.target));
+    out.push_str(&format!("  \"sketch_alpha\": {:.4},\n", fleet.sketch_alpha));
+    out.push_str(&format!(
+        "  \"fleet\": {{\"latency_p50_s\": {:.6}, \"latency_p90_s\": {:.6}, \
+         \"latency_p99_s\": {:.6}, \"latency_p999_s\": {:.6}, \
+         \"error_budget_remaining\": {:.6}, \"fast_burn_events\": {}, \
+         \"slow_burn_events\": {}, \"recent_hit_rate\": {:.6}, \
+         \"recent_queue_depth\": {:.4}, \"recent_occupancy\": {:.6}}},\n",
+        fleet.latency_p50,
+        fleet.latency_p90,
+        fleet.latency_p99,
+        fleet.latency_p999,
+        fleet.error_budget_remaining,
+        fleet.fast_burn_events,
+        fleet.slow_burn_events,
+        fleet.recent_hit_rate,
+        fleet.recent_queue_depth,
+        fleet.recent_occupancy,
+    ));
+    out.push_str("  \"session_slo\": [\n");
+    for (i, s) in report.sessions.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"video\": \"{}\", \"latency_p50_s\": {:.6}, \
+             \"latency_p99_s\": {:.6}, \"latency_p999_s\": {:.6}, \
+             \"error_budget_remaining\": {:.6}, \"recent_level\": {:.4}, \
+             \"worst_frame\": {}, \"worst_frame_latency_s\": {:.6},\n",
+            s.id,
+            s.video,
+            s.slo.latency_p50,
+            s.slo.latency_p99,
+            s.slo.latency_p999,
+            s.slo.error_budget_remaining,
+            s.slo.recent_level,
+            s.slo.worst_frame,
+            s.slo.worst_frame_latency,
+        ));
+        out.push_str("     \"burn_events\": [");
+        for (j, e) in s.slo.burn_events.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"frame\": {}, \"window\": \"{}\", \"burn_rate\": {:.4}, \
+                 \"budget_remaining\": {:.6}}}",
+                if j > 0 { ", " } else { "" },
+                e.frame,
+                e.window,
+                e.burn_rate,
+                e.budget_remaining,
+            ));
+        }
+        out.push_str("],\n     \"step_downs\": [");
+        for (j, tr) in s.slo.step_downs.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"frame\": {}, \"from\": \"{}\", \"to\": \"{}\", \
+                 \"reason\": \"{}\", \"signal\": \"{}\"}}",
+                if j > 0 { ", " } else { "" },
+                tr.frame,
+                tr.from.name(),
+                tr.to.name(),
+                tr.reason.name(),
+                tr.signal,
+            ));
+        }
+        out.push_str("],\n     \"stages\": [");
+        for (j, row) in s.slo.stages.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"stage\": \"{}\", \"total_s\": {:.6}, \"share\": {:.6}}}",
+                if j > 0 { ", " } else { "" },
+                row.stage,
+                row.total_s,
+                row.share,
+            ));
+        }
+        out.push_str("],\n     \"critical_path\": [");
+        for (j, (name, secs)) in s.slo.worst_frame_path.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"span\": \"{}\", \"dur_s\": {:.6}}}",
+                if j > 0 { ", " } else { "" },
+                name,
+                secs,
+            ));
+        }
+        out.push_str(&format!("]}}{}\n", if i + 1 < report.sessions.len() { "," } else { "" }));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Names of all experiments, in run order.
-pub const ALL_EXPERIMENTS: [&str; 21] = [
+pub const ALL_EXPERIMENTS: [&str; 22] = [
     "table1", "fig2", "fig3", "fig4", "fig5", "sec3", "table2", "fig7", "fig8", "fig9", "fig10",
     "horn8", "hybrid", "gating", "reuse", "fusion", "streams", "parallel", "inter-intra", "faults",
-    "serve",
+    "serve", "slo",
 ];
 
 /// Runs one experiment by id.
@@ -1422,6 +1649,7 @@ pub fn run(id: &str, cfg: &ExperimentConfig) -> Result<String, String> {
         "inter-intra" => Ok(inter_intra(cfg)),
         "faults" => Ok(faults(cfg)),
         "serve" => Ok(serve(cfg)),
+        "slo" => Ok(slo(cfg)),
         "psnr" => Ok(psnr_ladder(cfg)),
         other => Err(format!(
             "unknown experiment '{other}'; valid: {} (or 'all')",
@@ -1492,6 +1720,40 @@ mod tests {
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"psnr_gap_db\""));
         assert_eq!(json, serve_bench_json(&cfg), "artifact must be byte-identical");
+    }
+
+    #[test]
+    fn slo_bench_json_is_well_formed_and_reproducible() {
+        let cfg = ExperimentConfig { frames: 40, seed: 42, sessions: Some(8) };
+        let json = slo_bench_json(&cfg);
+        assert!(json.contains("\"bench\": \"slo\""));
+        assert!(json.contains("\"sessions\": 8"));
+        for field in [
+            "\"latency_p50_s\"",
+            "\"latency_p99_s\"",
+            "\"latency_p999_s\"",
+            "\"error_budget_remaining\"",
+            "\"burn_events\"",
+            "\"step_downs\"",
+            "\"stages\"",
+            "\"critical_path\"",
+            "\"fast_burn_events\"",
+        ] {
+            assert!(json.contains(field), "artifact misses {field}:\n{json}");
+        }
+        // Critical-path attribution names a profile stage somewhere.
+        assert!(json.contains("profile.stage."), "no stage attribution:\n{json}");
+        assert_eq!(json, slo_bench_json(&cfg), "artifact must be byte-identical");
+    }
+
+    #[test]
+    fn slo_dashboard_reports_quantiles_and_signals() {
+        let report = slo(&ExperimentConfig { frames: 40, seed: 42, sessions: Some(8) });
+        assert!(report.contains("== SLO dashboard"));
+        assert!(report.contains("p99.9"));
+        assert!(report.contains("error budget"));
+        assert!(report.contains("critical-path stage attribution"));
+        assert!(report.contains("degradation step-downs"));
     }
 
     #[test]

@@ -1,10 +1,11 @@
-//! CI perf-smoke gate over `BENCH_parallel.json`.
+//! CI perf-smoke gate over `BENCH_parallel.json` and `BENCH_serve.json`.
 //!
 //! `repro parallel --bench-json` records one timing cell per (workload,
-//! worker count, precision) triple plus the f32 quality gate. This module
-//! re-reads that artifact and enforces the hot-path floors, so CI fails
-//! when a change regresses the fast path rather than when someone happens
-//! to eyeball the numbers:
+//! worker count, precision) triple plus the f32 quality gate; `repro serve
+//! --serve-json` records the serving sweep. This module re-reads those
+//! artifacts and enforces the floors, so CI fails when a change regresses
+//! the fast path (or the serving acceptance row) rather than when someone
+//! happens to eyeball the numbers:
 //!
 //! * **Hard invariants** — every cell bit-identical to its same-precision
 //!   single-worker twin, the f32 quality gate passing, and the fixed
@@ -189,6 +190,107 @@ pub fn evaluate(json_text: &str, cfg: &GateConfig) -> Result<GateOutcome, String
     Ok(GateOutcome { failures, report })
 }
 
+/// Floors for the serve artifact's 8-session acceptance row (the serving
+/// tentpole's design targets, enforced by [`evaluate_serve`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeGateConfig {
+    /// Batched-over-sequential speedup floor at 8 sessions.
+    pub speedup_floor: f64,
+    /// Deadline-hit-rate floor at 8 sessions.
+    pub hit_floor: f64,
+    /// Ceiling on the worst session's PSNR drift from its single-session
+    /// baseline, dB.
+    pub psnr_gap_ceiling: f64,
+}
+
+impl Default for ServeGateConfig {
+    fn default() -> Self {
+        ServeGateConfig { speedup_floor: 1.8, hit_floor: 0.95, psnr_gap_ceiling: 0.5 }
+    }
+}
+
+/// Fields every `BENCH_serve.json` sweep row must carry.
+const SERVE_ROW_FIELDS: [&str; 8] = [
+    "sessions",
+    "admitted",
+    "speedup",
+    "deadline_hit_rate",
+    "latency_p50_s",
+    "latency_p99_s",
+    "psnr_gap_db",
+    "launches_saved",
+];
+
+/// Evaluates the serve gate over the text of a `BENCH_serve.json`
+/// artifact: schema (every sweep row complete) plus the 8-session
+/// acceptance floors. The model is closed-form, so unlike the timing
+/// floors these hold on any host.
+///
+/// # Errors
+///
+/// Returns a message when the artifact is unparseable or not a serve
+/// bench — CI should treat that exactly like a failed gate.
+pub fn evaluate_serve(json_text: &str, cfg: &ServeGateConfig) -> Result<GateOutcome, String> {
+    let doc = jsonlite::parse(json_text).map_err(|e| e.to_string())?;
+    if doc.get("bench").and_then(Json::as_str) != Some("serve") {
+        return Err("artifact is not a serve bench (missing \"bench\": \"serve\")".into());
+    }
+    let rows = doc.get("sweep").and_then(Json::as_array).ok_or("missing \"sweep\" array")?;
+    if rows.is_empty() {
+        return Err("serve sweep is empty".into());
+    }
+
+    let mut failures = Vec::new();
+    let mut report = String::new();
+    let mut check = |line: String, failed: bool| {
+        report.push_str(if failed { "FAIL " } else { "pass " });
+        report.push_str(&line);
+        report.push('\n');
+        if failed {
+            failures.push(line);
+        }
+    };
+
+    let mut eight: Option<&Json> = None;
+    for (i, row) in rows.iter().enumerate() {
+        for field in SERVE_ROW_FIELDS {
+            if row.get(field).and_then(Json::as_f64).is_none() {
+                check(format!("sweep row {i} missing numeric \"{field}\""), true);
+            }
+        }
+        if row.get("sessions").and_then(Json::as_f64) == Some(8.0) {
+            eight = Some(row);
+        }
+    }
+    check(format!("sweep carries {} row(s) with a complete schema", rows.len()), false);
+
+    match eight {
+        Some(row) => {
+            let num = |field: &str| row.get(field).and_then(Json::as_f64).unwrap_or(f64::NAN);
+            let speedup = num("speedup");
+            let hit = num("deadline_hit_rate");
+            let gap = num("psnr_gap_db");
+            // NaN must fail the floor, so the violation test is "not >="
+            // spelled NaN-explicitly (clippy rejects `!(a >= b)` on floats).
+            check(
+                format!("8-session speedup {speedup:.2}x >= {:.2}x", cfg.speedup_floor),
+                speedup.is_nan() || speedup < cfg.speedup_floor,
+            );
+            check(
+                format!("8-session deadline-hit rate {hit:.3} >= {:.3}", cfg.hit_floor),
+                hit.is_nan() || hit < cfg.hit_floor,
+            );
+            check(
+                format!("8-session PSNR gap {gap:.2} dB <= {:.2} dB", cfg.psnr_gap_ceiling),
+                gap.is_nan() || gap > cfg.psnr_gap_ceiling,
+            );
+        }
+        None => check("missing the 8-session acceptance row".to_string(), true),
+    }
+
+    Ok(GateOutcome { failures, report })
+}
+
 fn find<'a>(cells: &'a [Cell], label: &str, workers: usize, precision: &str) -> Option<&'a Cell> {
     cells
         .iter()
@@ -223,11 +325,16 @@ fn parse_cells(doc: &Json) -> Result<Vec<Cell>, String> {
     Ok(cells)
 }
 
-/// CLI driver for `repro perf-gate FILE [--f32-floor X] [--par-floor Y]
-/// [--min-workers N]`: prints the report and returns the process exit code.
+/// CLI driver for `repro perf-gate [FILE] [--serve FILE] [--f32-floor X]
+/// [--par-floor Y] [--min-workers N]`: gates the parallel artifact (the
+/// positional path) and/or the serve artifact (`--serve`), prints the
+/// reports and returns the process exit code. At least one artifact is
+/// required.
 pub fn cli(args: &[String]) -> i32 {
     let mut cfg = GateConfig::default();
+    let serve_cfg = ServeGateConfig::default();
     let mut path: Option<&str> = None;
+    let mut serve_path: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -243,13 +350,33 @@ pub fn cli(args: &[String]) -> i32 {
                 Some(v) => cfg.min_host_workers = v,
                 None => return usage("--min-workers requires an integer"),
             },
+            "--serve" => match it.next() {
+                Some(v) => serve_path = Some(v.as_str()),
+                None => return usage("--serve requires an artifact path"),
+            },
             other if path.is_none() && !other.starts_with('-') => path = Some(other),
             other => return usage(&format!("unknown argument {other}")),
         }
     }
-    let Some(path) = path else {
+    if path.is_none() && serve_path.is_none() {
         return usage("missing artifact path");
-    };
+    }
+    let mut code = 0;
+    if let Some(path) = path {
+        code = code.max(run_gate(path, |text| evaluate(text, &cfg)));
+    }
+    if let Some(path) = serve_path {
+        code = code.max(run_gate(path, |text| evaluate_serve(text, &serve_cfg)));
+    }
+    code
+}
+
+/// Reads one artifact, runs `gate` over it, prints the outcome, and maps
+/// it to an exit code (0 pass, 1 gate failure, 2 unreadable/unparseable).
+fn run_gate<F>(path: &str, gate: F) -> i32
+where
+    F: FnOnce(&str) -> Result<GateOutcome, String>,
+{
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -257,19 +384,22 @@ pub fn cli(args: &[String]) -> i32 {
             return 2;
         }
     };
-    match evaluate(&text, &cfg) {
+    match gate(&text) {
         Ok(outcome) => {
             print!("{}", outcome.report);
             if outcome.pass() {
-                println!("perf-gate: PASS");
+                println!("perf-gate: PASS ({path})");
                 0
             } else {
-                println!("perf-gate: FAIL ({} violation(s))", outcome.failures.len());
+                println!(
+                    "perf-gate: FAIL ({path}, {} violation(s))",
+                    outcome.failures.len()
+                );
                 1
             }
         }
         Err(e) => {
-            eprintln!("perf-gate: {e}");
+            eprintln!("perf-gate: {path}: {e}");
             2
         }
     }
@@ -277,8 +407,8 @@ pub fn cli(args: &[String]) -> i32 {
 
 fn usage(msg: &str) -> i32 {
     eprintln!(
-        "perf-gate: {msg}\nusage: repro perf-gate FILE [--f32-floor X] [--par-floor Y] \
-         [--min-workers N]"
+        "perf-gate: {msg}\nusage: repro perf-gate [FILE] [--serve FILE] [--f32-floor X] \
+         [--par-floor Y] [--min-workers N]"
     );
     2
 }
@@ -400,5 +530,95 @@ mod tests {
             evaluate("{\"bench\": \"serve\"}", &GateConfig::default()).is_err(),
             "wrong bench kind must not pass"
         );
+    }
+
+    fn serve_artifact(speedup: f64, hit: f64, gap: f64) -> String {
+        let row = |sessions: u32, s: f64, h: f64, g: f64| {
+            format!(
+                "{{\"sessions\": {sessions}, \"admitted\": {sessions}, \
+                 \"aggregate_fps\": 1000.0, \"sequential_fps\": 500.0, \"speedup\": {s}, \
+                 \"deadline_hit_rate\": {h}, \"latency_p50_s\": 0.005, \
+                 \"latency_p99_s\": 0.009, \"mean_occupancy\": 0.5, \
+                 \"psnr_weighted_db\": 40.0, \"psnr_gap_db\": {g}, \
+                 \"merged_launches\": 100, \"launches_saved\": 50, \
+                 \"qos_step_downs\": 0, \"deferred\": 0}}"
+            )
+        };
+        format!(
+            "{{\"bench\": \"serve\", \"frames\": 120, \"seed\": 42, \
+             \"frame_budget_s\": 0.011111,\n\"sweep\": [{},\n{}]}}",
+            row(4, 1.2, 1.0, 0.1),
+            row(8, speedup, hit, gap),
+        )
+    }
+
+    #[test]
+    fn healthy_serve_artifact_passes() {
+        let outcome =
+            evaluate_serve(&serve_artifact(2.1, 0.99, 0.2), &ServeGateConfig::default()).unwrap();
+        assert!(outcome.pass(), "{}", outcome.report);
+        assert!(outcome.report.contains("8-session speedup"));
+    }
+
+    #[test]
+    fn serve_floor_violations_fail() {
+        for (s, h, g, needle) in [
+            (1.2, 0.99, 0.2, "speedup"),
+            (2.1, 0.80, 0.2, "deadline-hit"),
+            (2.1, 0.99, 1.5, "PSNR gap"),
+        ] {
+            let outcome =
+                evaluate_serve(&serve_artifact(s, h, g), &ServeGateConfig::default()).unwrap();
+            assert!(!outcome.pass(), "expected failure for {needle}");
+            assert!(
+                outcome.failures.iter().any(|f| f.contains(needle)),
+                "missing {needle} failure: {}",
+                outcome.report
+            );
+        }
+    }
+
+    #[test]
+    fn serve_artifact_without_the_acceptance_row_fails() {
+        let json = serve_artifact(2.1, 0.99, 0.2).replace("\"sessions\": 8", "\"sessions\": 9");
+        let outcome = evaluate_serve(&json, &ServeGateConfig::default()).unwrap();
+        assert!(!outcome.pass());
+        assert!(outcome.failures.iter().any(|f| f.contains("8-session acceptance row")));
+    }
+
+    #[test]
+    fn serve_schema_holes_are_reported() {
+        let json = serve_artifact(2.1, 0.99, 0.2).replace("\"launches_saved\": 50, ", "");
+        let outcome = evaluate_serve(&json, &ServeGateConfig::default()).unwrap();
+        assert!(!outcome.pass());
+        assert!(outcome.failures.iter().any(|f| f.contains("launches_saved")));
+        assert!(
+            evaluate_serve("{\"bench\": \"parallel\"}", &ServeGateConfig::default()).is_err(),
+            "wrong bench kind must not pass"
+        );
+    }
+
+    #[test]
+    fn generated_serve_artifact_round_trips_through_the_gate() {
+        // The acceptance fleet (8 sessions, the property-test scenario) as
+        // the generator emits it must clear every serve floor.
+        let cfg = crate::experiments::ExperimentConfig {
+            frames: 40,
+            seed: 42,
+            sessions: Some(8),
+        };
+        let json = crate::experiments::serve_bench_json(&cfg);
+        let outcome = evaluate_serve(&json, &ServeGateConfig::default()).unwrap();
+        assert!(outcome.pass(), "{}", outcome.report);
+    }
+
+    #[test]
+    fn checked_in_serve_artifact_clears_the_gate() {
+        // `BENCH_serve.json` at the repo root is regenerated by `repro
+        // serve --frames 120 --serve-json BENCH_serve.json`; stale or
+        // hand-edited copies must not sneak past the floors.
+        let json = include_str!("../../../BENCH_serve.json");
+        let outcome = evaluate_serve(json, &ServeGateConfig::default()).unwrap();
+        assert!(outcome.pass(), "{}", outcome.report);
     }
 }

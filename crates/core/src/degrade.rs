@@ -111,6 +111,9 @@ pub enum TransitionReason {
     PredictedOverrun,
     /// The previous frame actually exceeded the budget.
     Overrun,
+    /// An external QoS authority (the multi-session scheduler) requested
+    /// the step-down via [`DegradationController::request_step_down_with`].
+    Qos,
     /// Hysteretic recovery after a streak of comfortably-fast frames.
     Recovered,
 }
@@ -121,6 +124,7 @@ impl TransitionReason {
         match self {
             TransitionReason::PredictedOverrun => "predicted-overrun",
             TransitionReason::Overrun => "overrun",
+            TransitionReason::Qos => "qos",
             TransitionReason::Recovered => "recovered",
         }
     }
@@ -137,6 +141,10 @@ pub struct Transition {
     pub to: DegradationLevel,
     /// Trigger.
     pub reason: TransitionReason,
+    /// The concrete signal behind the trigger (e.g. `"observed-overrun"`,
+    /// `"qos-batch-overrun"`, `"clean-streak"`), so every step-down in a
+    /// report is attributable to a recorded SLO signal.
+    pub signal: &'static str,
 }
 
 /// Configuration of the degradation ladder and its hysteresis (the
@@ -258,6 +266,9 @@ pub struct DegradationController {
     demand: Option<f64>,
     clean_streak: u32,
     must_step_down: bool,
+    /// Signal attached to a pending QoS-forced step-down (None when the
+    /// pending step-down came from the controller's own overrun watch).
+    qos_signal: Option<&'static str>,
     hold_recovery: bool,
     transitions: Vec<Transition>,
     frames: u64,
@@ -280,6 +291,7 @@ impl DegradationController {
             demand: None,
             clean_streak: 0,
             must_step_down: false,
+            qos_signal: None,
             hold_recovery: false,
             transitions: Vec::new(),
             frames: 0,
@@ -321,12 +333,15 @@ impl DegradationController {
             } else {
                 predicted
             };
-            let reason = if self.must_step_down {
-                TransitionReason::Overrun
+            let (reason, signal) = if self.must_step_down {
+                match self.qos_signal {
+                    Some(signal) => (TransitionReason::Qos, signal),
+                    None => (TransitionReason::Overrun, "observed-overrun"),
+                }
             } else {
-                TransitionReason::PredictedOverrun
+                (TransitionReason::PredictedOverrun, "demand-prediction")
             };
-            self.transition(frame, DegradationLevel::ALL[target], reason);
+            self.transition(frame, DegradationLevel::ALL[target], reason, signal);
         } else if current > 0
             && self.clean_streak >= self.ladder.recover_frames
             && !self.hold_recovery
@@ -334,10 +349,16 @@ impl DegradationController {
             // Hysteretic recovery: one level at a time, and forget the
             // (stale) demand so the shallower level is re-measured before
             // any prediction-driven move.
-            self.transition(frame, DegradationLevel::ALL[current - 1], TransitionReason::Recovered);
+            self.transition(
+                frame,
+                DegradationLevel::ALL[current - 1],
+                TransitionReason::Recovered,
+                "clean-streak",
+            );
             self.demand = None;
         }
         self.must_step_down = false;
+        self.qos_signal = None;
         self.hold_recovery = false;
         if self.level == DegradationLevel::LastGood {
             holoar_telemetry::counter_add("core.degrade.lastgood_frames", 1);
@@ -414,9 +435,19 @@ impl DegradationController {
     /// fleet at once. A no-op at [`DegradationLevel::LastGood`] — there is
     /// nothing left to shed.
     pub fn request_step_down(&mut self) {
+        self.request_step_down_with("qos-step-down");
+    }
+
+    /// Like [`request_step_down`](Self::request_step_down), annotating the
+    /// resulting transition with the concrete SLO `signal` that triggered
+    /// it (recorded in [`Transition::signal`] with reason
+    /// [`TransitionReason::Qos`]). A no-op at
+    /// [`DegradationLevel::LastGood`].
+    pub fn request_step_down_with(&mut self, signal: &'static str) {
         if self.level != DegradationLevel::LastGood {
             holoar_telemetry::counter_add("core.degrade.qos_step_down", 1);
             self.must_step_down = true;
+            self.qos_signal = Some(signal);
         }
     }
 
@@ -456,7 +487,13 @@ impl DegradationController {
         self.max_overrun_streak
     }
 
-    fn transition(&mut self, frame: u64, to: DegradationLevel, reason: TransitionReason) {
+    fn transition(
+        &mut self,
+        frame: u64,
+        to: DegradationLevel,
+        reason: TransitionReason,
+        signal: &'static str,
+    ) {
         if to == self.level {
             return;
         }
@@ -465,7 +502,7 @@ impl DegradationController {
         } else {
             holoar_telemetry::counter_add("core.degrade.step_up", 1);
         }
-        self.transitions.push(Transition { frame, from: self.level, to, reason });
+        self.transitions.push(Transition { frame, from: self.level, to, reason, signal });
         self.level = to;
         self.clean_streak = 0;
         // Any step down satisfies a pending forced one.
@@ -513,6 +550,7 @@ mod tests {
         assert!(next > DegradationLevel::Full);
         assert_eq!(ctl.transitions().len(), 1);
         assert_eq!(ctl.transitions()[0].reason, TransitionReason::Overrun);
+        assert_eq!(ctl.transitions()[0].signal, "observed-overrun");
     }
 
     #[test]
@@ -524,7 +562,27 @@ mod tests {
         let next = ctl.decide(1);
         assert!(next > DegradationLevel::Full, "QoS request must shed despite clean latency");
         assert_eq!(ctl.transitions().len(), 1);
-        assert_eq!(ctl.transitions()[0].reason, TransitionReason::Overrun);
+        assert_eq!(ctl.transitions()[0].reason, TransitionReason::Qos);
+        assert_eq!(ctl.transitions()[0].signal, "qos-step-down");
+    }
+
+    #[test]
+    fn qos_signals_annotate_the_transition_and_do_not_leak() {
+        let mut ctl = controller();
+        ctl.decide(0);
+        ctl.observe(0, 0.020);
+        ctl.request_step_down_with("qos-batch-overrun");
+        ctl.decide(1);
+        assert_eq!(ctl.transitions()[0].reason, TransitionReason::Qos);
+        assert_eq!(ctl.transitions()[0].signal, "qos-batch-overrun");
+        // A later *observed* overrun must not inherit the stale QoS signal.
+        ctl.observe(1, 0.200);
+        ctl.decide(2);
+        let last = *ctl.transitions().last().unwrap();
+        assert_eq!(last.reason, TransitionReason::Overrun);
+        assert_eq!(last.signal, "observed-overrun");
+        // Every recorded transition carries a non-empty signal.
+        assert!(ctl.transitions().iter().all(|t| !t.signal.is_empty()));
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub const RULE_EXEMPT_PREFIXES: &[&str] = &["crates/telemetry/", "vendor/", "cra
 /// convention; `gpu` is the synthetic simulated-GPU track).
 pub const CATEGORIES: &[&str] = &[
     "fft", "optics", "core", "pipeline", "gpusim", "gpu", "bench", "telemetry", "faults", "serve",
+    "slo", "profile",
 ];
 
 /// Every rule id the engine knows; waivers naming anything else are

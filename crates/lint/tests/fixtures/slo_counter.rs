@@ -1,0 +1,9 @@
+// Fixture: an unregistered SLO counter the `telemetry-discipline` rule
+// must flag. Never compiled; tests scan it under the serve SLO module's
+// rel path against a registry that knows `counter slo.burn.fast` and
+// `gauge slo.error_budget.remaining` but not the counter on line 8.
+pub fn page_on_burn() {
+    holoar_telemetry::counter_add("slo.burn.fast", 1);
+    holoar_telemetry::gauge_set("slo.error_budget.remaining", 0.4);
+    holoar_telemetry::counter_add("slo.burn.instant", 1);
+}

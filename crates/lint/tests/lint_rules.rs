@@ -117,6 +117,21 @@ fn unregistered_serve_counter_trips_telemetry_discipline() {
 }
 
 #[test]
+fn unregistered_slo_counter_trips_telemetry_discipline() {
+    // The registry knows the SLO instruments the tracker really emits; a
+    // burn counter added without registering it must fail the gate.
+    const SLO_REGISTRY: &str =
+        "counter slo.burn.fast\ngauge slo.error_budget.remaining\n";
+    let src = include_str!("fixtures/slo_counter.rs");
+    let files = vec![SourceFile::scan("crates/serve/src/slo.rs", src)];
+    let report = engine::lint_sources(&files, &cfg(), SLO_REGISTRY, "");
+    let lines = lines_for(&report, "telemetry-discipline");
+    assert!(!lines.contains(&6), "registered SLO counter wrongly flagged: {lines:?}");
+    assert!(!lines.contains(&7), "registered SLO gauge wrongly flagged: {lines:?}");
+    assert!(lines.contains(&8), "unregistered SLO counter must be flagged: {lines:?}");
+}
+
+#[test]
 fn deprecated_wrapper_flags_internal_calls_only() {
     let src = include_str!("fixtures/deprecated_wrapper.rs");
     let report = lint_one("crates/core/src/quality.rs", src);

@@ -86,6 +86,11 @@ pub struct QosReport {
     pub fps: f64,
     /// Fraction of frames meeting the 30 fps (33 ms) deadline.
     pub deadline_hit_rate: f64,
+    /// Median frame latency, seconds (quantile-sketch estimate, 1%
+    /// relative-error bound).
+    pub latency_p50: f64,
+    /// 99th-percentile frame latency, seconds (sketch estimate).
+    pub latency_p99: f64,
     /// Per-stage worst-case latencies over the run.
     pub worst: StageWorst,
 }
@@ -103,6 +108,7 @@ pub fn run_loop<F: FnMut(u64) -> FrameLatencies>(frames: u64, mut frame_fn: F) -
     let mut total = 0.0;
     let mut hits = 0u64;
     let mut worst = StageWorst::default();
+    let mut sketch = holoar_telemetry::QuantileSketch::default();
     for i in 0..frames {
         let mut lat = frame_fn(i);
         if i % TaskKind::SceneReconstruct.frame_cadence() != 0 {
@@ -111,6 +117,7 @@ pub fn run_loop<F: FnMut(u64) -> FrameLatencies>(frames: u64, mut frame_fn: F) -
         worst.absorb(&lat);
         let t = lat.total();
         holoar_telemetry::histogram_record_us("pipeline.sim_frame_latency_us", t * 1e6);
+        sketch.record(t);
         total += t;
         if t <= TaskKind::Hologram.ideal_latency() {
             hits += 1;
@@ -125,6 +132,8 @@ pub fn run_loop<F: FnMut(u64) -> FrameLatencies>(frames: u64, mut frame_fn: F) -
         mean_frame_latency: mean,
         fps: 1.0 / mean,
         deadline_hit_rate: hits as f64 / frames as f64,
+        latency_p50: sketch.p50().unwrap_or(0.0),
+        latency_p99: sketch.p99().unwrap_or(0.0),
         worst,
     }
 }
@@ -196,6 +205,21 @@ mod tests {
         });
         assert!(report.fps < 3.0, "fps {}", report.fps);
         assert_eq!(report.deadline_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_a_uniform_run() {
+        // All frames identical: both quantiles sit on the single latency,
+        // within the sketch's 1% relative-error bound.
+        let report = run_loop(10, |_| FrameLatencies {
+            pose: 0.005,
+            eye: 0.004,
+            scene: 0.0,
+            hologram: 0.02,
+        });
+        assert!((report.latency_p50 - 0.029).abs() <= 0.029 * 0.01);
+        assert!((report.latency_p99 - 0.029).abs() <= 0.029 * 0.01);
+        assert!(report.latency_p99 >= report.latency_p50);
     }
 
     #[test]

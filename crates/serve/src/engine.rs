@@ -41,6 +41,10 @@ use crate::quality::QualitySampler;
 use crate::report::{percentile, ServeReport, SessionReport};
 use crate::scheduler::FrameScheduler;
 use crate::session::{SessionSpec, SessionState};
+use crate::slo::{
+    self, FleetSlo, SloConfig, STAGE_BATCH, STAGE_FAULT_STRETCH, STAGE_OVERRUN,
+    STAGE_QUEUE_WAIT, STAGE_REPROJECT,
+};
 
 /// Per-session hologram resolution for the serving experiments. Serving
 /// targets lightweight per-eye holograms (64²) so the interesting regime —
@@ -89,6 +93,9 @@ pub struct ServeConfig {
     /// thundering herd of recoveries cannot push the fleet back over the
     /// deadline it just shed its way under.
     pub hold_margin: f64,
+    /// SLO parameters: deadline-hit objective, burn windows and thresholds,
+    /// sketch accuracy.
+    pub slo: SloConfig,
 }
 
 impl ServeConfig {
@@ -109,6 +116,7 @@ impl ServeConfig {
             overload_factor: 2.0,
             defer_threshold: 1.5,
             hold_margin: 0.85,
+            slo: SloConfig::default(),
         }
     }
 
@@ -142,6 +150,7 @@ impl ServeConfig {
         if !(self.hold_margin > 0.0 && self.hold_margin <= 1.0) {
             return Err("hold margin must be in (0, 1]".into());
         }
+        self.slo.validate()?;
         self.device.validate()?;
         self.ladder.validate()?;
         self.base.validate()
@@ -252,7 +261,7 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
     // -- state ------------------------------------------------------------
     let mut states = Vec::with_capacity(admitted);
     for spec in &config.specs[..admitted] {
-        states.push(SessionState::new(*spec, config.ladder, config.frames)?);
+        states.push(SessionState::new(*spec, config.ladder, config.slo, config.frames)?);
     }
     let mut scheduler = FrameScheduler::new(admitted);
     let mut device = Device::new(config.device).map_err(|e| e.to_string())?;
@@ -263,6 +272,11 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
     let mut occupancy_ticks = 0u64;
     let mut merged_launches = 0u64;
     let mut launches_saved = 0u64;
+    // Fleet-level sliding windows, keyed by tick index (replay-safe).
+    let mut hit_window = holoar_telemetry::SlidingWindow::new(config.slo.fast_window.max(1));
+    let mut queue_window = holoar_telemetry::SlidingWindow::new(config.slo.fast_window.max(1));
+    let mut occupancy_window =
+        holoar_telemetry::SlidingWindow::new(config.slo.fast_window.max(1));
 
     // -- tick loop --------------------------------------------------------
     for tick in 0..config.frames {
@@ -279,6 +293,7 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
             let sample = faults.degrade_sensors(&nominal_sample(&frame));
             let level = state.ctl.decide(tick);
             state.frames_at_level[level.index()] += 1;
+            state.level_window.push(tick, level.index() as f64);
             let (job, reprojecting) = match state.ctl.config_for(&config.base) {
                 Some(level_cfg) => {
                     let plan = Planner::new(level_cfg)?.plan_frame_with(&frame, &sample);
@@ -323,12 +338,17 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
         let batch_latency = batch_time(&mut device, &batch.kernels);
         merged_launches += batch.kernels.len() as u64;
         launches_saved += batch.launches_saved();
-        if batch.has_work() {
+        let tick_occupancy = if batch.has_work() {
             let timeline = simulate(&session_stream_ops(&batch.jobs), &config.device);
             occupancy_sum += timeline.mean_occupancy();
             occupancy_ticks += 1;
             holoar_telemetry::gauge_set("serve.tick.occupancy", timeline.mean_occupancy());
-        }
+            timeline.mean_occupancy()
+        } else {
+            0.0
+        };
+        occupancy_window.push(tick, tick_occupancy);
+        queue_window.push(tick, deferred.iter().filter(|&&d| d).count() as f64);
 
         // Sequential baseline: the same (pre-deferral) workload as N
         // independent per-plane pipelines time-slicing the device.
@@ -342,6 +362,7 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
         batched_time_total += batch_latency.max(config.ladder.reproject_latency);
 
         // Phase 4: per-session attribution and accounting.
+        let mut tick_hits = 0u64;
         for i in 0..admitted {
             let t = &ticks[i];
             let state = &mut states[i];
@@ -375,13 +396,42 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
             }
             if hit {
                 state.deadline_hits += 1;
+                tick_hits += 1;
                 holoar_telemetry::counter_add("serve.deadline.hit", 1);
             } else {
                 holoar_telemetry::counter_add("serve.deadline.miss", 1);
             }
             state.latencies.push(completion);
+            // SLO bookkeeping and the synthesized profile span tree. The
+            // stage decomposition partitions `completion` exactly: own batch
+            // share + co-tenant queue wait + fault stretch + injected
+            // overrun for fresh frames, reprojection otherwise.
+            state.slo.observe(tick, hit, completion);
+            let stages: Vec<(&'static str, f64)> = if fresh {
+                let slowdown = 1.0 / (t.faults.clock_scale * t.faults.dram_scale);
+                let own = batch.shares[i] * batch_latency;
+                [
+                    (STAGE_BATCH, own),
+                    (STAGE_QUEUE_WAIT, batch_latency - own),
+                    (STAGE_FAULT_STRETCH, (slowdown - 1.0) * own),
+                    (STAGE_OVERRUN, t.faults.stage_overrun),
+                ]
+                .into_iter()
+                .filter(|&(_, seconds)| seconds > 0.0)
+                .collect()
+            } else {
+                vec![(STAGE_REPROJECT, config.ladder.reproject_latency)]
+            };
+            slo::record_frame_spans(
+                &mut state.profile,
+                state.spec.id,
+                tick,
+                config.frame_budget,
+                &stages,
+            );
             scheduler.feedback(i, hit);
         }
+        hit_window.push(tick, tick_hits as f64 / admitted.max(1) as f64);
 
         // Phase 5: QoS — an overloaded tick steps down exactly one victim,
         // the least-focused session not already at the ladder floor, and
@@ -400,7 +450,7 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
             let victim = qos::pick_victim(&focus, &level, &eligible);
             for (i, state) in states.iter_mut().enumerate() {
                 if victim == Some(i) {
-                    state.ctl.request_step_down();
+                    state.ctl.request_step_down_with("qos-batch-overrun");
                     state.qos_step_downs += 1;
                     holoar_telemetry::counter_add("serve.qos.step_down", 1);
                 } else {
@@ -490,8 +540,55 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
             psnr_weighted,
             psnr_full,
             pipeline_fps: pipeline.throughput_fps,
+            slo: slo::session_slo(
+                &state.slo,
+                &state.profile,
+                state.ctl.transitions(),
+                &state.level_window,
+                config.frame_budget,
+            ),
         });
     }
+
+    // Fleet SLO: merge the per-session sketches (same α, so the merge is
+    // exact) and pool the error budget over every session-frame.
+    let mut fleet_sketch = holoar_telemetry::QuantileSketch::new(config.slo.sketch_alpha);
+    let mut slo_frames = 0u64;
+    let mut slo_misses = 0u64;
+    let mut fast_burn_events = 0u64;
+    let mut slow_burn_events = 0u64;
+    for state in &states {
+        fleet_sketch.merge(state.slo.latency_sketch());
+        slo_frames += state.slo.frames();
+        slo_misses += state.slo.misses();
+        fast_burn_events +=
+            state.slo.burn_events().iter().filter(|e| e.window == "fast").count() as u64;
+        slow_burn_events +=
+            state.slo.burn_events().iter().filter(|e| e.window == "slow").count() as u64;
+    }
+    let error_budget_remaining = if slo_frames == 0 {
+        1.0
+    } else {
+        1.0 - slo_misses as f64 / ((1.0 - config.slo.target) * slo_frames as f64)
+    };
+    let fleet_slo = FleetSlo {
+        target: config.slo.target,
+        sketch_alpha: config.slo.sketch_alpha,
+        latency_p50: fleet_sketch.p50().unwrap_or(0.0),
+        latency_p90: fleet_sketch.p90().unwrap_or(0.0),
+        latency_p99: fleet_sketch.p99().unwrap_or(0.0),
+        latency_p999: fleet_sketch.p999().unwrap_or(0.0),
+        error_budget_remaining,
+        fast_burn_events,
+        slow_burn_events,
+        recent_hit_rate: hit_window.mean().unwrap_or(1.0),
+        recent_queue_depth: queue_window.mean().unwrap_or(0.0),
+        recent_occupancy: occupancy_window.mean().unwrap_or(0.0),
+    };
+    holoar_telemetry::gauge_set("slo.error_budget.remaining", error_budget_remaining);
+    holoar_telemetry::gauge_set("slo.window.hit_rate", fleet_slo.recent_hit_rate);
+    holoar_telemetry::gauge_set("slo.window.queue_depth", fleet_slo.recent_queue_depth);
+    holoar_telemetry::gauge_set("slo.window.occupancy", fleet_slo.recent_occupancy);
 
     Ok(ServeReport {
         requested,
@@ -511,5 +608,6 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
         },
         merged_launches,
         launches_saved,
+        slo: fleet_slo,
     })
 }

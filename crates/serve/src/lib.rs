@@ -18,6 +18,10 @@
 //!   `DegradationController`; the fleet never degrades in lockstep.
 //! - [`quality`] — occupancy-weighted PSNR per session, sampled through the
 //!   real optics path and compared against the single-session baseline.
+//! - [`slo`] — per-session SLO tracking: mergeable latency quantile
+//!   sketches, error-budget accounting with multi-window burn-rate alerts,
+//!   and synthesized per-frame span trees whose critical path names the
+//!   stage behind every missed deadline.
 //!
 //! The engine ([`run_serve`]) is bit-deterministic for a given
 //! configuration at any [`ExecutionContext`](holoar_core::ExecutionContext)
@@ -47,6 +51,7 @@ pub mod quality;
 pub mod report;
 pub mod scheduler;
 pub mod session;
+pub mod slo;
 
 pub use batcher::PlaneBatch;
 pub use engine::{
@@ -56,3 +61,6 @@ pub use quality::{QualitySampler, PSNR_CAP};
 pub use report::{percentile, ServeReport, SessionReport};
 pub use scheduler::FrameScheduler;
 pub use session::SessionSpec;
+pub use slo::{
+    record_frame_spans, BurnEvent, FleetSlo, SessionSlo, SloConfig, SloTracker, StageBreakdown,
+};

@@ -1,5 +1,7 @@
 //! Serving-run reports: per-session and fleet-level outcomes.
 
+use crate::slo::{FleetSlo, SessionSlo};
+
 /// Outcome of one session over a serving run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
@@ -38,6 +40,9 @@ pub struct SessionReport {
     /// Client-side pipelined throughput with the served hologram stage
     /// (pose + eye-track + hologram loop), frames per second.
     pub pipeline_fps: f64,
+    /// SLO summary: sketch quantiles, error budget, burn alerts, signal-
+    /// annotated step-downs and critical-path attribution.
+    pub slo: SessionSlo,
 }
 
 /// Fleet-level outcome of one serving run.
@@ -69,6 +74,9 @@ pub struct ServeReport {
     pub merged_launches: u64,
     /// Launches saved versus the per-plane sequential schedule.
     pub launches_saved: u64,
+    /// Fleet-level SLO summary (merged sketch quantiles, pooled error
+    /// budget, burn totals, recent window figures).
+    pub slo: FleetSlo,
 }
 
 /// Nearest-rank percentile of a latency population (`q` in `[0, 1]`).

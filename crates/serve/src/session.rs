@@ -8,6 +8,9 @@
 use holoar_core::degrade::{DegradationController, DegradationLadder};
 use holoar_faults::{scenario, FaultInjector};
 use holoar_sensors::objectron::{FrameGenerator, VideoCategory};
+use holoar_telemetry::{SlidingWindow, SpanRecord};
+
+use crate::slo::{SloConfig, SloTracker};
 
 /// Identity of one client session: which video it streams and the seed its
 /// sensor/fault randomness derives from.
@@ -53,10 +56,22 @@ pub(crate) struct SessionState {
     pub qos_step_downs: u64,
     /// Per-frame hologram-stage completion latency, seconds.
     pub latencies: Vec<f64>,
+    /// SLO bookkeeping: latency sketch, error budget, burn alerts.
+    pub slo: SloTracker,
+    /// Synthesized per-frame span trees for critical-path attribution.
+    pub profile: Vec<SpanRecord>,
+    /// Degradation-level index over the most recent window of ticks (the
+    /// per-session quality time-series).
+    pub level_window: SlidingWindow,
 }
 
 impl SessionState {
-    pub fn new(spec: SessionSpec, ladder: DegradationLadder, frames: u64) -> Result<Self, String> {
+    pub fn new(
+        spec: SessionSpec,
+        ladder: DegradationLadder,
+        slo: SloConfig,
+        frames: u64,
+    ) -> Result<Self, String> {
         Ok(SessionState {
             spec,
             ctl: DegradationController::new(ladder)?,
@@ -69,6 +84,9 @@ impl SessionState {
             deadline_hits: 0,
             qos_step_downs: 0,
             latencies: Vec::with_capacity(frames as usize),
+            slo: SloTracker::new(slo)?,
+            profile: Vec::with_capacity(frames as usize * 3),
+            level_window: SlidingWindow::new(slo.fast_window.max(1)),
         })
     }
 

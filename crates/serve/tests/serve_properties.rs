@@ -84,6 +84,83 @@ fn oversubscription_degrades_incrementally_never_in_lockstep() {
     }
 }
 
+#[test]
+fn full_telemetry_does_not_perturb_the_report() {
+    // The SLO/profile bookkeeping is pure data — turning the collector on
+    // must not change a single bit of the report, at any worker count.
+    let config = ServeConfig::fleet(4, 24, 42);
+    let off = run_serve(&config, &ExecutionContext::serial()).expect("fleet config is valid");
+    holoar_telemetry::set_mode(holoar_telemetry::TelemetryMode::Full);
+    for workers in [1usize, 2, 7] {
+        let ctx = ExecutionContext::with_workers(workers);
+        let report = run_serve(&config, &ctx).expect("fleet config is valid");
+        if off != report {
+            holoar_telemetry::set_mode(holoar_telemetry::TelemetryMode::Off);
+            panic!("full telemetry perturbed the report at {workers} workers");
+        }
+    }
+    holoar_telemetry::set_mode(holoar_telemetry::TelemetryMode::Off);
+}
+
+#[test]
+fn slo_signals_annotate_every_step_down_and_alerts_fire_under_overload() {
+    // Same oversubscribed fleet as the incremental-degradation test: misses
+    // abound, so the SLO machinery must both page and explain itself.
+    let config = ServeConfig::fleet(24, 100, 7);
+    let ctx = ExecutionContext::serial();
+    let report = run_serve(&config, &ctx).expect("fleet config is valid");
+
+    // Acceptance: every degradation step-down is attributable to a recorded
+    // SLO signal.
+    let mut step_downs = 0usize;
+    for session in &report.sessions {
+        for t in &session.slo.step_downs {
+            assert!(
+                !t.signal.is_empty(),
+                "session {} step-down at frame {} has no recorded signal",
+                session.id,
+                t.frame
+            );
+        }
+        step_downs += session.slo.step_downs.len();
+    }
+    assert!(step_downs > 0, "an oversubscribed fleet must record step-downs");
+    assert!(
+        report
+            .sessions
+            .iter()
+            .flat_map(|s| &s.slo.step_downs)
+            .any(|t| t.signal == "qos-batch-overrun"),
+        "QoS-forced step-downs must carry the batch-overrun signal"
+    );
+
+    // Burn-rate alerts fire and the pooled error budget is overdrawn.
+    assert!(
+        report.slo.fast_burn_events + report.slo.slow_burn_events > 0,
+        "sustained overload must trip at least one burn-rate alert"
+    );
+    assert!(report.slo.error_budget_remaining < 1.0);
+    assert_eq!(
+        report.slo.fast_burn_events + report.slo.slow_burn_events,
+        report.sessions.iter().map(|s| s.slo.burn_events.len() as u64).sum::<u64>(),
+        "fleet burn totals must match the per-session events"
+    );
+
+    // Critical-path attribution names a stage for every session's worst
+    // frame, and the stage shares partition the attributed time.
+    for session in &report.sessions {
+        assert!(
+            session.slo.worst_frame_path.len() >= 2,
+            "session {} worst frame has no critical path",
+            session.id
+        );
+        assert!(!session.slo.stages.is_empty());
+        let share_sum: f64 = session.slo.stages.iter().map(|s| s.share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "stage shares sum to {share_sum}");
+        assert!(session.slo.latency_p999 >= session.slo.latency_p50);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

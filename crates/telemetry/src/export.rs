@@ -8,7 +8,7 @@
 use std::fmt::Write as _;
 
 use crate::collector::{frame_snapshot, span_snapshot, with_registry, SpanRecord};
-use crate::metrics::{Metric, Registry, BUCKET_BOUNDS_US};
+use crate::metrics::{Histogram, Metric, Registry, BUCKET_BOUNDS_US};
 use crate::span::external_tracks;
 
 /// Exports every retained span as a Chrome-trace JSON document
@@ -96,12 +96,20 @@ pub fn export_metrics_json() -> String {
             let _ = write!(
                 out,
                 "{{\"count\": {}, \"sum_us\": {}, \"mean_us\": {}, \"min_us\": {}, \
-                 \"max_us\": {}, \"buckets\": [",
+                 \"max_us\": {}, \"overflow\": {}, \"non_finite\": {}, \
+                 \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+                 \"buckets\": [",
                 h.count(),
                 json_f64(h.sum_us()),
                 json_f64(h.mean_us()),
                 json_f64(h.min_us().unwrap_or(0.0)),
                 json_f64(h.max_us().unwrap_or(0.0)),
+                h.overflow_count(),
+                h.non_finite_count(),
+                json_quantile(h, 0.50),
+                json_quantile(h, 0.90),
+                json_quantile(h, 0.99),
+                json_quantile(h, 0.999),
             );
             for (i, (&count, bound)) in h
                 .bucket_counts()
@@ -134,27 +142,32 @@ pub fn export_metrics_json() -> String {
 }
 
 /// Exports counters and gauges as flat CSV (`name,kind,value`), histograms
-/// as (`name,histogram,count,sum_us,mean_us,min_us,max_us`).
+/// as (`name,histogram,count,sum_us,mean_us,min_us,max_us,overflow,p50_us,
+/// p99_us`); the trailing quantile columns come from each histogram's
+/// embedded sketch and are empty for counters/gauges.
 pub fn export_metrics_csv() -> String {
     let registry: Registry = with_registry(|r| r.clone());
-    let mut out = String::from("name,kind,value,sum_us,mean_us,min_us,max_us\n");
+    let mut out = String::from("name,kind,value,sum_us,mean_us,min_us,max_us,overflow,p50_us,p99_us\n");
     for (name, metric) in registry.iter() {
         match metric {
             Metric::Counter(v) => {
-                let _ = writeln!(out, "{name},counter,{v},,,,");
+                let _ = writeln!(out, "{name},counter,{v},,,,,,,");
             }
             Metric::Gauge(v) => {
-                let _ = writeln!(out, "{name},gauge,{v},,,,");
+                let _ = writeln!(out, "{name},gauge,{v},,,,,,,");
             }
             Metric::Histogram(h) => {
                 let _ = writeln!(
                     out,
-                    "{name},histogram,{},{},{},{},{}",
+                    "{name},histogram,{},{},{},{},{},{},{},{}",
                     h.count(),
                     h.sum_us(),
                     h.mean_us(),
                     h.min_us().unwrap_or(0.0),
                     h.max_us().unwrap_or(0.0),
+                    h.overflow_count(),
+                    h.quantile_us(0.50).unwrap_or(0.0),
+                    h.quantile_us(0.99).unwrap_or(0.0),
                 );
             }
         }
@@ -190,6 +203,12 @@ pub fn export_frames_csv() -> String {
         out.push('\n');
     }
     out
+}
+
+/// A histogram quantile as JSON: the sketch estimate, or `null` when the
+/// histogram holds no finite sample.
+fn json_quantile(h: &Histogram, q: f64) -> String {
+    h.quantile_us(q).map_or_else(|| "null".to_string(), json_f64)
 }
 
 /// Serializes a finite float as plain JSON (no exponent-free guarantees

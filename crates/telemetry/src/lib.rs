@@ -57,7 +57,10 @@ pub mod export;
 pub mod jsonlite;
 pub mod metrics;
 pub mod mode;
+pub mod profile;
+pub mod sketch;
 pub mod span;
+pub mod timeseries;
 
 pub use collector::{now_ns, record_frame, reset, span_count, span_snapshot, SpanRecord};
 pub use export::{
@@ -65,7 +68,10 @@ pub use export::{
 };
 pub use metrics::{Histogram, Metric, Registry, BUCKET_BOUNDS_US};
 pub use mode::{init_from_env, mode, mode_from_env, set_mode, TelemetryMode, TELEMETRY_ENV_VAR};
+pub use profile::{SpanTreeAnalysis, StageAgg};
+pub use sketch::QuantileSketch;
 pub use span::{current_thread_id, record_external_span, span, span_cat, span_dyn, SpanGuard};
+pub use timeseries::SlidingWindow;
 
 use std::time::Duration;
 

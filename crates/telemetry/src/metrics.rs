@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::sketch::QuantileSketch;
+
 /// Histogram bucket upper bounds, microseconds. A 1-2-5 ladder from 1 µs to
 /// 10 s: wide enough for both real span durations (sub-millisecond FFTs) and
 /// simulated frame latencies (hundreds of milliseconds).
@@ -17,7 +19,14 @@ pub const BUCKET_BOUNDS_US: [f64; 22] = [
 ];
 
 /// A fixed-bucket latency histogram (bounds: [`BUCKET_BOUNDS_US`], plus one
-/// overflow bucket).
+/// overflow bucket) with an embedded [`QuantileSketch`] so every latency
+/// metric exposes accurate p50/p90/p99/p99.9 alongside the legacy buckets.
+///
+/// Samples past the last fixed bound are no longer silently clipped into
+/// the final bucket: they still land there (keeping the bucket-sum
+/// invariant the exporters rely on) but are *also* counted explicitly by
+/// [`Histogram::overflow_count`], and the sketch retains their true
+/// magnitude, so the tail stays honest.
 ///
 /// # Examples
 ///
@@ -27,8 +36,11 @@ pub const BUCKET_BOUNDS_US: [f64; 22] = [
 /// let mut h = Histogram::new();
 /// h.record(3.0);
 /// h.record(150.0);
-/// assert_eq!(h.count(), 2);
-/// assert_eq!(h.bucket_counts().iter().sum::<u64>(), 2);
+/// h.record(5e7); // beyond the last fixed bound
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.bucket_counts().iter().sum::<u64>(), 3);
+/// assert_eq!(h.overflow_count(), 1);
+/// assert!(h.quantile_us(0.99).unwrap() > 1e7);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
@@ -37,6 +49,11 @@ pub struct Histogram {
     sum: f64,
     min: f64,
     max: f64,
+    /// Finite samples beyond the last fixed bucket bound.
+    overflow: u64,
+    /// Non-finite samples (NaN/±∞), absorbed by the last bucket.
+    non_finite: u64,
+    sketch: QuantileSketch,
 }
 
 impl Default for Histogram {
@@ -54,6 +71,9 @@ impl Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            overflow: 0,
+            non_finite: 0,
+            sketch: QuantileSketch::default(),
         }
     }
 
@@ -62,16 +82,21 @@ impl Histogram {
     pub fn record(&mut self, value_us: f64) {
         self.count += 1;
         if !value_us.is_finite() {
+            self.non_finite += 1;
             *self.counts.last_mut().expect("overflow bucket") += 1;
             return;
         }
         self.sum += value_us;
         self.min = self.min.min(value_us);
         self.max = self.max.max(value_us);
+        self.sketch.record(value_us.max(0.0));
         let idx = BUCKET_BOUNDS_US
             .iter()
             .position(|&bound| value_us <= bound)
-            .unwrap_or(BUCKET_BOUNDS_US.len());
+            .unwrap_or_else(|| {
+                self.overflow += 1;
+                BUCKET_BOUNDS_US.len()
+            });
         self.counts[idx] += 1;
     }
 
@@ -86,8 +111,12 @@ impl Histogram {
     }
 
     /// Mean of finite observations, microseconds (0 when empty).
+    ///
+    /// Historically the denominator excluded the whole final bucket, which
+    /// wrongly dropped *finite* overflow samples; with overflow now counted
+    /// explicitly, only non-finite samples are excluded.
     pub fn mean_us(&self) -> f64 {
-        let finite = self.count - self.counts[BUCKET_BOUNDS_US.len()];
+        let finite = self.count - self.non_finite;
         if finite > 0 {
             self.sum / finite as f64
         } else {
@@ -109,6 +138,30 @@ impl Histogram {
     /// overflow bucket. Always sums to [`Histogram::count`].
     pub fn bucket_counts(&self) -> &[u64] {
         &self.counts
+    }
+
+    /// Finite samples beyond the last fixed bucket bound. These were
+    /// silently clipped into the final bucket before; now the clipping is
+    /// visible in exports.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Non-finite (NaN/±∞) samples.
+    pub fn non_finite_count(&self) -> u64 {
+        self.non_finite
+    }
+
+    /// Quantile estimate over the finite samples from the embedded sketch
+    /// (relative error ≤ [`crate::sketch::DEFAULT_ALPHA`]); `None` when no
+    /// finite sample was recorded.
+    pub fn quantile_us(&self, q: f64) -> Option<f64> {
+        self.sketch.quantile(q)
+    }
+
+    /// The embedded quantile sketch (mergeable, order-independent).
+    pub fn sketch(&self) -> &QuantileSketch {
+        &self.sketch
     }
 }
 
@@ -297,6 +350,34 @@ mod tests {
         assert_eq!(h.bucket_counts().iter().sum::<u64>(), 3);
         assert_eq!(h.min_us(), Some(5.0));
         assert_eq!(h.sum_us(), 5.0);
+    }
+
+    #[test]
+    fn overflow_and_non_finite_are_counted_explicitly() {
+        let mut h = Histogram::new();
+        h.record(5.0);
+        h.record(5e7); // finite, beyond the 1e7 µs ladder top
+        h.record(f64::NAN);
+        assert_eq!(h.overflow_count(), 1);
+        assert_eq!(h.non_finite_count(), 1);
+        // The bucket-sum invariant is unchanged: both still land in the
+        // final bucket.
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 3);
+        assert_eq!(h.bucket_counts()[BUCKET_BOUNDS_US.len()], 2);
+        // The mean now includes the finite overflow sample.
+        assert_eq!(h.mean_us(), (5.0 + 5e7) / 2.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_come_from_the_sketch() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let p99 = h.quantile_us(0.99).unwrap();
+        assert!((p99 - 990.0).abs() <= 990.0 * 0.01 + 1e-9, "p99 {p99}");
+        assert!(h.quantile_us(0.5).unwrap() < p99);
+        assert_eq!(Histogram::new().quantile_us(0.5), None);
     }
 
     #[test]

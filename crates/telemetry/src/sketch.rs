@@ -1,0 +1,305 @@
+//! Deterministic, mergeable log-bucketed quantile sketches.
+//!
+//! [`QuantileSketch`] is a DDSketch-style estimator: values land in
+//! geometrically spaced buckets keyed by `ceil(ln v / ln γ)` with
+//! `γ = (1 + α) / (1 − α)`, which guarantees every quantile estimate is
+//! within relative error `α` of the exact order statistic. Unlike the
+//! fixed 1-2-5 ladder in [`crate::metrics::Histogram`], accuracy does not
+//! degrade at the tail — p99.9 is as tight as p50.
+//!
+//! # Determinism and mergeability
+//!
+//! The sketch deliberately stores **no floating-point running sum**: state
+//! is integer bucket counts plus `min`/`max`, so [`QuantileSketch::merge`]
+//! is exactly associative and commutative — merging per-worker or
+//! per-session sketches in any order yields bit-identical state. This is
+//! what lets the serving layer publish fleet-level quantiles as a merge of
+//! per-session sketches while preserving the workspace replay contract
+//! (bit-identical output across worker counts).
+//!
+//! # Examples
+//!
+//! ```
+//! use holoar_telemetry::QuantileSketch;
+//!
+//! let mut s = QuantileSketch::new(0.01);
+//! for v in 1..=1000 {
+//!     s.record(v as f64);
+//! }
+//! let p99 = s.quantile(0.99).unwrap();
+//! assert!((p99 - 990.0).abs() <= 0.01 * 990.0 + 1e-9);
+//! ```
+
+use std::collections::BTreeMap;
+
+/// Default relative-accuracy parameter: estimates within 1% of exact.
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// Values at or below this magnitude collapse into the zero bucket (they
+/// carry no useful latency information and would need unbounded negative
+/// bucket keys).
+pub const MIN_TRACKABLE: f64 = 1e-9;
+
+/// A mergeable log-bucketed quantile sketch with relative-error bound `α`.
+///
+/// Tracks non-negative finite values; non-finite samples are counted but
+/// excluded from quantiles (mirroring [`crate::metrics::Histogram`]'s
+/// overflow-bucket policy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    alpha: f64,
+    ln_gamma: f64,
+    /// Bucket key → count. Key `k` covers `(γ^(k−1), γ^k]`.
+    buckets: BTreeMap<i32, u64>,
+    /// Samples in `[0, MIN_TRACKABLE]` (reported as exactly 0).
+    zero_count: u64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new(DEFAULT_ALPHA)
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch with relative accuracy `alpha` (clamped to a sane
+    /// `[1e-6, 0.5]` range).
+    pub fn new(alpha: f64) -> Self {
+        let alpha = alpha.clamp(1e-6, 0.5);
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            ln_gamma: gamma.ln(),
+            buckets: BTreeMap::new(),
+            zero_count: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The configured relative-error bound.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Records one observation. Negative and non-finite values are ignored
+    /// (the sketch tracks latencies/durations, which are non-negative).
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() || value < 0.0 {
+            return;
+        }
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if value <= MIN_TRACKABLE {
+            self.zero_count += 1;
+            return;
+        }
+        let key = self.key_for(value);
+        *self.buckets.entry(key).or_insert(0) += 1;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the sketch holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        self.min.is_finite().then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.max.is_finite().then_some(self.max)
+    }
+
+    /// Estimates the `q`-quantile (`q` clamped to `[0, 1]`) with the
+    /// nearest-rank rule `rank = max(1, ceil(q·count))`, matching the
+    /// workspace's exact `percentile` helpers. `None` when empty. The
+    /// estimate is within relative error [`Self::alpha`] of the exact
+    /// order statistic.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zero_count {
+            return Some(0.0);
+        }
+        let mut cumulative = self.zero_count;
+        for (&key, &count) in &self.buckets {
+            cumulative += count;
+            if cumulative >= rank {
+                // Midpoint estimate for bucket k, clamped into the observed
+                // range (clamping can only move the estimate toward the
+                // exact value, so the α bound is preserved).
+                let estimate = 2.0 * (key as f64 * self.ln_gamma).exp()
+                    / ((self.ln_gamma.exp()) + 1.0);
+                return Some(estimate.clamp(self.min, self.max));
+            }
+        }
+        // Unreachable when the books balance; fall back to the maximum.
+        Some(self.max)
+    }
+
+    /// The median estimate (`None` when empty).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// The 90th-percentile estimate (`None` when empty).
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// The 99th-percentile estimate (`None` when empty).
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// The 99.9th-percentile estimate (`None` when empty).
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
+    /// Merges `other` into `self`. Exactly associative and commutative:
+    /// integer bucket counts add and `min`/`max` combine without any
+    /// order-dependent floating-point accumulation, so any merge tree over
+    /// the same sketches yields bit-identical state.
+    ///
+    /// Both sketches must share the same `alpha` (merging buckets across
+    /// resolutions would silently corrupt the error bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accuracy parameters differ.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.alpha.to_bits() == other.alpha.to_bits(),
+            "cannot merge sketches with different accuracy (α {} vs {})",
+            self.alpha,
+            other.alpha
+        );
+        for (&key, &count) in &other.buckets {
+            *self.buckets.entry(key).or_insert(0) += count;
+        }
+        self.zero_count += other.zero_count;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Log-bucket key for a finite `value > MIN_TRACKABLE`.
+    fn key_for(&self, value: f64) -> i32 {
+        let raw = (value.ln() / self.ln_gamma).ceil();
+        raw.clamp(i32::MIN as f64, i32::MAX as f64) as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn empty_sketch_reports_none() {
+        let s = QuantileSketch::default();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn single_value_is_returned_near_exactly() {
+        let mut s = QuantileSketch::new(0.01);
+        s.record(42.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = s.quantile(q).unwrap();
+            assert!((est - 42.0).abs() <= 0.01 * 42.0, "q={q} est={est}");
+        }
+    }
+
+    #[test]
+    fn quantiles_respect_the_relative_error_bound() {
+        let mut s = QuantileSketch::new(0.01);
+        let mut values: Vec<f64> = (1..=5000).map(|i| (i as f64) * 0.37).collect();
+        for &v in &values {
+            s.record(v);
+        }
+        values.sort_by(f64::total_cmp);
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_quantile(&values, q);
+            let est = s.quantile(q).unwrap();
+            assert!(
+                (est - exact).abs() <= 0.01 * exact + 1e-9,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_subnormal_values_report_zero() {
+        let mut s = QuantileSketch::new(0.01);
+        s.record(0.0);
+        s.record(1e-12);
+        s.record(5.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.quantile(0.1), Some(0.0));
+        assert_eq!(s.min(), Some(0.0));
+    }
+
+    #[test]
+    fn negative_and_non_finite_values_are_ignored() {
+        let mut s = QuantileSketch::new(0.01);
+        s.record(-1.0);
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one_sketch() {
+        let values: Vec<f64> = (1..=300).map(|i| (i as f64).powf(1.3)).collect();
+        let mut whole = QuantileSketch::new(0.01);
+        let mut left = QuantileSketch::new(0.01);
+        let mut right = QuantileSketch::new(0.01);
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        let mut ab = left.clone();
+        ab.merge(&right);
+        let mut ba = right.clone();
+        ba.merge(&left);
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole);
+    }
+
+    #[test]
+    #[should_panic(expected = "different accuracy")]
+    fn merging_mismatched_accuracy_panics() {
+        let mut a = QuantileSketch::new(0.01);
+        let b = QuantileSketch::new(0.02);
+        a.merge(&b);
+    }
+}
