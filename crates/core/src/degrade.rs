@@ -351,7 +351,7 @@ impl DegradationController {
             // any prediction-driven move.
             self.transition(
                 frame,
-                DegradationLevel::ALL[current - 1],
+                DegradationLevel::ALL[current.saturating_sub(1)],
                 TransitionReason::Recovered,
                 "clean-streak",
             );

@@ -84,6 +84,7 @@ impl Device {
     /// [`KernelDesc::validate`] for a recoverable error).
     pub fn execute(&mut self, kernel: &KernelDesc) -> KernelStats {
         let cfg = &self.config;
+        // holoar-lint: allow(no-panic-transitive, reason = "documented contract for hand-built descriptors; every in-tree caller launches kernels from this crate's builders, which are valid by construction, and KernelDesc::validate is the recoverable path")
         let cost = block_cost(kernel, cfg).unwrap_or_else(|e| panic!("{e}"));
         let blocks_per_sm = kernel.grid_blocks.div_ceil(cfg.sm_count) as f64;
         // Each launch pays a drain tail: the device idles while the last

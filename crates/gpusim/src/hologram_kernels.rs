@@ -177,6 +177,7 @@ impl HologramJobStats {
 /// recoverable error).
 pub fn job_kernels(job: &HologramJob) -> Vec<KernelDesc> {
     if let Err(e) = job.validate() {
+        // holoar-lint: allow(no-panic-transitive, reason = "documented contract for hand-built jobs; the serving and evaluation paths derive jobs from validated plans, and HologramJob::validate is the recoverable path")
         panic!("invalid hologram job: {e}");
     }
     let covered_pixels = ((job.pixels as f64 * job.coverage).ceil() as u64).max(1);
@@ -246,6 +247,7 @@ pub fn merged_session_kernels(jobs: &[HologramJob]) -> Vec<KernelDesc> {
     };
     for job in &active {
         if let Err(e) = job.validate() {
+            // holoar-lint: allow(no-panic-transitive, reason = "documented contract for hand-built jobs; the batcher only merges admission-validated session jobs, and HologramJob::validate is the recoverable path")
             panic!("invalid hologram job: {e}");
         }
         assert_eq!(

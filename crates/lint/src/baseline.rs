@@ -12,22 +12,26 @@
 //! `no-panic` and `determinism` rules): the baseline is for migration
 //! only — new code fixes or waives findings instead of baselining them.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::diag::{Finding, Status};
 use crate::source::SourceFile;
 
-/// A loaded baseline.
+/// A loaded baseline. Entries remember the line they were declared on and
+/// whether they matched anything, so stale entries can be reported.
 #[derive(Debug, Clone, Default)]
 pub struct Baseline {
-    entries: HashSet<(String, String, String)>,
+    /// `(rule, path, normalized code) -> baseline-file line`.
+    entries: BTreeMap<(String, String, String), usize>,
+    /// Keys that covered at least one finding this run.
+    used: BTreeSet<(String, String, String)>,
 }
 
 impl Baseline {
     /// Parses baseline text. Unparseable lines are returned as findings
     /// against the baseline file itself.
     pub fn parse(text: &str, rel: &str, out: &mut Vec<Finding>) -> Baseline {
-        let mut entries = HashSet::new();
+        let mut entries = BTreeMap::new();
         for (i, line) in text.lines().enumerate() {
             let line = line.trim_end();
             if line.is_empty() || line.starts_with('#') {
@@ -36,32 +40,45 @@ impl Baseline {
             let mut parts = line.splitn(3, '\t');
             match (parts.next(), parts.next(), parts.next()) {
                 (Some(rule), Some(path), Some(code)) if !rule.is_empty() && !path.is_empty() => {
-                    entries.insert((
-                        rule.to_string(),
-                        path.to_string(),
-                        normalize(code),
-                    ));
+                    entries.insert(
+                        (rule.to_string(), path.to_string(), normalize(code)),
+                        i + 1,
+                    );
                 }
-                _ => out.push(Finding {
-                    rule: "waiver-syntax",
-                    path: rel.to_string(),
-                    line: i + 1,
-                    message: "malformed baseline entry (want `rule<TAB>path<TAB>code`)"
-                        .to_string(),
-                    status: Status::Active,
-                }),
+                _ => out.push(Finding::active(
+                    "waiver-syntax",
+                    rel,
+                    i + 1,
+                    "malformed baseline entry (want `rule<TAB>path<TAB>code`)",
+                )),
             }
         }
-        Baseline { entries }
+        Baseline { entries, used: BTreeSet::new() }
     }
 
-    /// Whether a finding at `line_code` is grandfathered.
-    pub fn covers(&self, rule: &str, path: &str, line_code: &str) -> bool {
-        self.entries.contains(&(
-            rule.to_string(),
-            path.to_string(),
-            normalize(line_code),
-        ))
+    /// Whether a finding at `line_code` is grandfathered; marks the entry
+    /// as used.
+    pub fn covers(&mut self, rule: &str, path: &str, line_code: &str) -> bool {
+        let key = (rule.to_string(), path.to_string(), normalize(line_code));
+        if self.entries.contains_key(&key) {
+            self.used.insert(key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Entries that matched nothing, as `(line, rule, path)` sorted by
+    /// baseline-file line.
+    pub fn stale(&self) -> Vec<(usize, String, String)> {
+        let mut stale: Vec<(usize, String, String)> = self
+            .entries
+            .iter()
+            .filter(|(key, _)| !self.used.contains(*key))
+            .map(|((rule, path, _), line)| (*line, rule.clone(), path.clone()))
+            .collect();
+        stale.sort();
+        stale
     }
 
     /// Number of entries (used by tests and `--write-baseline` reporting).
@@ -117,7 +134,7 @@ mod tests {
     #[test]
     fn parse_match_and_malformed() {
         let mut out = Vec::new();
-        let b = Baseline::parse(
+        let mut b = Baseline::parse(
             "# comment\n\
              no-panic\tcrates/x/src/a.rs\tv.unwrap();\n\
              not-enough-fields\n",
@@ -130,5 +147,20 @@ mod tests {
         assert!(!b.covers("determinism", "crates/x/src/a.rs", "v.unwrap();"));
         assert_eq!(out.len(), 1);
         assert!(out[0].message.contains("malformed baseline"));
+    }
+
+    #[test]
+    fn unused_entries_are_stale() {
+        let mut out = Vec::new();
+        let mut b = Baseline::parse(
+            "no-panic\tcrates/x/src/a.rs\tv.unwrap();\n\
+             determinism\tcrates/x/src/b.rs\tlet t = now();\n",
+            "lint.baseline",
+            &mut out,
+        );
+        assert!(b.covers("no-panic", "crates/x/src/a.rs", "v.unwrap();"));
+        let stale = b.stale();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0], (2, "determinism".to_string(), "crates/x/src/b.rs".to_string()));
     }
 }

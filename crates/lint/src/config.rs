@@ -31,6 +31,52 @@ pub const PARALLELISM_HOME: &str = "crates/fft/src/parallel.rs";
 /// snippets on purpose.
 pub const RULE_EXEMPT_PREFIXES: &[&str] = &["crates/telemetry/", "vendor/", "crates/lint/"];
 
+/// Designated hot-path *entry points* for the interprocedural rules: the
+/// per-frame compute entries whose whole transitive call closure (through
+/// any number of crates) must be panic-free. Pairs are
+/// `(workspace-relative file, fn name)`. Functions can also be designated
+/// in-source with a `// holoar-lint: hot-entry` marker comment.
+pub const HOT_ENTRY_POINTS: &[(&str, &str)] = &[
+    ("crates/fft/src/fft2d.rs", "forward"),
+    ("crates/fft/src/fft2d.rs", "forward_real"),
+    ("crates/fft/src/fft2d.rs", "inverse"),
+    ("crates/fft/src/fft2d.rs", "forward_batch"),
+    ("crates/fft/src/fft2d.rs", "inverse_batch"),
+    ("crates/optics/src/gsw.rs", "run"),
+    ("crates/optics/src/gsw.rs", "run_batch"),
+    ("crates/optics/src/propagate.rs", "propagate_planes"),
+    ("crates/gpusim/src/sm.rs", "block_cost"),
+    ("crates/pipeline/src/pipelined.rs", "run_pipelined"),
+    ("crates/serve/src/engine.rs", "run_serve"),
+];
+
+/// Designated per-frame loop functions for the `hot-loop-alloc` rule: the
+/// loops inside these functions run once per frame (or per GSW iteration)
+/// and must work on pre-sized buffers — no fresh allocation per trip.
+/// Functions can also be designated in-source with a
+/// `// holoar-lint: frame-loop` marker comment.
+pub const FRAME_LOOP_FNS: &[(&str, &str)] = &[
+    ("crates/optics/src/gsw.rs", "run_batch"),
+    ("crates/pipeline/src/pipelined.rs", "summarize"),
+    ("crates/serve/src/batcher.rs", "merged_session_kernels"),
+];
+
+/// Modules allowed to call transcendental math (`sin`/`cos`/`exp`/`powf`):
+/// plan-time table builders and seeded noise generators, where the f32/f64
+/// bit-identity story says all trig must live. Everything else flags under
+/// `float-determinism`. Prefix match on the workspace-relative path.
+pub const PLAN_TIME_PREFIXES: &[&str] = &[
+    "crates/fft/src/complex.rs",   // cis/from_polar/exp primitives (plan-time twiddles)
+    "crates/fft/src/real.rs",      // precision-generic sin_cos trait plumbing
+    "crates/fft/src/plan.rs",      // twiddle-table construction
+    "crates/fft/src/dft.rs",       // reference DFT (plan-time Bluestein kernels)
+    "crates/optics/src/propagate.rs", // transfer-function cache build
+    "crates/optics/src/fresnel.rs",   // lens/aperture construction
+    "crates/optics/src/scene.rs",  // synthetic scene/content generation (same class as sensors)
+    "crates/sensors/",             // seeded noise generation (Box–Muller)
+    "crates/bench/",               // experiment drivers, synthetic inputs
+];
+
 /// Valid leading segments for telemetry span/counter names (`category.name`
 /// convention; `gpu` is the synthetic simulated-GPU track).
 pub const CATEGORIES: &[&str] = &[
@@ -42,8 +88,12 @@ pub const CATEGORIES: &[&str] = &[
 /// diagnosed as malformed.
 pub const RULE_IDS: &[&str] = &[
     "no-panic",
+    "no-panic-transitive",
     "determinism",
+    "float-determinism",
     "thread-discipline",
+    "lock-order",
+    "hot-loop-alloc",
     "telemetry-discipline",
     "deprecated-wrapper",
     "unsafe-hygiene",
@@ -78,6 +128,21 @@ impl Config {
     /// Whether `rel` is exempt from the determinism / telemetry rules.
     pub fn is_rule_exempt(&self, rel: &str) -> bool {
         RULE_EXEMPT_PREFIXES.iter().any(|p| rel.starts_with(p))
+    }
+
+    /// Whether `(rel, name)` is a designated interprocedural hot entry.
+    pub fn is_hot_entry(&self, rel: &str, name: &str) -> bool {
+        HOT_ENTRY_POINTS.iter().any(|&(p, n)| p == rel && n == name)
+    }
+
+    /// Whether `(rel, name)` is a designated per-frame loop function.
+    pub fn is_frame_loop_fn(&self, rel: &str, name: &str) -> bool {
+        FRAME_LOOP_FNS.iter().any(|&(p, n)| p == rel && n == name)
+    }
+
+    /// Whether `rel` is a plan-time module (transcendentals allowed).
+    pub fn is_plan_time(&self, rel: &str) -> bool {
+        PLAN_TIME_PREFIXES.iter().any(|p| rel.starts_with(p))
     }
 }
 

@@ -7,7 +7,7 @@ use crate::baseline::Baseline;
 use crate::config::Config;
 use crate::diag::{Finding, Report, Status};
 use crate::source::SourceFile;
-use crate::{baseline, rules, waiver};
+use crate::{baseline, model, rules, waiver};
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", ".github"];
@@ -43,7 +43,7 @@ pub fn lint_sources(
     let mut findings: Vec<Finding> = Vec::new();
     let mut waivers: Vec<(String, waiver::Waiver)> = Vec::new(); // (path, waiver)
     let mut rules = rules::all(registry_text, &cfg.registry_rel);
-    let baseline = Baseline::parse(baseline_text, &cfg.baseline_rel, &mut findings);
+    let mut baseline = Baseline::parse(baseline_text, &cfg.baseline_rel, &mut findings);
 
     for file in sources {
         // The lint crate's own sources document waiver syntax in prose;
@@ -57,20 +57,27 @@ pub fn lint_sources(
             rule.check_file(file, cfg, &mut findings);
         }
     }
+    // Pass 2: the interprocedural rules run over the workspace model.
+    let workspace_model = model::build(sources, cfg);
+    for rule in rules.iter_mut() {
+        rule.check_model(&workspace_model, cfg, &mut findings);
+    }
     for rule in rules.iter_mut() {
         rule.finish(cfg, &mut findings);
     }
 
     // Resolve each finding: inline waiver first, then baseline.
+    let mut used_waivers: Vec<bool> = vec![false; waivers.len()];
     for f in findings.iter_mut() {
         if f.rule == "waiver-syntax" {
             continue; // meta-findings are never suppressible
         }
-        if let Some((_, w)) = waivers
+        if let Some(i) = waivers
             .iter()
-            .find(|(path, w)| *path == f.path && w.applies_to == f.line && w.rule == f.rule)
+            .position(|(path, w)| *path == f.path && w.applies_to == f.line && w.rule == f.rule)
         {
-            f.status = Status::Waived(w.reason.clone());
+            used_waivers[i] = true;
+            f.status = Status::Waived(waivers[i].1.reason.clone());
             continue;
         }
         let line_code = sources
@@ -84,8 +91,46 @@ pub fn lint_sources(
         }
     }
 
+    // A waiver whose violation no longer exists, or a baseline entry that
+    // matches nothing, must not linger silently.
+    for (i, (path, w)) in waivers.iter().enumerate() {
+        if !used_waivers[i] {
+            findings.push(Finding::active(
+                "waiver-syntax",
+                path.clone(),
+                w.declared_at,
+                format!(
+                    "unused waiver: no `{}` finding on line {} of {}; the violation was \
+                     fixed — remove the waiver",
+                    w.rule, w.applies_to, path
+                ),
+            ));
+        }
+    }
+    for (line, rule, path) in baseline.stale() {
+        findings.push(Finding::active(
+            "waiver-syntax",
+            cfg.baseline_rel.clone(),
+            line,
+            format!(
+                "stale baseline entry: no `{rule}` finding in {path} matches this code \
+                 anymore; remove the entry"
+            ),
+        ));
+    }
+
     findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Report { findings, files_scanned: sources.len() }
+}
+
+/// Builds the interprocedural workspace model for `cfg.root` and returns
+/// its JSON dump (the `--graph-out` payload).
+pub fn dump_model(cfg: &Config) -> Result<String, String> {
+    let sources = scan_workspace(&cfg.root)?;
+    let workspace_model = model::build(&sources, cfg);
+    let mut out = workspace_model.to_json().render_pretty();
+    out.push('\n');
+    Ok(out)
 }
 
 /// Renders a baseline file that would suppress every currently-active

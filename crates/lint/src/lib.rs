@@ -24,6 +24,7 @@ pub mod baseline;
 pub mod config;
 pub mod diag;
 pub mod engine;
+pub mod model;
 pub mod rules;
 pub mod source;
 pub mod waiver;
@@ -41,6 +42,7 @@ pub fn cli(args: &[String]) -> i32 {
     let mut verbose = false;
     let mut write_baseline = false;
     let mut out_path: Option<String> = None;
+    let mut graph_out: Option<String> = None;
     let mut root_arg: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -60,6 +62,13 @@ pub fn cli(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--graph-out" => match it.next() {
+                Some(p) => graph_out = Some(p.clone()),
+                None => {
+                    eprintln!("--graph-out requires a file path");
+                    return 2;
+                }
+            },
             "--root" => match it.next() {
                 Some(p) => root_arg = Some(p.clone()),
                 None => {
@@ -71,12 +80,16 @@ pub fn cli(args: &[String]) -> i32 {
             "--write-baseline" => write_baseline = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: repro lint [--format human|json] [--out FILE] [--root DIR] \
-                     [--verbose] [--write-baseline]\n\
-                     Enforces hot-path no-panic, determinism, thread, telemetry-naming, and\n\
-                     unsafe-hygiene invariants across the workspace. Exit 1 on any active\n\
-                     (non-waived, non-baselined) finding. Waive inline with\n\
-                     `// holoar-lint: allow(rule, reason = \"...\")`."
+                    "usage: repro lint [--format human|json] [--out FILE] [--graph-out FILE] \
+                     [--root DIR] [--verbose] [--write-baseline]\n\
+                     Enforces hot-path no-panic (per-line and transitive through the call\n\
+                     graph), determinism (wall clocks, hash iteration, transcendental math\n\
+                     outside plan time), lock ordering, per-frame allocation, thread,\n\
+                     telemetry-naming, and unsafe-hygiene invariants across the workspace.\n\
+                     Exit 1 on any active (non-waived, non-baselined) finding. Waive inline\n\
+                     with `// holoar-lint: allow(rule, reason = \"...\")`.\n\
+                     --graph-out dumps the interprocedural model (call graph + effect\n\
+                     summaries + lock-order edges) as JSON."
                 );
                 return 0;
             }
@@ -108,6 +121,21 @@ pub fn cli(args: &[String]) -> i32 {
     };
 
     let cfg = Config::new(root);
+    if let Some(p) = &graph_out {
+        match engine::dump_model(&cfg) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(p, &json) {
+                    eprintln!("cannot write {p}: {e}");
+                    return 2;
+                }
+                eprintln!("wrote workspace model to {p}");
+            }
+            Err(e) => {
+                eprintln!("holoar-lint: {e}");
+                return 2;
+            }
+        }
+    }
     let report = match engine::lint_workspace(&cfg) {
         Ok(r) => r,
         Err(e) => {

@@ -10,7 +10,7 @@
 //! them to prove the twins stay bit-identical.
 
 use crate::config::Config;
-use crate::diag::{Finding, Status};
+use crate::diag::Finding;
 use crate::source::SourceFile;
 
 use super::{ident_before, Rule};
@@ -63,16 +63,15 @@ impl Rule for DeprecatedWrapper {
                     if line.code[..at].trim_end().ends_with("fn") {
                         continue;
                     }
-                    out.push(Finding {
-                        rule: "deprecated-wrapper",
-                        path: file.rel.clone(),
-                        line: line_no,
-                        message: format!(
+                    out.push(Finding::active(
+                        "deprecated-wrapper",
+                        file.rel.clone(),
+                        line_no,
+                        format!(
                             "internal call to deprecated wrapper `{name}`; construct an \
                              `ExecutionContext` and call `{replacement}` instead"
                         ),
-                        status: Status::Active,
-                    });
+                    ));
                 }
             }
         }

@@ -20,7 +20,7 @@
 //! [`crate::config::RULE_EXEMPT_PREFIXES`].
 
 use crate::config::Config;
-use crate::diag::{Finding, Status};
+use crate::diag::Finding;
 use crate::source::SourceFile;
 
 use super::Rule;
@@ -74,7 +74,7 @@ impl Rule for Determinism {
 }
 
 fn finding(file: &SourceFile, line: usize, message: String) -> Finding {
-    Finding { rule: "determinism", path: file.rel.clone(), line, message, status: Status::Active }
+    Finding::active("determinism", file.rel.clone(), line, message)
 }
 
 /// Identifiers declared in this file with a `HashMap`/`HashSet` type:

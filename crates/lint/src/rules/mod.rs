@@ -3,22 +3,31 @@
 
 use crate::config::Config;
 use crate::diag::Finding;
+use crate::model::WorkspaceModel;
 use crate::source::SourceFile;
 
 pub mod deprecated_wrapper;
 pub mod determinism;
+pub mod float_determinism;
+pub mod hot_loop_alloc;
+pub mod lock_order;
 pub mod no_panic;
+pub mod no_panic_transitive;
 pub mod telemetry_discipline;
 pub mod thread_discipline;
 pub mod unsafe_hygiene;
 
-/// One lint rule. Rules see every scanned file once, then get a `finish`
+/// One lint rule. Rules see every scanned file once (pass 1, line-level),
+/// then the interprocedural workspace model (pass 2), then get a `finish`
 /// call for cross-file checks (name uniqueness, per-crate attributes).
 pub trait Rule {
     /// Stable rule id (also the waiver key).
     fn id(&self) -> &'static str;
     /// Per-file pass.
     fn check_file(&mut self, file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>);
+    /// Interprocedural pass over the workspace model (call graph, effect
+    /// summaries, lock map), after every file has been seen.
+    fn check_model(&mut self, _model: &WorkspaceModel, _cfg: &Config, _out: &mut Vec<Finding>) {}
     /// Cross-file pass, after every file has been seen.
     fn finish(&mut self, _cfg: &Config, _out: &mut Vec<Finding>) {}
 }
@@ -27,8 +36,12 @@ pub trait Rule {
 pub fn all(registry_text: &str, registry_rel: &str) -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(no_panic::NoPanic),
+        Box::new(no_panic_transitive::NoPanicTransitive),
         Box::new(determinism::Determinism),
+        Box::new(float_determinism::FloatDeterminism),
         Box::new(thread_discipline::ThreadDiscipline),
+        Box::new(lock_order::LockOrder),
+        Box::new(hot_loop_alloc::HotLoopAlloc),
         Box::new(telemetry_discipline::TelemetryDiscipline::new(registry_text, registry_rel)),
         Box::new(deprecated_wrapper::DeprecatedWrapper),
         Box::new(unsafe_hygiene::UnsafeHygiene::default()),

@@ -16,21 +16,21 @@
 //! hoisted out of the inner loop is exactly what this rule pushes toward.
 
 use crate::config::Config;
-use crate::diag::{Finding, Status};
+use crate::diag::Finding;
 use crate::source::SourceFile;
 
 use super::{find_token, Rule};
 
 pub struct NoPanic;
 
-const CALLS: &[(&str, &str)] = &[
+pub(crate) const CALLS: &[(&str, &str)] = &[
     (".unwrap()", "`.unwrap()` can panic"),
     (".unwrap_err()", "`.unwrap_err()` can panic"),
     (".expect(", "`.expect(...)` can panic"),
     (".expect_err(", "`.expect_err(...)` can panic"),
 ];
 
-const MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+pub(crate) const MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
 
 impl Rule for NoPanic {
     fn id(&self) -> &'static str {
@@ -72,7 +72,7 @@ impl Rule for NoPanic {
 }
 
 fn finding(file: &SourceFile, line: usize, message: String) -> Finding {
-    Finding { rule: "no-panic", path: file.rel.clone(), line, message, status: Status::Active }
+    Finding::active("no-panic", file.rel.clone(), line, message)
 }
 
 /// Returns the index expressions of panic-prone indexing on this line.
@@ -81,7 +81,7 @@ fn finding(file: &SourceFile, line: usize, message: String) -> Finding {
 /// expression (identifier, `)`, or `]`); `#[attr]`, `vec![...]`, array
 /// types and slice patterns never match. A site is *panic-prone* when the
 /// index is an integer literal, ends with `- 1`, or contains `.len()`.
-fn panicky_indexing(code: &str) -> Vec<String> {
+pub(crate) fn panicky_indexing(code: &str) -> Vec<String> {
     let chars: Vec<char> = code.chars().collect();
     let mut hits = Vec::new();
     let mut prev_non_space: Option<char> = None;

@@ -21,7 +21,7 @@
 use std::collections::BTreeMap;
 
 use crate::config::{Config, CATEGORIES};
-use crate::diag::{Finding, Status};
+use crate::diag::Finding;
 use crate::source::SourceFile;
 
 use super::{ident_before, Rule};
@@ -66,13 +66,7 @@ impl Rule for TelemetryDiscipline {
         for call in extract_calls(file) {
             let name = normalize(&call.name);
             let mut fail = |msg: String| {
-                out.push(Finding {
-                    rule: "telemetry-discipline",
-                    path: file.rel.clone(),
-                    line: call.line,
-                    message: msg,
-                    status: Status::Active,
-                });
+                out.push(Finding::active("telemetry-discipline", file.rel.clone(), call.line, msg));
             };
             if !well_formed(&name) {
                 fail(format!(
@@ -285,13 +279,7 @@ impl Registry {
                 continue;
             }
             let mut fail = |msg: String| {
-                parse_findings.push(Finding {
-                    rule: "telemetry-discipline",
-                    path: rel.to_string(),
-                    line: i + 1,
-                    message: msg,
-                    status: Status::Active,
-                });
+                parse_findings.push(Finding::active("telemetry-discipline", rel, i + 1, msg));
             };
             let Some((kind, name)) = line.split_once(' ') else {
                 fail(format!("malformed registry entry `{line}` (want `kind name`)"));

@@ -7,7 +7,7 @@
 //! test code is exempt (tests legitimately spawn to probe thread-safety).
 
 use crate::config::{Config, PARALLELISM_HOME};
-use crate::diag::{Finding, Status};
+use crate::diag::Finding;
 use crate::source::SourceFile;
 
 use super::Rule;
@@ -31,18 +31,17 @@ impl Rule for ThreadDiscipline {
             }
             for pat in PATTERNS {
                 if line.code.contains(pat) {
-                    out.push(Finding {
-                        rule: "thread-discipline",
-                        path: file.rel.clone(),
-                        line: line_no,
-                        message: format!(
+                    out.push(Finding::active(
+                        "thread-discipline",
+                        file.rel.clone(),
+                        line_no,
+                        format!(
                             "raw `{}` outside the Parallelism pool; use \
                              `holoar_fft::Parallelism` so worker count, scratch reuse, and \
                              deterministic chunking stay centralized",
                             pat.trim_end_matches('(')
                         ),
-                        status: Status::Active,
-                    });
+                    ));
                 }
             }
         }

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use crate::config::Config;
-use crate::diag::{Finding, Status};
+use crate::diag::Finding;
 use crate::source::SourceFile;
 
 use super::{find_token, Rule};
@@ -59,15 +59,12 @@ impl Rule for UnsafeHygiene {
                 .filter_map(|i| file.lines.get(i))
                 .any(|l| l.comment.contains("SAFETY:"));
             if !justified {
-                out.push(Finding {
-                    rule: "unsafe-hygiene",
-                    path: file.rel.clone(),
-                    line: line_no,
-                    message: "`unsafe` without a `// SAFETY:` comment on or directly above \
-                              the line"
-                        .to_string(),
-                    status: Status::Active,
-                });
+                out.push(Finding::active(
+                    "unsafe-hygiene",
+                    file.rel.clone(),
+                    line_no,
+                    "`unsafe` without a `// SAFETY:` comment on or directly above the line",
+                ));
             }
         }
     }
@@ -80,16 +77,15 @@ impl Rule for UnsafeHygiene {
             let Some(lib) = &state.lib_rs else {
                 continue;
             };
-            out.push(Finding {
-                rule: "unsafe-hygiene",
-                path: lib.clone(),
-                line: 1,
-                message: format!(
+            out.push(Finding::active(
+                "unsafe-hygiene",
+                lib.clone(),
+                1,
+                format!(
                     "crate `{key}` uses no unsafe code but does not pin it; add \
                      `#![forbid(unsafe_code)]` to {lib}"
                 ),
-                status: Status::Active,
-            });
+            ));
         }
     }
 }

@@ -7,7 +7,7 @@
 //! is a waiver naming an unknown rule.
 
 use crate::config::RULE_IDS;
-use crate::diag::{Finding, Status};
+use crate::diag::Finding;
 use crate::source::SourceFile;
 
 /// One parsed waiver.
@@ -19,6 +19,9 @@ pub struct Waiver {
     pub reason: String,
     /// 1-based line the waiver suppresses findings on.
     pub applies_to: usize,
+    /// 1-based line the waiver comment sits on (where an unused-waiver
+    /// finding anchors).
+    pub declared_at: usize,
 }
 
 const MARKER: &str = "holoar-lint:";
@@ -32,6 +35,11 @@ pub fn collect(file: &SourceFile, out: &mut Vec<Finding>) -> Vec<Waiver> {
             continue;
         };
         let directive = line.comment[pos + MARKER.len()..].trim();
+        if directive == crate::model::extract::MARKER_HOT_ENTRY
+            || directive == crate::model::extract::MARKER_FRAME_LOOP
+        {
+            continue; // designation markers, parsed by the model build
+        }
         let comment_only = line.code.trim().is_empty();
         let applies_to = if comment_only {
             // Next line with actual code (skipping further comment-only lines).
@@ -48,27 +56,25 @@ pub fn collect(file: &SourceFile, out: &mut Vec<Finding>) -> Vec<Waiver> {
         match parse_directive(directive) {
             Ok((rule, reason)) => {
                 if RULE_IDS.contains(&rule.as_str()) {
-                    waivers.push(Waiver { rule, reason, applies_to });
+                    waivers.push(Waiver { rule, reason, applies_to, declared_at: line_no });
                 } else {
-                    out.push(Finding {
-                        rule: "waiver-syntax",
-                        path: file.rel.clone(),
-                        line: line_no,
-                        message: format!(
+                    out.push(Finding::active(
+                        "waiver-syntax",
+                        file.rel.clone(),
+                        line_no,
+                        format!(
                             "waiver names unknown rule `{rule}` (known: {})",
                             RULE_IDS.join(", ")
                         ),
-                        status: Status::Active,
-                    });
+                    ));
                 }
             }
-            Err(why) => out.push(Finding {
-                rule: "waiver-syntax",
-                path: file.rel.clone(),
-                line: line_no,
-                message: format!("malformed waiver: {why}"),
-                status: Status::Active,
-            }),
+            Err(why) => out.push(Finding::active(
+                "waiver-syntax",
+                file.rel.clone(),
+                line_no,
+                format!("malformed waiver: {why}"),
+            )),
         }
     }
     waivers

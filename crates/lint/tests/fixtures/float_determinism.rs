@@ -1,0 +1,8 @@
+// Fixture: transcendental math outside the plan-time modules. The same
+// source linted under a plan-time path must be clean.
+
+pub fn falloff(theta: f64, gain: f64) -> f64 {
+    let a = theta.sin();
+    let b = gain.powf(2.5);
+    a * b
+}

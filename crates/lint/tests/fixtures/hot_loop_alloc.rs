@@ -1,0 +1,15 @@
+// Fixture: a designated per-frame loop that allocates every iteration.
+// Pre-sized pushes are fine; fresh Vec/format!/unsized pushes are not.
+
+// holoar-lint: frame-loop
+pub fn per_frame(samples: &[f64]) -> Vec<f64> {
+    let mut peaks = Vec::with_capacity(samples.len());
+    for s in samples {
+        let mut scratch = Vec::new();
+        scratch.push(*s);
+        let label = format!("sample {s}");
+        let _ = label;
+        peaks.push(scratch.len() as f64);
+    }
+    peaks
+}

@@ -1,0 +1,10 @@
+// Fixture: the far side of the two-file transitive no-panic case. The
+// panic lives in a private helper the hot entry never calls directly.
+
+pub fn peak_amplitude(buf: &[f64]) -> f64 {
+    fold_peak(buf.first())
+}
+
+fn fold_peak(first: Option<&f64>) -> f64 {
+    *first.expect("non-empty buffer")
+}

@@ -1,0 +1,7 @@
+// Fixture: a marker-designated hot entry whose panic sits two calls away
+// in another crate (interp_helpers.rs, linted as crates/b/src/helpers.rs).
+
+// holoar-lint: hot-entry
+pub fn render_frame(buf: &[f64]) -> f64 {
+    holoar_b::peak_amplitude(buf)
+}

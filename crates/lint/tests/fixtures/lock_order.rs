@@ -1,0 +1,22 @@
+// Fixture: two paths acquire the same pair of locks in opposite orders —
+// the classic AB/BA deadlock shape the lock-order rule must catch.
+
+pub struct Shared {
+    jobs: std::sync::Mutex<Vec<u64>>,
+    stats: std::sync::Mutex<u64>,
+}
+
+impl Shared {
+    pub fn submit(&self, id: u64) {
+        let mut jobs = lock_unpoisoned(&self.jobs);
+        let mut stats = lock_unpoisoned(&self.stats);
+        jobs.push(id);
+        *stats += 1;
+    }
+
+    pub fn report(&self) -> u64 {
+        let stats = lock_unpoisoned(&self.stats);
+        let jobs = lock_unpoisoned(&self.jobs);
+        *stats + jobs.len() as u64
+    }
+}

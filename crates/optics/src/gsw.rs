@@ -172,6 +172,22 @@ pub fn run_batch(
         .flat_map(|(s, st)| (0..st.zs.len()).map(move |p| (s, p)))
         .collect();
 
+    // Forward-propagation distances never change across iterations.
+    let fwd_zs: Vec<f64> = jobs.iter().map(|&(s, p)| states[s].zs[p]).collect();
+    // Per-iteration buffers, allocated once and reused: backward
+    // accumulators, forward input fields, and the per-plane
+    // relative-amplitude scratch for the weight update.
+    let mut accs: Vec<Field> = states
+        .iter()
+        .map(|st| Field::zeros(st.rows, st.cols, optics))
+        .collect();
+    let mut fwd_fields: Vec<Field> = jobs
+        .iter()
+        .map(|&(s, _)| Field::zeros(states[s].rows, states[s].cols, optics))
+        .collect();
+    let max_pixels = states.iter().map(|st| st.rows * st.cols).max().unwrap_or(0);
+    let mut rels: Vec<(usize, f64)> = Vec::with_capacity(max_pixels);
+
     for _ in 0..config.iterations {
         let _iter_span = holoar_telemetry::span_cat("optics.gsw.iteration", "optics");
         // Backward: superpose weighted targets on each hologram plane. The
@@ -203,24 +219,25 @@ pub fn run_batch(
         // One coalesced backward sweep over every stack's lit planes;
         // accumulation stays serial, per stack, in plane order.
         let contributions = prop.propagate_planes(&lit_fields, &lit_zs);
-        let mut accs: Vec<Field> = states
-            .iter()
-            .map(|st| Field::zeros(st.rows, st.cols, optics))
-            .collect();
+        for acc in accs.iter_mut() {
+            acc.samples_mut().fill(Complex64::ZERO);
+        }
         for (contribution, &owner) in contributions.iter().zip(&lit_owner) {
             accs[owner].accumulate(contribution);
         }
-        for (st, acc) in states.iter_mut().zip(accs) {
+        for (st, acc) in states.iter_mut().zip(accs.iter()) {
             // Phase-only constraint (SLM projection).
             st.hologram = acc.to_phase_only();
         }
 
         // Forward: measure achieved amplitudes on every stack's planes in
         // one coalesced sweep; the measurement loop below is a reduction and
-        // stays serial, per stack, in plane order.
-        let fwd_fields: Vec<Field> =
-            jobs.iter().map(|&(s, _)| states[s].hologram.clone()).collect();
-        let fwd_zs: Vec<f64> = jobs.iter().map(|&(s, p)| states[s].zs[p]).collect();
+        // stays serial, per stack, in plane order. Hologram samples are
+        // copied into the reused forward buffers instead of cloning fresh
+        // fields every iteration.
+        for (field, &(s, _)) in fwd_fields.iter_mut().zip(&jobs) {
+            field.samples_mut().copy_from_slice(states[s].hologram.samples());
+        }
         let reconstructions = prop.propagate_planes(&fwd_fields, &fwd_zs);
 
         let mut offset = 0;
@@ -234,7 +251,7 @@ pub fn run_batch(
             let mut total = 0.0;
             for (i, u) in recon.iter().enumerate() {
                 total += u.total_energy();
-                let mut rels: Vec<(usize, f64)> = Vec::new();
+                rels.clear();
                 for idx in 0..st.rows * st.cols {
                     if st.targets[i][idx] > 0.0 {
                         let v = u.samples()[idx];
@@ -252,7 +269,16 @@ pub fn run_batch(
                     let mean =
                         rels.iter().map(|&(_, r)| r).sum::<f64>() / rels.len() as f64;
                     for &(idx, rel) in &rels {
-                        st.weights[i][idx] *= (mean / rel).powf(config.adaptivity);
+                        // Standard GSW (adaptivity = 1.0) stays
+                        // transcendental-free; IEEE pow(x, 1.0) == x, so the
+                        // fast path is bit-identical to the former powf.
+                        let gain = if config.adaptivity == 1.0 {
+                            mean / rel
+                        } else {
+                            // holoar-lint: allow(float-determinism, reason = "a tuned GSW weight exponent requires a real power; the default adaptivity = 1.0 takes the exact division path above")
+                            (mean / rel).powf(config.adaptivity)
+                        };
+                        st.weights[i][idx] *= gain;
                     }
                 }
             }

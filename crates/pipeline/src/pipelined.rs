@@ -71,32 +71,36 @@ fn summarize(latencies: &[FrameLatencies]) -> PipelinedReport {
     let _span = holoar_telemetry::span_cat("pipeline.summarize", "pipeline");
     let frames = latencies.len() as u64;
     let cadence = TaskKind::SceneReconstruct.frame_cadence() as f64;
-    let mut stage_sums = [0.0f64; 4]; // pose, eye, scene (amortized), hologram
+    // Named per-stage accumulators; scene time is amortized over its cadence.
+    let (mut pose_sum, mut eye_sum, mut scene_sum, mut hologram_sum) =
+        (0.0f64, 0.0f64, 0.0f64, 0.0f64);
     let mut latency_sum = 0.0;
     let mut worst = StageWorst::default();
     for lat in latencies {
         worst.absorb(lat);
-        stage_sums[0] += lat.pose;
-        stage_sums[1] += lat.eye;
-        stage_sums[2] += lat.scene / cadence;
-        stage_sums[3] += lat.hologram;
+        pose_sum += lat.pose;
+        eye_sum += lat.eye;
+        scene_sum += lat.scene / cadence;
+        hologram_sum += lat.hologram;
         // Motion-to-photon: the serial traversal of one sample (scene
         // reconstruction is off the critical path when it has a fresh map).
         latency_sum += lat.pose + lat.eye + lat.hologram;
     }
     let n = frames as f64;
-    let means = [stage_sums[0] / n, stage_sums[1] / n, stage_sums[2] / n, stage_sums[3] / n];
-    let (bottleneck_idx, &slowest) = means
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .expect("four stages");
-    let bottleneck = [
-        TaskKind::PoseEstimate,
-        TaskKind::EyeTrack,
-        TaskKind::SceneReconstruct,
-        TaskKind::Hologram,
-    ][bottleneck_idx];
+    let stage_means = [
+        (TaskKind::PoseEstimate, pose_sum / n),
+        (TaskKind::EyeTrack, eye_sum / n),
+        (TaskKind::SceneReconstruct, scene_sum / n),
+        (TaskKind::Hologram, hologram_sum / n),
+    ];
+    // Last-max tie-breaking matches `Iterator::max_by` on the former array.
+    let (mut bottleneck, mut slowest) = (TaskKind::PoseEstimate, f64::NEG_INFINITY);
+    for &(kind, mean) in &stage_means {
+        if mean.total_cmp(&slowest).is_ge() {
+            bottleneck = kind;
+            slowest = mean;
+        }
+    }
     let report = PipelinedReport {
         frames,
         throughput_fps: 1.0 / slowest.max(f64::MIN_POSITIVE),

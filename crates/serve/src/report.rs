@@ -89,7 +89,7 @@ pub fn percentile(samples: &[f64], q: f64) -> f64 {
     let mut sorted = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    sorted.get(rank - 1).copied().unwrap_or(0.0)
 }
 
 #[cfg(test)]

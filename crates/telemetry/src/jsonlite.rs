@@ -76,6 +76,118 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Serializes the value as compact JSON.
+    ///
+    /// The output is deterministic: object members keep insertion order,
+    /// whole numbers render without a fractional part, other finite
+    /// numbers use Rust's shortest-roundtrip formatting, and non-finite
+    /// numbers (which JSON cannot represent) become `null`. Strings are
+    /// escaped so `parse(v.render())` reconstructs `v` for any finite
+    /// document — the exporters and the lint diagnostics writer rely on
+    /// this round trip instead of hand-rolled `format!` escaping.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, None, 0);
+        out
+    }
+
+    /// Serializes the value as human-readable JSON, two-space indented.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => render_number(*n, out),
+            Json::String(s) => render_string(s, out),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.render_into(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Object(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    render_string(key, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.render_into(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+/// Writes a finite number in canonical form; NaN/inf become `null`.
+fn render_number(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n == n.trunc() && n.abs() < 9.0e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+/// Writes `s` as a double-quoted JSON string literal.
+fn render_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 /// Parse error: byte offset plus message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
@@ -323,6 +435,38 @@ mod tests {
     #[test]
     fn unicode_escapes_decode() {
         assert_eq!(parse("\"\\u0041\"").unwrap(), Json::String("A".to_string()));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let cases = [
+            Json::Null,
+            Json::Bool(true),
+            Json::Number(42.0),
+            Json::Number(-0.125),
+            Json::Number(1.0e300),
+            Json::String("quote \" slash \\ newline \n tab \t ctrl \u{1} unicode é".to_string()),
+            Json::Array(vec![Json::Number(1.0), Json::Object(vec![]), Json::Array(vec![])]),
+            Json::Object(vec![
+                ("first".to_string(), Json::String(String::new())),
+                ("second".to_string(), Json::Array(vec![Json::Bool(false)])),
+            ]),
+        ];
+        for v in cases {
+            assert_eq!(parse(&v.render()).unwrap(), v, "compact round trip of {v:?}");
+            assert_eq!(parse(&v.render_pretty()).unwrap(), v, "pretty round trip of {v:?}");
+        }
+    }
+
+    #[test]
+    fn render_canonical_forms() {
+        assert_eq!(Json::Number(3.0).render(), "3");
+        assert_eq!(Json::Number(f64::NAN).render(), "null");
+        assert_eq!(Json::Array(vec![]).render(), "[]");
+        assert_eq!(
+            Json::Object(vec![("a".to_string(), Json::Number(1.5))]).render(),
+            "{\"a\":1.5}"
+        );
     }
 
     #[test]
