@@ -106,15 +106,18 @@ fn main() {
                      experiments: {} all\n\
                      --sessions pins the serve/slo experiments to one fleet size\n\
                      --csv writes the Fig 7/8 evaluation matrix as CSV to FILE\n\
-                     --bench-json writes the parallel-engine timing cells as JSON to FILE\n\
+                     --bench-json writes the parallel-engine timing cells as JSON to FILE \
+                     (with an explicit `pipeline` experiment it writes the staged-pipeline \
+                     artifact instead)\n\
                      --serve-json writes the multi-session serving sweep as JSON to FILE\n\
                      --slo-json writes the SLO dashboard artifact as JSON to FILE \
                      (an explicit `slo` experiment writes BENCH_slo.json by default)\n\
                      --trace-out writes a Chrome-trace (Perfetto) span timeline to FILE\n\
                      --metrics-json writes the counters/gauges/histograms registry to FILE\n\
                      repro lint [--format json] runs the workspace static-analysis pass\n\
-                     repro perf-gate [FILE] [--serve FILE] [--f32-floor X] [--par-floor Y] \
-                     [--min-workers N] enforces the floors over the JSON artifacts\n\
+                     repro perf-gate [FILE] [--serve FILE] [--pipeline FILE] [--f32-floor X] \
+                     [--par-floor Y] [--min-workers N] enforces the floors over the JSON \
+                     artifacts\n\
                      HOLOAR_TELEMETRY=off|summary|full selects the telemetry mode \
                      (either export flag implies full)",
                     experiments::ALL_EXPERIMENTS.join(" ")
@@ -139,6 +142,11 @@ fn main() {
     // along in the `all` expansion — only the former writes BENCH_slo.json
     // without --slo-json.
     let slo_explicit = ids.iter().any(|i| i == "slo");
+    // `--bench-json` writes the staged-pipeline artifact when the user
+    // explicitly asked for the `pipeline` experiment (and not `parallel`);
+    // in every other case it keeps its original meaning, the
+    // parallel-engine timing cells.
+    let pipeline_bench = ids.iter().any(|i| i == "pipeline") && !ids.iter().any(|i| i == "parallel");
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = experiments::ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
@@ -149,11 +157,15 @@ fn main() {
         }
     }
     if let Some(path) = bench_json_path {
-        let json = experiments::parallel_bench_json();
+        let (json, what) = if pipeline_bench {
+            (experiments::pipeline_bench_json(&cfg), "staged pipeline bench")
+        } else {
+            (experiments::parallel_bench_json(), "parallel bench cells")
+        };
         if let Err(e) = std::fs::write(&path, json) {
             die(&format!("cannot write {path}: {e}"));
         }
-        eprintln!("wrote parallel bench cells to {path}");
+        eprintln!("wrote {what} to {path}");
     }
     if let Some(path) = serve_json_path {
         let json = experiments::serve_bench_json(&cfg);

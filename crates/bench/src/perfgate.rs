@@ -291,6 +291,116 @@ pub fn evaluate_serve(json_text: &str, cfg: &ServeGateConfig) -> Result<GateOutc
     Ok(GateOutcome { failures, report })
 }
 
+/// Floors for the staged-pipeline artifact (the staged-executor tentpole's
+/// design targets, enforced by [`evaluate_pipeline`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineGateConfig {
+    /// Staged-over-lockstep throughput floor under the standard faulted
+    /// workload.
+    pub speedup_floor: f64,
+    /// Ceiling on `staged p99 / lockstep sustained p99` — the staged
+    /// sensor-to-photon tail must be no worse than the lockstep loop's
+    /// under the same sustained capture timeline.
+    pub p99_ratio_ceiling: f64,
+}
+
+impl Default for PipelineGateConfig {
+    fn default() -> Self {
+        PipelineGateConfig { speedup_floor: 1.15, p99_ratio_ceiling: 1.0 }
+    }
+}
+
+/// Numeric fields every `BENCH_pipeline.json` `staged` block must carry.
+const PIPELINE_STAGED_FIELDS: [&str; 8] = [
+    "throughput_fps",
+    "mean_latency_s",
+    "latency_p50_s",
+    "latency_p99_s",
+    "fresh_frames",
+    "stale_frames",
+    "compute_drops",
+    "present_drops",
+];
+
+/// Evaluates the pipeline gate over the text of a `BENCH_pipeline.json`
+/// artifact: schema, the bit-identity invariant across worker counts, the
+/// no-silent-gap invariant (every frame presents, fresh or stale), and the
+/// speedup / p99 floors. The executor runs on virtual time, so all of
+/// these hold on any host.
+///
+/// # Errors
+///
+/// Returns a message when the artifact is unparseable or not a pipeline
+/// bench — CI should treat that exactly like a failed gate.
+pub fn evaluate_pipeline(
+    json_text: &str,
+    cfg: &PipelineGateConfig,
+) -> Result<GateOutcome, String> {
+    let doc = jsonlite::parse(json_text).map_err(|e| e.to_string())?;
+    if doc.get("bench").and_then(Json::as_str) != Some("pipeline") {
+        return Err("artifact is not a pipeline bench (missing \"bench\": \"pipeline\")".into());
+    }
+    let staged = doc.get("staged").ok_or("missing \"staged\" block")?;
+    let lockstep = doc.get("lockstep").ok_or("missing \"lockstep\" block")?;
+
+    let mut failures = Vec::new();
+    let mut report = String::new();
+    let mut check = |line: String, failed: bool| {
+        report.push_str(if failed { "FAIL " } else { "pass " });
+        report.push_str(&line);
+        report.push('\n');
+        if failed {
+            failures.push(line);
+        }
+    };
+
+    for field in PIPELINE_STAGED_FIELDS {
+        if staged.get(field).and_then(Json::as_f64).is_none() {
+            check(format!("staged block missing numeric \"{field}\""), true);
+        }
+    }
+    for field in ["throughput_fps", "latency_p99_s", "sustained_p99_s"] {
+        if lockstep.get(field).and_then(Json::as_f64).is_none() {
+            check(format!("lockstep block missing numeric \"{field}\""), true);
+        }
+    }
+
+    let bit_identical = match doc.get("bit_identical") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err("missing boolean \"bit_identical\"".into()),
+    };
+    check(
+        format!("staged report bit-identical across worker counts = {bit_identical}"),
+        !bit_identical,
+    );
+
+    // No silent gaps: every ingested frame presents, fresh or stale.
+    let num = |node: &Json, field: &str| node.get(field).and_then(Json::as_f64);
+    let frames = doc.get("frames").and_then(Json::as_f64).unwrap_or(f64::NAN);
+    let presented = num(staged, "fresh_frames").unwrap_or(f64::NAN)
+        + num(staged, "stale_frames").unwrap_or(f64::NAN);
+    check(
+        format!("presented frames {presented:.0} == ingested frames {frames:.0}"),
+        presented.is_nan() || frames.is_nan() || presented != frames,
+    );
+
+    let speedup = doc.get("speedup").and_then(Json::as_f64).unwrap_or(f64::NAN);
+    check(
+        format!("staged-over-lockstep speedup {speedup:.2}x >= {:.2}x", cfg.speedup_floor),
+        speedup.is_nan() || speedup < cfg.speedup_floor,
+    );
+    let ratio = doc.get("p99_ratio").and_then(Json::as_f64).unwrap_or(f64::NAN);
+    check(
+        format!(
+            "sustained p99 ratio (staged / lockstep) {ratio:.3} <= {:.3}",
+            cfg.p99_ratio_ceiling
+        ),
+        ratio.is_nan() || ratio > cfg.p99_ratio_ceiling,
+    );
+
+    Ok(GateOutcome { failures, report })
+}
+
 fn find<'a>(cells: &'a [Cell], label: &str, workers: usize, precision: &str) -> Option<&'a Cell> {
     cells
         .iter()
@@ -325,16 +435,18 @@ fn parse_cells(doc: &Json) -> Result<Vec<Cell>, String> {
     Ok(cells)
 }
 
-/// CLI driver for `repro perf-gate [FILE] [--serve FILE] [--f32-floor X]
-/// [--par-floor Y] [--min-workers N]`: gates the parallel artifact (the
-/// positional path) and/or the serve artifact (`--serve`), prints the
-/// reports and returns the process exit code. At least one artifact is
-/// required.
+/// CLI driver for `repro perf-gate [FILE] [--serve FILE] [--pipeline FILE]
+/// [--f32-floor X] [--par-floor Y] [--min-workers N]`: gates the parallel
+/// artifact (the positional path), the serve artifact (`--serve`), and/or
+/// the staged-pipeline artifact (`--pipeline`), prints the reports and
+/// returns the process exit code. At least one artifact is required.
 pub fn cli(args: &[String]) -> i32 {
     let mut cfg = GateConfig::default();
     let serve_cfg = ServeGateConfig::default();
+    let pipeline_cfg = PipelineGateConfig::default();
     let mut path: Option<&str> = None;
     let mut serve_path: Option<&str> = None;
+    let mut pipeline_path: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -354,11 +466,15 @@ pub fn cli(args: &[String]) -> i32 {
                 Some(v) => serve_path = Some(v.as_str()),
                 None => return usage("--serve requires an artifact path"),
             },
+            "--pipeline" => match it.next() {
+                Some(v) => pipeline_path = Some(v.as_str()),
+                None => return usage("--pipeline requires an artifact path"),
+            },
             other if path.is_none() && !other.starts_with('-') => path = Some(other),
             other => return usage(&format!("unknown argument {other}")),
         }
     }
-    if path.is_none() && serve_path.is_none() {
+    if path.is_none() && serve_path.is_none() && pipeline_path.is_none() {
         return usage("missing artifact path");
     }
     let mut code = 0;
@@ -367,6 +483,9 @@ pub fn cli(args: &[String]) -> i32 {
     }
     if let Some(path) = serve_path {
         code = code.max(run_gate(path, |text| evaluate_serve(text, &serve_cfg)));
+    }
+    if let Some(path) = pipeline_path {
+        code = code.max(run_gate(path, |text| evaluate_pipeline(text, &pipeline_cfg)));
     }
     code
 }
@@ -407,8 +526,8 @@ where
 
 fn usage(msg: &str) -> i32 {
     eprintln!(
-        "perf-gate: {msg}\nusage: repro perf-gate [FILE] [--serve FILE] [--f32-floor X] \
-         [--par-floor Y] [--min-workers N]"
+        "perf-gate: {msg}\nusage: repro perf-gate [FILE] [--serve FILE] [--pipeline FILE] \
+         [--f32-floor X] [--par-floor Y] [--min-workers N]"
     );
     2
 }
@@ -610,6 +729,107 @@ mod tests {
         let json = crate::experiments::serve_bench_json(&cfg);
         let outcome = evaluate_serve(&json, &ServeGateConfig::default()).unwrap();
         assert!(outcome.pass(), "{}", outcome.report);
+    }
+
+    fn pipeline_artifact(speedup: f64, ratio: f64, identical: bool, stale: u64) -> String {
+        format!(
+            "{{\"bench\": \"pipeline\", \"frames\": 150, \"seed\": 42, \
+             \"workers\": [1, 2, 7], \"bit_identical\": {identical}, \
+             \"present_latency_s\": 0.004, \"compute_queue\": 2, \"present_queue\": 2,\n\
+             \"staged\": {{\"throughput_fps\": 17.0, \"mean_latency_s\": 0.080, \
+             \"latency_p50_s\": 0.046, \"latency_p99_s\": 0.170, \
+             \"fresh_frames\": {}, \"stale_frames\": {stale}, \"compute_drops\": {stale}, \
+             \"present_drops\": 0, \"max_compute_depth\": 2, \"max_present_depth\": 1, \
+             \"bottleneck\": \"ingest\"}},\n\
+             \"lockstep\": {{\"throughput_fps\": 12.7, \"latency_p50_s\": 0.042, \
+             \"latency_p99_s\": 0.168, \"sustained_p99_s\": 3.1, \
+             \"deadline_hit_rate\": 0.3}},\n\
+             \"speedup\": {speedup},\n\"p99_ratio\": {ratio}\n}}",
+            150 - stale,
+        )
+    }
+
+    #[test]
+    fn healthy_pipeline_artifact_passes() {
+        let outcome = evaluate_pipeline(
+            &pipeline_artifact(1.35, 0.055, true, 3),
+            &PipelineGateConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.pass(), "{}", outcome.report);
+        assert!(outcome.report.contains("speedup"));
+    }
+
+    #[test]
+    fn pipeline_floor_violations_fail() {
+        for (s, r, identical, needle) in [
+            (1.05, 0.055, true, "speedup"),
+            (1.35, 1.2, true, "p99 ratio"),
+            (1.35, 0.055, false, "bit-identical"),
+        ] {
+            let outcome = evaluate_pipeline(
+                &pipeline_artifact(s, r, identical, 0),
+                &PipelineGateConfig::default(),
+            )
+            .unwrap();
+            assert!(!outcome.pass(), "expected failure for {needle}");
+            assert!(
+                outcome.failures.iter().any(|f| f.contains(needle)),
+                "missing {needle} failure: {}",
+                outcome.report
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_silent_presentation_gaps_fail() {
+        // fresh + stale short of the ingested frame count means a frame
+        // vanished without even a stale reprojection.
+        let json = pipeline_artifact(1.35, 0.055, true, 0)
+            .replace("\"fresh_frames\": 150", "\"fresh_frames\": 149");
+        let outcome = evaluate_pipeline(&json, &PipelineGateConfig::default()).unwrap();
+        assert!(!outcome.pass());
+        assert!(outcome.failures.iter().any(|f| f.contains("presented frames")));
+    }
+
+    #[test]
+    fn pipeline_schema_holes_are_reported() {
+        let json =
+            pipeline_artifact(1.35, 0.055, true, 0).replace("\"compute_drops\": 0, ", "");
+        let outcome = evaluate_pipeline(&json, &PipelineGateConfig::default()).unwrap();
+        assert!(!outcome.pass());
+        assert!(outcome.failures.iter().any(|f| f.contains("compute_drops")));
+        assert!(
+            evaluate_pipeline("{\"bench\": \"serve\"}", &PipelineGateConfig::default()).is_err(),
+            "wrong bench kind must not pass"
+        );
+    }
+
+    #[test]
+    fn generated_pipeline_artifact_round_trips_through_the_gate() {
+        let cfg = crate::experiments::ExperimentConfig { frames: 30, seed: 42, sessions: None };
+        let json = crate::experiments::pipeline_bench_json(&cfg);
+        let outcome = evaluate_pipeline(&json, &PipelineGateConfig::default()).unwrap();
+        assert!(outcome.pass(), "{}", outcome.report);
+    }
+
+    #[test]
+    fn checked_in_pipeline_artifact_clears_the_gate() {
+        // `BENCH_pipeline.json` at the repo root is regenerated by `repro
+        // pipeline --bench-json BENCH_pipeline.json`; stale or hand-edited
+        // copies must not sneak past the floors.
+        let json = include_str!("../../../BENCH_pipeline.json");
+        let outcome = evaluate_pipeline(json, &PipelineGateConfig::default()).unwrap();
+        assert!(outcome.pass(), "{}", outcome.report);
+        // And it must match what this tree generates at the recorded
+        // budget — a byte-level drift check against the generator.
+        let cfg = crate::experiments::ExperimentConfig::default();
+        assert_eq!(
+            json,
+            crate::experiments::pipeline_bench_json(&cfg),
+            "BENCH_pipeline.json is stale; regenerate with \
+             `repro pipeline --bench-json BENCH_pipeline.json`"
+        );
     }
 
     #[test]

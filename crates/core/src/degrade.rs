@@ -451,6 +451,26 @@ impl DegradationController {
         }
     }
 
+    /// Observes the occupancy of the staged executor's inter-stage queue
+    /// feeding this session's compute stage (see
+    /// `holoar_pipeline::executor`), treating saturation as an SLO signal.
+    ///
+    /// A bounded drop-oldest queue converts compute overload into stale
+    /// reprojections instead of stalls, which means a starved session's own
+    /// frame accounting can look clean — reprojection is cheap — while its
+    /// content ages. Queue depth is the honest signal: at `depth >= bound`
+    /// the queue is shedding (or about to shed) frames, so the controller
+    /// schedules a step-down annotated `"queue-saturated"` exactly as an
+    /// external QoS authority would. Below saturation this only records the
+    /// depth gauge. A no-op at [`DegradationLevel::LastGood`].
+    pub fn observe_queue_depth(&mut self, depth: usize, bound: usize) {
+        holoar_telemetry::gauge_set("core.degrade.queue_depth", depth as f64);
+        if depth >= bound && self.level != DegradationLevel::LastGood {
+            holoar_telemetry::counter_add("core.degrade.queue_saturated", 1);
+            self.request_step_down_with("queue-saturated");
+        }
+    }
+
     /// Suppresses any recovery step-up at the next [`decide`](Self::decide)
     /// without forcing a step down.
     ///
@@ -583,6 +603,39 @@ mod tests {
         assert_eq!(last.signal, "observed-overrun");
         // Every recorded transition carries a non-empty signal.
         assert!(ctl.transitions().iter().all(|t| !t.signal.is_empty()));
+    }
+
+    #[test]
+    fn queue_saturation_forces_an_annotated_step_down() {
+        let mut ctl = controller();
+        assert_eq!(ctl.decide(0), DegradationLevel::Full);
+        ctl.observe(0, 0.020);
+        // Below the bound: a depth observation alone never sheds.
+        ctl.observe_queue_depth(1, 2);
+        assert_eq!(ctl.decide(1), DegradationLevel::Full);
+        ctl.observe(1, 0.020);
+        // At the bound the queue is dropping frames: step down despite
+        // clean frame latencies, attributed to the queue signal.
+        ctl.observe_queue_depth(2, 2);
+        assert!(ctl.decide(2) > DegradationLevel::Full);
+        let last = *ctl.transitions().last().unwrap();
+        assert_eq!(last.reason, TransitionReason::Qos);
+        assert_eq!(last.signal, "queue-saturated");
+    }
+
+    #[test]
+    fn queue_saturation_is_a_no_op_at_lastgood() {
+        let mut ctl = controller();
+        for i in 0..4 {
+            ctl.request_step_down();
+            ctl.decide(i);
+            ctl.observe(i, 0.001);
+        }
+        assert_eq!(ctl.level(), DegradationLevel::LastGood);
+        let transitions = ctl.transitions().len();
+        ctl.observe_queue_depth(5, 2);
+        ctl.decide(9);
+        assert_eq!(ctl.transitions().len(), transitions, "nothing left to shed");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! diagnostics for CI. See DESIGN.md, "Static analysis".
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod baseline;
 pub mod config;

@@ -147,6 +147,8 @@ const CALL_KEYWORDS: &[&str] =
 
 /// Marker directives (parsed here, ignored by the waiver parser).
 pub const MARKER_HOT_ENTRY: &str = "hot-entry";
+/// Marker comment tag that declares the next loop a per-frame hot loop
+/// for the `hot-loop-alloc` rule.
 pub const MARKER_FRAME_LOOP: &str = "frame-loop";
 
 struct OpenFn {

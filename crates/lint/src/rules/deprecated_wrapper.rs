@@ -15,6 +15,8 @@ use crate::source::SourceFile;
 
 use super::{ident_before, Rule};
 
+/// Rule: calls to deprecated compatibility wrappers must migrate to the
+/// replacement API named in the wrapper's deprecation note.
 pub struct DeprecatedWrapper;
 
 /// The `#[deprecated]` wrappers and the context-first replacement each

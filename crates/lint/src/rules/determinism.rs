@@ -25,6 +25,8 @@ use crate::source::SourceFile;
 
 use super::Rule;
 
+/// Rule: simulator and kernel code reads one clock and iterates no
+/// hash-ordered containers (bit-reproducibility discipline).
 pub struct Determinism;
 
 const CLOCKS: &[(&str, &str)] = &[

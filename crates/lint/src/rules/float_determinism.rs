@@ -21,6 +21,8 @@ use crate::source::SourceFile;
 use super::Rule;
 
 #[derive(Default)]
+/// Rule: float comparisons in simulator code go through `total_cmp` (or
+/// an epsilon helper), never bare `partial_cmp`/`sort_by` on raw floats.
 pub struct FloatDeterminism;
 
 impl Rule for FloatDeterminism {

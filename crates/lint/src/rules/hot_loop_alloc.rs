@@ -27,6 +27,8 @@ use crate::source::SourceFile;
 use super::Rule;
 
 #[derive(Default)]
+/// Rule: designated frame-loop functions allocate nothing per iteration
+/// (no `Vec::new`/`to_vec`/`clone`/`format!` inside the loop body).
 pub struct HotLoopAlloc;
 
 impl Rule for HotLoopAlloc {

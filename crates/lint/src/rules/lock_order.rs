@@ -29,6 +29,8 @@ use crate::source::SourceFile;
 use super::Rule;
 
 #[derive(Default)]
+/// Rule: nested lock acquisitions follow the single global lock order,
+/// so no interleaving can deadlock.
 pub struct LockOrder;
 
 impl Rule for LockOrder {

@@ -21,6 +21,8 @@ use crate::source::SourceFile;
 
 use super::{find_token, Rule};
 
+/// Rule: designated FFT/optics/gpusim hot paths contain no panic sites
+/// (`unwrap`, `expect`, indexing, `panic!`).
 pub struct NoPanic;
 
 pub(crate) const CALLS: &[(&str, &str)] = &[

@@ -24,6 +24,8 @@ use crate::source::SourceFile;
 use super::Rule;
 
 #[derive(Default)]
+/// Rule: hot entry points stay panic-free *transitively* — the call
+/// graph from each entry is walked and every reachable function checked.
 pub struct NoPanicTransitive;
 
 impl Rule for NoPanicTransitive {

@@ -37,6 +37,9 @@ const APIS: &[(&str, &str, bool)] = &[
     ("histogram_record_us(", "histogram", false),
 ];
 
+/// Rule: telemetry span/counter/gauge names are unique, follow the
+/// `category.name` convention, and appear in the checked-in registry
+/// (`crates/lint/telemetry.names`).
 pub struct TelemetryDiscipline {
     registry: Registry,
     /// name → (kind, category, first site) for uniqueness checking.

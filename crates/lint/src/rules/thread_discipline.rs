@@ -12,6 +12,8 @@ use crate::source::SourceFile;
 
 use super::Rule;
 
+/// Rule: all fan-out goes through `holoar_fft::Parallelism` — no ad-hoc
+/// `std::thread::spawn` in library code.
 pub struct ThreadDiscipline;
 
 const PATTERNS: &[&str] = &["thread::spawn(", "thread::scope(", "thread::Builder"];

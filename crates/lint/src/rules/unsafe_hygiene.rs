@@ -16,6 +16,8 @@ use crate::source::SourceFile;
 use super::{find_token, Rule};
 
 #[derive(Default)]
+/// Rule: every `unsafe` block is justified with a `// SAFETY:` comment,
+/// and crates declared clean `#![forbid(unsafe_code)]` stay that way.
 pub struct UnsafeHygiene {
     /// crate key (e.g. `crates/fft`) → (lib.rs rel path, has forbid attr,
     /// crate uses unsafe anywhere).

@@ -232,6 +232,22 @@ pub fn ar_frame_graph(hologram_latency: f64, scene_reconstruct_due: bool) -> Vec
     tasks
 }
 
+/// Maps a frame-graph task name to the staged-executor stage it belongs to
+/// ([`crate::executor::Stage`]), or `None` for names outside the AR graph.
+/// Sensor handling and perception are ingest, the hologram is compute, and
+/// display composition is present — the partition the staged executor
+/// overlaps across frames.
+pub fn ar_stage_of(task_name: &str) -> Option<crate::executor::Stage> {
+    match task_name {
+        "sensor_input" | "pose_estimate" | "eye_track" | "scene_reconstruct" => {
+            Some(crate::executor::Stage::Ingest)
+        }
+        "hologram" => Some(crate::executor::Stage::Compute),
+        "display_compose" => Some(crate::executor::Stage::Present),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +331,16 @@ mod tests {
         let without = schedule_frame(&ar_frame_graph(0.1, false)).unwrap();
         let with = schedule_frame(&ar_frame_graph(0.1, true)).unwrap();
         assert!((with.makespan - without.makespan - 0.120).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_ar_graph_task_maps_to_a_stage() {
+        for task in ar_frame_graph(0.1, true) {
+            assert!(ar_stage_of(&task.name).is_some(), "unmapped task {}", task.name);
+        }
+        assert_eq!(ar_stage_of("hologram"), Some(crate::executor::Stage::Compute));
+        assert_eq!(ar_stage_of("display_compose"), Some(crate::executor::Stage::Present));
+        assert_eq!(ar_stage_of("nonesuch"), None);
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! ([`task`]), the Fig 2 measured-versus-ideal characterization
 //! ([`mod@characterize`]), a serial frame-loop scheduler with per-task cadences
 //! and QoS accounting ([`schedule`]), a pipelined (stage-overlapping)
-//! throughput model ([`pipelined`]), and a battery-life model
-//! ([`battery`]).
+//! throughput model ([`pipelined`]), a staged producer–consumer executor
+//! with bounded drop-oldest queues ([`executor`], [`queue`]), and a
+//! battery-life model ([`battery`]).
 //!
 //! # Examples
 //!
@@ -26,14 +27,20 @@
 
 pub mod battery;
 pub mod characterize;
+pub mod executor;
 pub mod graph;
 pub mod pipelined;
+pub mod queue;
 pub mod schedule;
 pub mod task;
 
 pub use battery::Battery;
 pub use characterize::{characterize, TaskCharacterization};
+pub use executor::{
+    run_staged, run_staged_trace, PresentedFrame, Stage, StagedConfig, StagedReport, StagedTrace,
+};
 pub use graph::{ar_frame_graph, schedule_frame, FrameSchedule, GraphTask, Resource};
 pub use pipelined::{run_pipelined, PipelinedReport};
-pub use schedule::{run_loop, FrameLatencies, QosReport, StageWorst};
+pub use queue::BoundedQueue;
+pub use schedule::{apply_scene_cadence, run_loop, FrameLatencies, QosReport, StageWorst};
 pub use task::TaskKind;

@@ -58,12 +58,25 @@ pub fn run_pipelined<F: Fn(u64) -> FrameLatencies + Sync>(
 ) -> PipelinedReport {
     assert!(frames > 0, "need at least one frame");
     let _span = holoar_telemetry::span_cat("pipeline.run_pipelined", "pipeline");
+    let latencies = evaluate_frames(frames, &frame_fn, ctx);
+    summarize(&latencies)
+}
+
+/// Evaluates `frame_fn` for every frame index, fanning out over `ctx`'s
+/// worker pool. The map is order-preserving — results land in frame-index
+/// order regardless of worker count — which is the parallel half of the
+/// bit-identity contract shared by [`run_pipelined`] and the staged
+/// executor ([`crate::executor::run_staged`]).
+pub(crate) fn evaluate_frames<F: Fn(u64) -> FrameLatencies + Sync>(
+    frames: u64,
+    frame_fn: &F,
+    ctx: &ExecutionContext,
+) -> Vec<FrameLatencies> {
     let indices: Vec<u64> = (0..frames).collect();
-    let latencies = ctx.parallelism().map(&indices, |&i| {
+    ctx.parallelism().map(&indices, |&i| {
         let _frame_span = holoar_telemetry::span_cat("pipeline.frame_eval", "pipeline");
         frame_fn(i)
-    });
-    summarize(&latencies)
+    })
 }
 
 /// Serial, frame-ordered reduction behind [`run_pipelined`].

@@ -29,6 +29,27 @@ impl FrameLatencies {
     pub fn total(&self) -> f64 {
         self.pose + self.eye + self.scene + self.hologram
     }
+
+    /// The ingest-stage share of the frame: everything upstream of the
+    /// hologram (pose, eye, scene). This is the producer stage of the staged
+    /// executor ([`crate::executor`]).
+    pub fn ingest(&self) -> f64 {
+        self.pose + self.eye + self.scene
+    }
+}
+
+/// Applies the scene-reconstruction cadence to one frame's latencies:
+/// scene time is zeroed on frames where the stage is not scheduled
+/// (every frame except multiples of its 1-in-N cadence).
+///
+/// Both the lockstep loop ([`run_loop`]) and the staged executor
+/// ([`crate::executor::run_staged`]) route frames through this, so the two
+/// models always describe the same workload.
+pub fn apply_scene_cadence(frame: u64, mut lat: FrameLatencies) -> FrameLatencies {
+    if !frame.is_multiple_of(TaskKind::SceneReconstruct.frame_cadence()) {
+        lat.scene = 0.0;
+    }
+    lat
 }
 
 /// Per-stage worst-case (maximum observed) latencies over a run, seconds.
@@ -110,10 +131,7 @@ pub fn run_loop<F: FnMut(u64) -> FrameLatencies>(frames: u64, mut frame_fn: F) -
     let mut worst = StageWorst::default();
     let mut sketch = holoar_telemetry::QuantileSketch::default();
     for i in 0..frames {
-        let mut lat = frame_fn(i);
-        if i % TaskKind::SceneReconstruct.frame_cadence() != 0 {
-            lat.scene = 0.0;
-        }
+        let lat = apply_scene_cadence(i, frame_fn(i));
         worst.absorb(&lat);
         let t = lat.total();
         holoar_telemetry::histogram_record_us("pipeline.sim_frame_latency_us", t * 1e6);

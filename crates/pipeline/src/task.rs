@@ -60,6 +60,19 @@ impl TaskKind {
             _ => 1,
         }
     }
+
+    /// The staged-executor stage this task runs in
+    /// ([`crate::executor::Stage`]): perception tasks are ingest, hologram
+    /// generation is compute. (Display composition is not a Table 1 task;
+    /// the executor models it via [`crate::executor::StagedConfig`].)
+    pub fn stage(self) -> crate::executor::Stage {
+        match self {
+            TaskKind::PoseEstimate | TaskKind::EyeTrack | TaskKind::SceneReconstruct => {
+                crate::executor::Stage::Ingest
+            }
+            TaskKind::Hologram => crate::executor::Stage::Compute,
+        }
+    }
 }
 
 impl std::fmt::Display for TaskKind {

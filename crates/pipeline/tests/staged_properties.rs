@@ -1,0 +1,162 @@
+//! Staged-executor properties: queue semantics (bounded, drop-oldest, no
+//! silent presentation gaps), worker-count bit-identity, and agreement with
+//! the lockstep loop's per-frame accounting — for *any* latency stream.
+
+use holoar_fft::ExecutionContext;
+use holoar_pipeline::{
+    run_loop, run_staged, run_staged_trace, BoundedQueue, FrameLatencies, StagedConfig,
+};
+use proptest::prelude::*;
+
+fn arb_latencies() -> impl Strategy<Value = Vec<FrameLatencies>> {
+    prop::collection::vec(
+        (1e-4f64..0.02, 1e-4f64..0.01, 0.0f64..0.15, 1e-4f64..0.2).prop_map(
+            |(pose, eye, scene, hologram)| FrameLatencies { pose, eye, scene, hologram },
+        ),
+        1..40,
+    )
+}
+
+fn arb_config() -> impl Strategy<Value = StagedConfig> {
+    (1usize..4, 1usize..4).prop_map(|(compute_queue, present_queue)| StagedConfig {
+        compute_queue,
+        present_queue,
+        ..StagedConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every ingested frame presents exactly once, in frame-index order, at
+    /// a non-decreasing virtual time — a dropped frame surfaces as a stale
+    /// reprojection, never as a silent gap. The stale count is exactly the
+    /// frames the bounded queues displaced.
+    #[test]
+    fn dropped_frames_surface_as_stale_reprojections_never_gaps(
+        lat in arb_latencies(),
+        config in arb_config(),
+    ) {
+        let frames = lat.len() as u64;
+        let trace =
+            run_staged_trace(frames, &config, |i| lat[i as usize], &ExecutionContext::serial());
+        let report = &trace.report;
+        prop_assert_eq!(trace.presented.len() as u64, frames);
+        let mut last_t = f64::NEG_INFINITY;
+        for (i, p) in trace.presented.iter().enumerate() {
+            prop_assert!(p.frame == i as u64, "presentation out of frame order");
+            prop_assert!(p.presented >= last_t, "present times must be non-decreasing");
+            prop_assert!(p.ready <= p.presented);
+            prop_assert!(p.latency > 0.0 && p.latency.is_finite());
+            last_t = p.presented;
+        }
+        prop_assert_eq!(report.fresh_frames + report.stale_frames, frames);
+        // Every stale frame must trace back to a queue displacement.
+        prop_assert_eq!(report.stale_frames, report.compute_drops + report.present_drops);
+    }
+
+    /// Drop-oldest never drops the newest frame: the most recent sample
+    /// always survives, so the final frame always presents fresh.
+    #[test]
+    fn drop_oldest_never_drops_the_newest_frame(
+        lat in arb_latencies(),
+        config in arb_config(),
+    ) {
+        let frames = lat.len() as u64;
+        let trace =
+            run_staged_trace(frames, &config, |i| lat[i as usize], &ExecutionContext::serial());
+        let last = trace.presented.last().expect("at least one frame presents");
+        prop_assert!(
+            last.fresh,
+            "the newest frame was displaced (drop-oldest must keep it): {:?}",
+            last
+        );
+    }
+
+    /// Inter-stage queue depth never exceeds its configured bound.
+    #[test]
+    fn queue_depth_never_exceeds_its_bound(
+        lat in arb_latencies(),
+        config in arb_config(),
+    ) {
+        let frames = lat.len() as u64;
+        let report =
+            run_staged(frames, &config, |i| lat[i as usize], &ExecutionContext::serial());
+        prop_assert!(
+            report.max_compute_depth <= config.compute_queue,
+            "compute queue high-water {} exceeds bound {}",
+            report.max_compute_depth,
+            config.compute_queue
+        );
+        prop_assert!(
+            report.max_present_depth <= config.present_queue,
+            "present queue high-water {} exceeds bound {}",
+            report.max_present_depth,
+            config.present_queue
+        );
+    }
+
+    /// The staged report is bit-identical across worker counts: scheduling
+    /// runs on virtual time, so thread arrival order cannot reorder
+    /// hand-offs.
+    #[test]
+    fn staged_report_is_bit_identical_across_worker_counts(
+        lat in arb_latencies(),
+        config in arb_config(),
+    ) {
+        let frames = lat.len() as u64;
+        let baseline =
+            run_staged(frames, &config, |i| lat[i as usize], &ExecutionContext::serial());
+        for workers in [1usize, 2, 7] {
+            let ctx = ExecutionContext::with_workers(workers);
+            let report = run_staged(frames, &config, |i| lat[i as usize], &ctx);
+            prop_assert!(report == baseline, "report diverged at {workers} workers");
+        }
+    }
+
+    /// The staged executor reproduces the lockstep loop's per-frame
+    /// accounting exactly: same frame count, same cadence-applied worst-case
+    /// stage latencies — overlap changes *when* stages run, never *what*
+    /// they cost.
+    #[test]
+    fn staged_worst_case_matches_lockstep_accounting(lat in arb_latencies()) {
+        let frames = lat.len() as u64;
+        let staged = run_staged(
+            frames,
+            &StagedConfig::default(),
+            |i| lat[i as usize],
+            &ExecutionContext::serial(),
+        );
+        let lockstep = run_loop(frames, |i| lat[i as usize]);
+        prop_assert_eq!(staged.frames, lockstep.frames);
+        prop_assert_eq!(staged.worst, lockstep.worst);
+    }
+
+    /// `BoundedQueue` is FIFO with drop-oldest overflow: the displaced
+    /// elements are exactly the oldest prefix (in age order), the survivors
+    /// pop in insertion order, and depth never exceeds the bound.
+    #[test]
+    fn bounded_queue_displaces_exactly_the_oldest_prefix(
+        items in prop::collection::vec(0u64..1000, 1..40),
+        bound in 1usize..6,
+    ) {
+        let mut q = BoundedQueue::new(bound);
+        let mut dropped = Vec::new();
+        for &x in &items {
+            if let Some(old) = q.push(x) {
+                dropped.push(old);
+            }
+            prop_assert!(q.len() <= bound);
+        }
+        prop_assert_eq!(q.high_water(), items.len().min(bound));
+        let cut = items.len().saturating_sub(bound);
+        // Displacements must be the oldest elements, in age order.
+        prop_assert_eq!(&dropped[..], &items[..cut]);
+        let mut survivors = Vec::new();
+        while let Some(x) = q.pop() {
+            survivors.push(x);
+        }
+        // Survivors must pop in FIFO order.
+        prop_assert_eq!(&survivors[..], &items[cut..]);
+    }
+}

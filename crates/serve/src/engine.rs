@@ -27,7 +27,7 @@ use holoar_faults::FrameFaults;
 use holoar_gpusim::hologram_kernels::{merged_session_kernels, run_job};
 use holoar_gpusim::timeline::session_stream_ops;
 use holoar_gpusim::{calibration, simulate, Device, DeviceConfig, HologramJob};
-use holoar_pipeline::pipelined::run_pipelined;
+use holoar_pipeline::executor::{run_staged, StagedConfig};
 use holoar_pipeline::schedule::FrameLatencies;
 use holoar_sensors::angles::AngularPoint;
 use holoar_sensors::eyetrack::GazeEstimate;
@@ -96,6 +96,11 @@ pub struct ServeConfig {
     /// SLO parameters: deadline-hit objective, burn windows and thresholds,
     /// sketch accuracy.
     pub slo: SloConfig,
+    /// Bound of each session's stale-backlog queue (and of the per-session
+    /// staged executor's ingest → compute queue): how many ticks of owed
+    /// fresh content a session tolerates before saturation forces a
+    /// `"queue-saturated"` step-down.
+    pub session_queue: usize,
 }
 
 impl ServeConfig {
@@ -117,6 +122,7 @@ impl ServeConfig {
             defer_threshold: 1.5,
             hold_margin: 0.85,
             slo: SloConfig::default(),
+            session_queue: 3,
         }
     }
 
@@ -149,6 +155,9 @@ impl ServeConfig {
         }
         if !(self.hold_margin > 0.0 && self.hold_margin <= 1.0) {
             return Err("hold margin must be in (0, 1]".into());
+        }
+        if self.session_queue == 0 {
+            return Err("session queue bound must be at least 1".into());
         }
         self.slo.validate()?;
         self.device.validate()?;
@@ -261,7 +270,13 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
     // -- state ------------------------------------------------------------
     let mut states = Vec::with_capacity(admitted);
     for spec in &config.specs[..admitted] {
-        states.push(SessionState::new(*spec, config.ladder, config.slo, config.frames)?);
+        states.push(SessionState::new(
+            *spec,
+            config.ladder,
+            config.slo,
+            config.frames,
+            config.session_queue,
+        )?);
     }
     let mut scheduler = FrameScheduler::new(admitted);
     let mut device = Device::new(config.device).map_err(|e| e.to_string())?;
@@ -386,6 +401,19 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
                 config.ladder.reproject_latency
             };
             state.ctl.observe(tick, observed);
+            // Stale-backlog queue: every tick without fresh content joins
+            // the session's bounded drop-oldest queue; fresh service drains
+            // it (the client has caught up). The controller watches the
+            // depth — reprojection keeps `observed` cheap, so a starved
+            // session otherwise looks perfectly healthy while its content
+            // ages. Saturation forces a "queue-saturated" step-down, which
+            // sheds planes and lets the batch (and this session) fit again.
+            if fresh {
+                while state.backlog.pop().is_some() {}
+            } else if state.backlog.push(tick).is_some() {
+                state.queue_drops += 1;
+            }
+            state.ctl.observe_queue_depth(state.backlog.len(), state.backlog.bound());
             let hit = !deferred[i] && completion <= config.frame_budget + 1e-12;
             if deferred[i] {
                 state.deferred += 1;
@@ -510,8 +538,17 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
             / config.frames as f64;
 
         let latencies = &state.latencies;
-        let pipeline = run_pipelined(
+        // Client-side staged executor: the session's served hologram stream
+        // replayed through the ingest ∥ compute ∥ present pipeline, with the
+        // same queue bound the serving backlog uses. Virtual-time scheduling
+        // keeps this bit-identical at any worker count.
+        let staged_cfg = StagedConfig {
+            compute_queue: config.session_queue,
+            ..StagedConfig::default()
+        };
+        let pipeline = run_staged(
             config.frames,
+            &staged_cfg,
             |i| FrameLatencies {
                 pose: calibration::stage_latency::POSE_ESTIMATE,
                 eye: calibration::stage_latency::EYE_TRACK,
@@ -539,7 +576,9 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
             p99_latency: percentile(latencies, 0.99),
             psnr_weighted,
             psnr_full,
+            queue_drops: state.queue_drops,
             pipeline_fps: pipeline.throughput_fps,
+            pipeline_stale: pipeline.stale_frames,
             slo: slo::session_slo(
                 &state.slo,
                 &state.profile,

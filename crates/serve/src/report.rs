@@ -37,9 +37,15 @@ pub struct SessionReport {
     /// Full-quality PSNR of the same content — the single-session baseline
     /// the weighted figure is compared against.
     pub psnr_full: f64,
-    /// Client-side pipelined throughput with the served hologram stage
-    /// (pose + eye-track + hologram loop), frames per second.
+    /// Backlog entries displaced from the session's bounded stale-backlog
+    /// queue — ticks of owed fresh content the session never caught up on.
+    pub queue_drops: u64,
+    /// Client-side staged-executor throughput with the served hologram
+    /// stage (ingest ∥ compute ∥ present), frames per second.
     pub pipeline_fps: f64,
+    /// Frames of the client-side staged replay that presented as stale
+    /// reprojections (dropped from the executor's compute queue).
+    pub pipeline_stale: u64,
     /// SLO summary: sketch quantiles, error budget, burn alerts, signal-
     /// annotated step-downs and critical-path attribution.
     pub slo: SessionSlo,

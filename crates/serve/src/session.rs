@@ -7,6 +7,7 @@
 
 use holoar_core::degrade::{DegradationController, DegradationLadder};
 use holoar_faults::{scenario, FaultInjector};
+use holoar_pipeline::queue::BoundedQueue;
 use holoar_sensors::objectron::{FrameGenerator, VideoCategory};
 use holoar_telemetry::{SlidingWindow, SpanRecord};
 
@@ -56,6 +57,16 @@ pub(crate) struct SessionState {
     pub qos_step_downs: u64,
     /// Per-frame hologram-stage completion latency, seconds.
     pub latencies: Vec<f64>,
+    /// Ticks whose fresh content is still owed: every deferred or
+    /// reprojected tick joins this bounded drop-oldest queue, and a fresh
+    /// serve drains it. Saturation is the starvation signal the session's
+    /// controller observes (`DegradationController::observe_queue_depth`) —
+    /// without it, a starved session's own frame accounting looks clean
+    /// (reprojection is cheap) while its content ages.
+    pub backlog: BoundedQueue<u64>,
+    /// Backlog entries displaced by drop-oldest overflow — stale ticks the
+    /// session will never catch up on.
+    pub queue_drops: u64,
     /// SLO bookkeeping: latency sketch, error budget, burn alerts.
     pub slo: SloTracker,
     /// Synthesized per-frame span trees for critical-path attribution.
@@ -71,6 +82,7 @@ impl SessionState {
         ladder: DegradationLadder,
         slo: SloConfig,
         frames: u64,
+        queue_bound: usize,
     ) -> Result<Self, String> {
         Ok(SessionState {
             spec,
@@ -84,6 +96,8 @@ impl SessionState {
             deadline_hits: 0,
             qos_step_downs: 0,
             latencies: Vec::with_capacity(frames as usize),
+            backlog: BoundedQueue::new(queue_bound.max(1)),
+            queue_drops: 0,
             slo: SloTracker::new(slo)?,
             profile: Vec::with_capacity(frames as usize * 3),
             level_window: SlidingWindow::new(slo.fast_window.max(1)),
