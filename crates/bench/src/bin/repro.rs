@@ -4,15 +4,27 @@
 //! where `<experiment>` is one of the ids in
 //! [`holoar_bench::ALL_EXPERIMENTS`] or `all` (the default).
 //!
-//! Serving layer: `repro serve [--sessions N] [--serve-json FILE]` runs the
+//! Artifacts: `--json FILE` writes the machine-readable artifact of the
+//! explicitly selected experiment — `parallel`, `pipeline`, `serve`, `slo`,
+//! or `fleet` — to FILE. Exactly one artifact experiment must be named on
+//! the command line; the artifact schemas are unchanged from the old
+//! per-experiment flags (`--bench-json` / `--serve-json` / `--slo-json`),
+//! which remain as deprecated aliases for one release.
+//!
+//! Serving layer: `repro serve [--sessions N] [--json FILE]` runs the
 //! multi-session load generator (sweeping fleet sizes unless `--sessions`
 //! pins one) and optionally exports the sweep as `BENCH_serve.json`.
 //!
-//! Observability: `repro slo [--sessions N] [--slo-json FILE]` renders the
+//! Fleet serving: `repro fleet [--sessions N] [--json FILE]` sweeps session
+//! multiplexing across K devices — placement, re-probing, live migration
+//! through a mid-run device kill — and exports `BENCH_fleet.json`
+//! (`--sessions` overrides the offered sessions per device).
+//!
+//! Observability: `repro slo [--sessions N] [--json FILE]` renders the
 //! SLO dashboard for one fleet (default 8 sessions) — sketch quantiles,
 //! error budgets, burn-rate alerts, critical-path attribution — and writes
 //! `BENCH_slo.json` (the default path when the `slo` experiment is
-//! requested explicitly; `--slo-json` overrides it).
+//! requested explicitly; `--json` overrides it).
 //!
 //! `repro lint [...]` runs the workspace static-analysis pass instead
 //! (see the `holoar-lint` crate); remaining arguments go to the linter.
@@ -24,6 +36,9 @@
 
 use holoar_bench::{experiments, ExperimentConfig};
 use holoar_telemetry::TelemetryMode;
+
+/// Experiments that own a JSON artifact `--json` can export.
+const ARTIFACT_EXPERIMENTS: [&str; 5] = ["parallel", "pipeline", "serve", "slo", "fleet"];
 
 fn main() {
     // `repro lint` delegates to the static-analysis crate so the lint gate
@@ -41,6 +56,7 @@ fn main() {
     let mut cfg = ExperimentConfig::default();
     let mut ids: Vec<String> = Vec::new();
     let mut csv_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
     let mut bench_json_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
@@ -53,7 +69,15 @@ fn main() {
                 csv_path =
                     Some(args.next().unwrap_or_else(|| die("--csv requires a file path")));
             }
+            "--json" => {
+                json_path =
+                    Some(args.next().unwrap_or_else(|| die("--json requires a file path")));
+            }
             "--bench-json" => {
+                eprintln!(
+                    "warning: --bench-json is deprecated; use `repro parallel --json FILE` \
+                     (or `repro pipeline --json FILE` for the staged-pipeline artifact)"
+                );
                 bench_json_path = Some(
                     args.next().unwrap_or_else(|| die("--bench-json requires a file path")),
                 );
@@ -69,11 +93,13 @@ fn main() {
                 );
             }
             "--serve-json" => {
+                eprintln!("warning: --serve-json is deprecated; use `repro serve --json FILE`");
                 serve_json_path = Some(
                     args.next().unwrap_or_else(|| die("--serve-json requires a file path")),
                 );
             }
             "--slo-json" => {
+                eprintln!("warning: --slo-json is deprecated; use `repro slo --json FILE`");
                 slo_json_path = Some(
                     args.next().unwrap_or_else(|| die("--slo-json requires a file path")),
                 );
@@ -101,26 +127,25 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [<experiment>...] [--frames N] [--seed S] [--sessions N] \
-                     [--csv FILE] [--bench-json FILE] [--serve-json FILE] [--slo-json FILE] \
-                     [--trace-out FILE] [--metrics-json FILE]\n\
+                     [--json FILE] [--csv FILE] [--trace-out FILE] [--metrics-json FILE]\n\
                      experiments: {} all\n\
-                     --sessions pins the serve/slo experiments to one fleet size\n\
+                     --json writes the selected experiment's artifact as JSON to FILE \
+                     (requires exactly one of: {} on the command line)\n\
+                     --sessions pins the serve/slo experiments to one fleet size and sets \
+                     the fleet experiment's offered sessions per device\n\
                      --csv writes the Fig 7/8 evaluation matrix as CSV to FILE\n\
-                     --bench-json writes the parallel-engine timing cells as JSON to FILE \
-                     (with an explicit `pipeline` experiment it writes the staged-pipeline \
-                     artifact instead)\n\
-                     --serve-json writes the multi-session serving sweep as JSON to FILE\n\
-                     --slo-json writes the SLO dashboard artifact as JSON to FILE \
-                     (an explicit `slo` experiment writes BENCH_slo.json by default)\n\
                      --trace-out writes a Chrome-trace (Perfetto) span timeline to FILE\n\
                      --metrics-json writes the counters/gauges/histograms registry to FILE\n\
+                     --bench-json/--serve-json/--slo-json are deprecated aliases for \
+                     `parallel|pipeline --json` / `serve --json` / `slo --json`\n\
                      repro lint [--format json] runs the workspace static-analysis pass\n\
-                     repro perf-gate [FILE] [--serve FILE] [--pipeline FILE] [--f32-floor X] \
-                     [--par-floor Y] [--min-workers N] enforces the floors over the JSON \
-                     artifacts\n\
+                     repro perf-gate [FILE] [--serve FILE] [--pipeline FILE] [--fleet FILE] \
+                     [--f32-floor X] [--par-floor Y] [--min-workers N] enforces the floors \
+                     over the JSON artifacts\n\
                      HOLOAR_TELEMETRY=off|summary|full selects the telemetry mode \
                      (either export flag implies full)",
-                    experiments::ALL_EXPERIMENTS.join(" ")
+                    experiments::ALL_EXPERIMENTS.join(" "),
+                    ARTIFACT_EXPERIMENTS.join(", "),
                 );
                 return;
             }
@@ -138,14 +163,36 @@ fn main() {
         holoar_telemetry::set_mode(TelemetryMode::Full);
     }
 
+    // `--json` is scoped to the experiment the user *explicitly* selected —
+    // riding along in the `all` expansion does not count, so the artifact
+    // written is never a surprise.
+    let json_kind = json_path.as_ref().map(|_| {
+        let wanted: Vec<&str> = ARTIFACT_EXPERIMENTS
+            .iter()
+            .copied()
+            .filter(|k| ids.iter().any(|i| i == k))
+            .collect();
+        match wanted.as_slice() {
+            [] => die(&format!(
+                "--json needs exactly one artifact experiment selected explicitly \
+                 (one of: {})",
+                ARTIFACT_EXPERIMENTS.join(", ")
+            )),
+            [one] => *one,
+            many => die(&format!(
+                "--json is ambiguous: {} are all selected; pick one",
+                many.join(", ")
+            )),
+        }
+    });
     // "explicitly requested" means the user typed `slo`, not that it rode
     // along in the `all` expansion — only the former writes BENCH_slo.json
-    // without --slo-json.
+    // without an export flag.
     let slo_explicit = ids.iter().any(|i| i == "slo");
-    // `--bench-json` writes the staged-pipeline artifact when the user
-    // explicitly asked for the `pipeline` experiment (and not `parallel`);
-    // in every other case it keeps its original meaning, the
-    // parallel-engine timing cells.
+    // Deprecated `--bench-json` keeps its historical split: the
+    // staged-pipeline artifact when the user explicitly asked for the
+    // `pipeline` experiment (and not `parallel`), the parallel-engine
+    // timing cells otherwise.
     let pipeline_bench = ids.iter().any(|i| i == "pipeline") && !ids.iter().any(|i| i == "parallel");
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = experiments::ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
@@ -156,11 +203,18 @@ fn main() {
             Err(e) => die(&e),
         }
     }
+    if let (Some(path), Some(kind)) = (&json_path, json_kind) {
+        let (json, what) = artifact(kind, &cfg);
+        if let Err(e) = std::fs::write(path, json) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("wrote {what} to {path}");
+    }
     if let Some(path) = bench_json_path {
         let (json, what) = if pipeline_bench {
-            (experiments::pipeline_bench_json(&cfg), "staged pipeline bench")
+            artifact("pipeline", &cfg)
         } else {
-            (experiments::parallel_bench_json(), "parallel bench cells")
+            artifact("parallel", &cfg)
         };
         if let Err(e) = std::fs::write(&path, json) {
             die(&format!("cannot write {path}: {e}"));
@@ -174,10 +228,11 @@ fn main() {
         }
         eprintln!("wrote serving sweep to {path}");
     }
-    // An explicit `slo` run emits its artifact by default; `--slo-json`
-    // overrides the path (and forces the export for any experiment set).
-    let slo_json_path =
-        slo_json_path.or_else(|| slo_explicit.then(|| "BENCH_slo.json".to_string()));
+    // An explicit `slo` run emits its artifact by default; `--json` (or the
+    // deprecated `--slo-json`) overrides the path.
+    let slo_json_path = slo_json_path.or_else(|| {
+        (slo_explicit && json_kind != Some("slo")).then(|| "BENCH_slo.json".to_string())
+    });
     if let Some(path) = slo_json_path {
         let json = experiments::slo_bench_json(&cfg);
         if let Err(e) = std::fs::write(&path, json) {
@@ -213,6 +268,18 @@ fn main() {
             die(&format!("cannot write {path}: {e}"));
         }
         eprintln!("wrote metrics registry to {path}");
+    }
+}
+
+/// Renders one experiment's JSON artifact and its human name.
+fn artifact(kind: &str, cfg: &ExperimentConfig) -> (String, &'static str) {
+    match kind {
+        "parallel" => (experiments::parallel_bench_json(), "parallel bench cells"),
+        "pipeline" => (experiments::pipeline_bench_json(cfg), "staged pipeline bench"),
+        "serve" => (experiments::serve_bench_json(cfg), "serving sweep"),
+        "slo" => (experiments::slo_bench_json(cfg), "SLO dashboard artifact"),
+        "fleet" => (experiments::fleet_bench_json(cfg), "fleet serving artifact"),
+        other => die(&format!("no artifact for experiment '{other}'")),
     }
 }
 

@@ -26,8 +26,9 @@ pub struct ExperimentConfig {
     /// Master seed.
     pub seed: u64,
     /// Restrict the `serve` experiment to one fleet size instead of the
-    /// default [`SERVE_SWEEP`] (`--sessions` on the CLI). Other experiments
-    /// ignore it.
+    /// default [`SERVE_SWEEP`], and override the `fleet` experiment's
+    /// offered sessions per device (`--sessions` on the CLI). Other
+    /// experiments ignore it.
     pub sessions: Option<u32>,
 }
 
@@ -1548,7 +1549,11 @@ pub fn serve_measurements(cfg: &ExperimentConfig) -> Vec<(u32, holoar_serve::Ser
     counts
         .into_iter()
         .map(|n| {
-            let config = holoar_serve::ServeConfig::fleet(n, cfg.frames, cfg.seed);
+            let config = holoar_serve::ServeConfig::fleet(
+                holoar_serve::DeviceSpec::edge(),
+                holoar_serve::SessionSpec::fleet(n, cfg.seed),
+                cfg.frames,
+            );
             let report =
                 holoar_serve::run_serve(&config, &ctx).expect("fleet configs are valid");
             (n, report)
@@ -1658,7 +1663,11 @@ pub fn serve_bench_json(cfg: &ExperimentConfig) -> String {
 pub fn slo_measurements(cfg: &ExperimentConfig) -> (u32, holoar_serve::ServeReport) {
     let ctx = ExecutionContext::auto();
     let sessions = cfg.sessions.unwrap_or(8);
-    let config = holoar_serve::ServeConfig::fleet(sessions, cfg.frames, cfg.seed);
+    let config = holoar_serve::ServeConfig::fleet(
+        holoar_serve::DeviceSpec::edge(),
+        holoar_serve::SessionSpec::fleet(sessions, cfg.seed),
+        cfg.frames,
+    );
     let report = holoar_serve::run_serve(&config, &ctx).expect("fleet configs are valid");
     (sessions, report)
 }
@@ -1877,11 +1886,212 @@ pub fn slo_bench_json(cfg: &ExperimentConfig) -> String {
     out
 }
 
+/// Device counts the `fleet` experiment sweeps: weak scaling, with
+/// [`FLEET_SESSIONS_PER_DEVICE`] sessions offered per device.
+pub const FLEET_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Offered sessions per device in the [`FLEET_SWEEP`] (overridable with
+/// `--sessions`).
+pub const FLEET_SESSIONS_PER_DEVICE: u32 = 12;
+
+/// Everything the `fleet` experiment measures: the weak-scaling sweep, the
+/// mid-run device-kill scenario, and the thousands-of-sessions scale probe.
+pub struct FleetMeasurements {
+    /// `(devices, report)` per sweep point, sessions ∝ devices.
+    pub rows: Vec<(usize, holoar_serve::FleetReport)>,
+    /// The kill scenario's fleet report (4 devices, device 0 killed
+    /// mid-run).
+    pub kill: holoar_serve::FleetReport,
+    /// Device index killed in the kill scenario.
+    pub kill_device: usize,
+    /// Tick the kill fires.
+    pub kill_tick: u64,
+    /// `(offered sessions, report)` of the scale probe: a short run with a
+    /// thousands-strong session population on the widest fleet.
+    pub scale: (u32, holoar_serve::FleetReport),
+}
+
+/// Runs the fleet sweep + kill + scale scenarios. Sequential virtual-time
+/// loops make every row byte-stable at a fixed seed regardless of
+/// `HOLOAR_THREADS`.
+pub fn fleet_measurements(cfg: &ExperimentConfig) -> FleetMeasurements {
+    let per_device = cfg.sessions.unwrap_or(FLEET_SESSIONS_PER_DEVICE);
+    let rows = FLEET_SWEEP
+        .iter()
+        .map(|&k| {
+            let config = holoar_serve::FleetConfig::sweep(
+                k,
+                per_device * k as u32,
+                cfg.frames,
+                cfg.seed,
+            );
+            let report = holoar_serve::run_fleet(&config).expect("sweep configs are valid");
+            (k, report)
+        })
+        .collect();
+    // The acceptance scenario: a 4-device fleet loses device 0 halfway
+    // through; live migration must carry its tenants to the survivors.
+    let kill_device = 0usize;
+    let kill_tick = cfg.frames / 2;
+    let kill_config = holoar_serve::FleetConfig {
+        kill: Some((kill_device, kill_tick)),
+        ..holoar_serve::FleetConfig::sweep(4, per_device * 4, cfg.frames, cfg.seed)
+    };
+    let kill = holoar_serve::run_fleet(&kill_config).expect("kill config is valid");
+    // Scale probe: the session population the paper's edge deployments talk
+    // about — thousands of sessions churning across the widest fleet, run
+    // short since only admission/placement throughput is under test.
+    let scale_sessions = per_device * 128;
+    let scale_config = holoar_serve::FleetConfig::sweep(
+        8,
+        scale_sessions,
+        (cfg.frames / 5).max(10),
+        cfg.seed,
+    );
+    let scale = holoar_serve::run_fleet(&scale_config).expect("scale config is valid");
+    FleetMeasurements { rows, kill, kill_device, kill_tick, scale: (scale_sessions, scale) }
+}
+
+/// Tentpole study: session multiplexing across K simulated edge devices —
+/// least-loaded locality-aware placement, periodic admission re-probing,
+/// and live migration through overloads and a mid-run device kill.
+pub fn fleet(cfg: &ExperimentConfig) -> String {
+    let m = fleet_measurements(cfg);
+    let base_fps = m.rows[0].1.aggregate_fps;
+    let mut t = Table::new([
+        "Devices", "Offered", "Admitted", "Agg fps", "Scaling", "Hit rate", "p50", "p99",
+        "Migr", "Reprobes",
+    ]);
+    for (k, r) in &m.rows {
+        t.row([
+            k.to_string(),
+            r.offered.to_string(),
+            r.admitted.to_string(),
+            format!("{:.0}", r.aggregate_fps),
+            format!("{:.2}x", r.aggregate_fps / base_fps.max(f64::MIN_POSITIVE)),
+            pct(r.hit_rate),
+            ms(r.latency_p50),
+            ms(r.latency_p99),
+            r.migrations.to_string(),
+            r.reprobes.to_string(),
+        ]);
+    }
+    let kill = &m.kill;
+    let (scale_sessions, scale) = &m.scale;
+    format!(
+        "== fleet serving: K-device placement, re-probing, live migration \
+         (seed {}, {} frames, 90 Hz budget) ==\n{}\
+         scaling is aggregate throughput over the 1-device row (weak scaling: \
+         offered sessions grow with K)\n\n\
+         -- device-kill scenario: 4 devices, device {} killed at tick {} --\n\
+         migrations {} ({} kill-forced, {} overload), orphaned {}, \
+         hit rate {} through the kill, p99 {}\n\n\
+         -- scale probe: {} sessions offered to 8 devices ({} ticks) --\n\
+         admitted {}, peak active {}, rejected {}, aggregate {:.0} fps, hit rate {}\n\
+         (export the sweep with --json BENCH_fleet.json)\n",
+        cfg.seed,
+        cfg.frames,
+        t.render(),
+        m.kill_device,
+        m.kill_tick,
+        kill.migrations,
+        kill.kill_migrations,
+        kill.overload_migrations,
+        kill.orphaned,
+        pct(kill.hit_rate),
+        ms(kill.latency_p99),
+        scale_sessions,
+        scale.frames,
+        scale.admitted,
+        scale.peak_active,
+        scale.rejected,
+        scale.aggregate_fps,
+        pct(scale.hit_rate),
+    )
+}
+
+/// The [`fleet`] study as a JSON artifact (`BENCH_fleet.json`),
+/// hand-serialized like the other artifacts. Byte-identical across reruns
+/// and `HOLOAR_THREADS` at a fixed seed; `repro perf-gate --fleet` enforces
+/// the scaling and kill-survival floors on it.
+pub fn fleet_bench_json(cfg: &ExperimentConfig) -> String {
+    let m = fleet_measurements(cfg);
+    let base_fps = m.rows[0].1.aggregate_fps;
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"fleet\",\n");
+    out.push_str(&format!("  \"frames\": {},\n", cfg.frames));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!(
+        "  \"sessions_per_device\": {},\n",
+        cfg.sessions.unwrap_or(FLEET_SESSIONS_PER_DEVICE)
+    ));
+    out.push_str(&format!(
+        "  \"frame_budget_s\": {:.6},\n",
+        holoar_serve::EDGE_FRAME_BUDGET
+    ));
+    out.push_str("  \"sweep\": [\n");
+    for (i, (k, r)) in m.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"devices\": {k}, \"offered\": {}, \"admitted\": {}, \"rejected\": {}, \
+             \"fresh_frames\": {}, \"aggregate_fps\": {:.4}, \"scaling\": {:.4}, \
+             \"hit_rate\": {:.6}, \"latency_p50_s\": {:.6}, \"latency_p99_s\": {:.6}, \
+             \"migrations\": {}, \"reprobes\": {}}}{}\n",
+            r.offered,
+            r.admitted,
+            r.rejected,
+            r.fresh,
+            r.aggregate_fps,
+            r.aggregate_fps / base_fps.max(f64::MIN_POSITIVE),
+            r.hit_rate,
+            r.latency_p50,
+            r.latency_p99,
+            r.migrations,
+            r.reprobes,
+            if i + 1 < m.rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    let kill = &m.kill;
+    out.push_str(&format!(
+        "  \"kill\": {{\"devices\": {}, \"offered\": {}, \"kill_device\": {}, \
+         \"kill_tick\": {}, \"migrations\": {}, \"kill_migrations\": {}, \
+         \"overload_migrations\": {}, \"orphaned\": {}, \"hit_rate\": {:.6}, \
+         \"latency_p99_s\": {:.6}, \"aggregate_fps\": {:.4}}},\n",
+        kill.devices,
+        kill.offered,
+        m.kill_device,
+        m.kill_tick,
+        kill.migrations,
+        kill.kill_migrations,
+        kill.overload_migrations,
+        kill.orphaned,
+        kill.hit_rate,
+        kill.latency_p99,
+        kill.aggregate_fps,
+    ));
+    let (scale_sessions, scale) = &m.scale;
+    out.push_str(&format!(
+        "  \"scale\": {{\"devices\": {}, \"offered\": {scale_sessions}, \"frames\": {}, \
+         \"admitted\": {}, \"peak_active\": {}, \"rejected\": {}, \
+         \"aggregate_fps\": {:.4}, \"hit_rate\": {:.6}, \"migrations\": {}}}\n",
+        scale.devices,
+        scale.frames,
+        scale.admitted,
+        scale.peak_active,
+        scale.rejected,
+        scale.aggregate_fps,
+        scale.hit_rate,
+        scale.migrations,
+    ));
+    out.push_str("}\n");
+    out
+}
+
 /// Names of all experiments, in run order.
-pub const ALL_EXPERIMENTS: [&str; 23] = [
+pub const ALL_EXPERIMENTS: [&str; 24] = [
     "table1", "fig2", "fig3", "fig4", "fig5", "sec3", "table2", "fig7", "fig8", "fig9", "fig10",
     "horn8", "hybrid", "gating", "reuse", "fusion", "streams", "parallel", "inter-intra", "faults",
-    "pipeline", "serve", "slo",
+    "pipeline", "serve", "slo", "fleet",
 ];
 
 /// Runs one experiment by id.
@@ -1914,6 +2124,7 @@ pub fn run(id: &str, cfg: &ExperimentConfig) -> Result<String, String> {
         "pipeline" => Ok(pipeline(cfg)),
         "serve" => Ok(serve(cfg)),
         "slo" => Ok(slo(cfg)),
+        "fleet" => Ok(fleet(cfg)),
         "psnr" => Ok(psnr_ladder(cfg)),
         other => Err(format!(
             "unknown experiment '{other}'; valid: {} (or 'all')",
@@ -2034,6 +2245,38 @@ mod tests {
         // Critical-path attribution names a profile stage somewhere.
         assert!(json.contains("profile.stage."), "no stage attribution:\n{json}");
         assert_eq!(json, slo_bench_json(&cfg), "artifact must be byte-identical");
+    }
+
+    #[test]
+    fn fleet_bench_json_is_well_formed_and_reproducible() {
+        let cfg = ExperimentConfig { frames: 24, seed: 7, sessions: Some(4) };
+        let json = fleet_bench_json(&cfg);
+        assert!(json.contains("\"bench\": \"fleet\""));
+        for k in FLEET_SWEEP {
+            assert!(json.contains(&format!("\"devices\": {k}")), "sweep misses K={k}");
+        }
+        for field in [
+            "\"scaling\"",
+            "\"hit_rate\"",
+            "\"migrations\"",
+            "\"reprobes\"",
+            "\"kill\"",
+            "\"kill_migrations\"",
+            "\"scale\"",
+            "\"peak_active\"",
+        ] {
+            assert!(json.contains(field), "artifact misses {field}:\n{json}");
+        }
+        assert_eq!(json, fleet_bench_json(&cfg), "artifact must be byte-identical");
+    }
+
+    #[test]
+    fn fleet_report_covers_kill_and_scale_scenarios() {
+        let report = fleet(&ExperimentConfig { frames: 24, seed: 7, sessions: Some(4) });
+        assert!(report.contains("== fleet serving"));
+        assert!(report.contains("device-kill scenario"));
+        assert!(report.contains("scale probe"));
+        assert!(report.contains("BENCH_fleet.json"));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! CI perf-smoke gate over `BENCH_parallel.json` and `BENCH_serve.json`.
+//! CI perf-smoke gate over the `BENCH_*.json` artifacts (parallel, serve,
+//! pipeline, fleet).
 //!
 //! `repro parallel --bench-json` records one timing cell per (workload,
 //! worker count, precision) triple plus the f32 quality gate; `repro serve
@@ -401,6 +402,121 @@ pub fn evaluate_pipeline(
     Ok(GateOutcome { failures, report })
 }
 
+/// Floors for the fleet artifact (the K-device serving tentpole's design
+/// targets, enforced by [`evaluate_fleet`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetGateConfig {
+    /// Weak-scaling floor per device: the gated sweep row's aggregate
+    /// throughput must reach `scaling_per_device × devices` times the
+    /// 1-device row.
+    pub scaling_per_device: f64,
+    /// Which sweep row the scaling floor gates (device count).
+    pub scaling_devices: f64,
+    /// Deadline-hit-rate floor for the whole kill scenario — survival
+    /// through a mid-run device death, migrations included.
+    pub kill_hit_floor: f64,
+}
+
+impl Default for FleetGateConfig {
+    fn default() -> Self {
+        FleetGateConfig { scaling_per_device: 0.8, scaling_devices: 4.0, kill_hit_floor: 0.90 }
+    }
+}
+
+/// Numeric fields every `BENCH_fleet.json` sweep row must carry.
+const FLEET_ROW_FIELDS: [&str; 9] = [
+    "devices",
+    "offered",
+    "admitted",
+    "aggregate_fps",
+    "scaling",
+    "hit_rate",
+    "latency_p50_s",
+    "latency_p99_s",
+    "migrations",
+];
+
+/// Evaluates the fleet gate over the text of a `BENCH_fleet.json`
+/// artifact: schema (every sweep row complete, kill block present), the
+/// weak-scaling floor at the gated device count, and kill survival — the
+/// kill scenario must actually migrate sessions (otherwise the device died
+/// hosting nobody and proved nothing) while keeping the deadline-hit rate
+/// above the floor. Virtual-time model: holds on any host.
+///
+/// # Errors
+///
+/// Returns a message when the artifact is unparseable or not a fleet
+/// bench — CI should treat that exactly like a failed gate.
+pub fn evaluate_fleet(json_text: &str, cfg: &FleetGateConfig) -> Result<GateOutcome, String> {
+    let doc = jsonlite::parse(json_text).map_err(|e| e.to_string())?;
+    if doc.get("bench").and_then(Json::as_str) != Some("fleet") {
+        return Err("artifact is not a fleet bench (missing \"bench\": \"fleet\")".into());
+    }
+    let rows = doc.get("sweep").and_then(Json::as_array).ok_or("missing \"sweep\" array")?;
+    if rows.is_empty() {
+        return Err("fleet sweep is empty".into());
+    }
+    let kill = doc.get("kill").ok_or("missing \"kill\" block")?;
+
+    let mut failures = Vec::new();
+    let mut report = String::new();
+    let mut check = |line: String, failed: bool| {
+        report.push_str(if failed { "FAIL " } else { "pass " });
+        report.push_str(&line);
+        report.push('\n');
+        if failed {
+            failures.push(line);
+        }
+    };
+
+    let mut gated: Option<&Json> = None;
+    for (i, row) in rows.iter().enumerate() {
+        for field in FLEET_ROW_FIELDS {
+            if row.get(field).and_then(Json::as_f64).is_none() {
+                check(format!("sweep row {i} missing numeric \"{field}\""), true);
+            }
+        }
+        if row.get("devices").and_then(Json::as_f64) == Some(cfg.scaling_devices) {
+            gated = Some(row);
+        }
+    }
+    check(format!("sweep carries {} row(s) with a complete schema", rows.len()), false);
+
+    match gated {
+        Some(row) => {
+            let scaling = row.get("scaling").and_then(Json::as_f64).unwrap_or(f64::NAN);
+            let floor = cfg.scaling_per_device * cfg.scaling_devices;
+            // NaN must fail the floor, spelled NaN-explicitly.
+            check(
+                format!(
+                    "{}-device aggregate-throughput scaling {scaling:.2}x >= {floor:.2}x \
+                     ({:.2} per device)",
+                    cfg.scaling_devices, cfg.scaling_per_device
+                ),
+                scaling.is_nan() || scaling < floor,
+            );
+        }
+        None => check(
+            format!("missing the {}-device scaling row", cfg.scaling_devices),
+            true,
+        ),
+    }
+
+    let num = |field: &str| kill.get(field).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    let hit = num("hit_rate");
+    check(
+        format!("kill-scenario deadline-hit rate {hit:.3} >= {:.3}", cfg.kill_hit_floor),
+        hit.is_nan() || hit < cfg.kill_hit_floor,
+    );
+    let kill_migrations = num("kill_migrations");
+    check(
+        format!("kill scenario exercised live migration ({kill_migrations:.0} kill-forced)"),
+        kill_migrations.is_nan() || kill_migrations < 1.0,
+    );
+
+    Ok(GateOutcome { failures, report })
+}
+
 fn find<'a>(cells: &'a [Cell], label: &str, workers: usize, precision: &str) -> Option<&'a Cell> {
     cells
         .iter()
@@ -436,17 +552,20 @@ fn parse_cells(doc: &Json) -> Result<Vec<Cell>, String> {
 }
 
 /// CLI driver for `repro perf-gate [FILE] [--serve FILE] [--pipeline FILE]
-/// [--f32-floor X] [--par-floor Y] [--min-workers N]`: gates the parallel
-/// artifact (the positional path), the serve artifact (`--serve`), and/or
-/// the staged-pipeline artifact (`--pipeline`), prints the reports and
-/// returns the process exit code. At least one artifact is required.
+/// [--fleet FILE] [--f32-floor X] [--par-floor Y] [--min-workers N]`: gates
+/// the parallel artifact (the positional path), the serve artifact
+/// (`--serve`), the staged-pipeline artifact (`--pipeline`), and/or the
+/// fleet artifact (`--fleet`), prints the reports and returns the process
+/// exit code. At least one artifact is required.
 pub fn cli(args: &[String]) -> i32 {
     let mut cfg = GateConfig::default();
     let serve_cfg = ServeGateConfig::default();
     let pipeline_cfg = PipelineGateConfig::default();
+    let fleet_cfg = FleetGateConfig::default();
     let mut path: Option<&str> = None;
     let mut serve_path: Option<&str> = None;
     let mut pipeline_path: Option<&str> = None;
+    let mut fleet_path: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -470,11 +589,16 @@ pub fn cli(args: &[String]) -> i32 {
                 Some(v) => pipeline_path = Some(v.as_str()),
                 None => return usage("--pipeline requires an artifact path"),
             },
+            "--fleet" => match it.next() {
+                Some(v) => fleet_path = Some(v.as_str()),
+                None => return usage("--fleet requires an artifact path"),
+            },
             other if path.is_none() && !other.starts_with('-') => path = Some(other),
             other => return usage(&format!("unknown argument {other}")),
         }
     }
-    if path.is_none() && serve_path.is_none() && pipeline_path.is_none() {
+    if path.is_none() && serve_path.is_none() && pipeline_path.is_none() && fleet_path.is_none()
+    {
         return usage("missing artifact path");
     }
     let mut code = 0;
@@ -486,6 +610,9 @@ pub fn cli(args: &[String]) -> i32 {
     }
     if let Some(path) = pipeline_path {
         code = code.max(run_gate(path, |text| evaluate_pipeline(text, &pipeline_cfg)));
+    }
+    if let Some(path) = fleet_path {
+        code = code.max(run_gate(path, |text| evaluate_fleet(text, &fleet_cfg)));
     }
     code
 }
@@ -527,7 +654,7 @@ where
 fn usage(msg: &str) -> i32 {
     eprintln!(
         "perf-gate: {msg}\nusage: repro perf-gate [FILE] [--serve FILE] [--pipeline FILE] \
-         [--f32-floor X] [--par-floor Y] [--min-workers N]"
+         [--fleet FILE] [--f32-floor X] [--par-floor Y] [--min-workers N]"
     );
     2
 }
@@ -829,6 +956,107 @@ mod tests {
             crate::experiments::pipeline_bench_json(&cfg),
             "BENCH_pipeline.json is stale; regenerate with \
              `repro pipeline --bench-json BENCH_pipeline.json`"
+        );
+    }
+
+    fn fleet_artifact(scaling4: f64, kill_hit: f64, kill_migrations: u64) -> String {
+        let row = |k: u32, scaling: f64| {
+            format!(
+                "{{\"devices\": {k}, \"offered\": {}, \"admitted\": {}, \"rejected\": 0, \
+                 \"fresh_frames\": 1000, \"aggregate_fps\": {:.1}, \"scaling\": {scaling}, \
+                 \"hit_rate\": 0.97, \"latency_p50_s\": 0.007, \"latency_p99_s\": 0.010, \
+                 \"migrations\": 0, \"reprobes\": 60}}",
+                12 * k,
+                12 * k,
+                600.0 * scaling,
+            )
+        };
+        format!(
+            "{{\"bench\": \"fleet\", \"frames\": 150, \"seed\": 42, \
+             \"sessions_per_device\": 12, \"frame_budget_s\": 0.011111,\n\
+             \"sweep\": [{},\n{},\n{},\n{}],\n\
+             \"kill\": {{\"devices\": 4, \"offered\": 48, \"kill_device\": 0, \
+             \"kill_tick\": 75, \"migrations\": {kill_migrations}, \
+             \"kill_migrations\": {kill_migrations}, \"overload_migrations\": 0, \
+             \"orphaned\": 0, \"hit_rate\": {kill_hit}, \"latency_p99_s\": 0.013, \
+             \"aggregate_fps\": 2300.0}},\n\
+             \"scale\": {{\"devices\": 8, \"offered\": 1536, \"frames\": 30, \
+             \"admitted\": 156, \"peak_active\": 119, \"rejected\": 1380, \
+             \"aggregate_fps\": 8652.0, \"hit_rate\": 0.94, \"migrations\": 0}}\n}}",
+            row(1, 1.0),
+            row(2, 1.9),
+            row(4, scaling4),
+            row(8, 7.4),
+        )
+    }
+
+    #[test]
+    fn healthy_fleet_artifact_passes() {
+        let outcome =
+            evaluate_fleet(&fleet_artifact(3.9, 0.93, 9), &FleetGateConfig::default()).unwrap();
+        assert!(outcome.pass(), "{}", outcome.report);
+        assert!(outcome.report.contains("4-device aggregate-throughput scaling"));
+        assert!(outcome.report.contains("kill-scenario deadline-hit"));
+    }
+
+    #[test]
+    fn fleet_floor_violations_fail() {
+        for (scaling, hit, migrations, needle) in [
+            (2.9, 0.93, 9, "scaling"),
+            (3.9, 0.85, 9, "deadline-hit"),
+            (3.9, 0.93, 0, "live migration"),
+        ] {
+            let outcome = evaluate_fleet(
+                &fleet_artifact(scaling, hit, migrations),
+                &FleetGateConfig::default(),
+            )
+            .unwrap();
+            assert!(!outcome.pass(), "expected failure for {needle}");
+            assert!(
+                outcome.failures.iter().any(|f| f.contains(needle)),
+                "missing {needle} failure: {}",
+                outcome.report
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_schema_holes_are_reported() {
+        let json = fleet_artifact(3.9, 0.93, 9).replace("\"hit_rate\": 0.97, ", "");
+        let outcome = evaluate_fleet(&json, &FleetGateConfig::default()).unwrap();
+        assert!(!outcome.pass());
+        assert!(outcome.failures.iter().any(|f| f.contains("hit_rate")));
+        assert!(
+            evaluate_fleet("{\"bench\": \"serve\"}", &FleetGateConfig::default()).is_err(),
+            "wrong bench kind must not pass"
+        );
+        let no_kill = fleet_artifact(3.9, 0.93, 9).replace("\"kill\":", "\"killed\":");
+        assert!(evaluate_fleet(&no_kill, &FleetGateConfig::default()).is_err());
+    }
+
+    #[test]
+    fn generated_fleet_artifact_round_trips_through_the_gate() {
+        let cfg = crate::experiments::ExperimentConfig::default();
+        let json = crate::experiments::fleet_bench_json(&cfg);
+        let outcome = evaluate_fleet(&json, &FleetGateConfig::default()).unwrap();
+        assert!(outcome.pass(), "{}", outcome.report);
+    }
+
+    #[test]
+    fn checked_in_fleet_artifact_clears_the_gate() {
+        // `BENCH_fleet.json` at the repo root is regenerated by `repro
+        // fleet --json BENCH_fleet.json`; stale or hand-edited copies must
+        // not sneak past the floors.
+        let json = include_str!("../../../BENCH_fleet.json");
+        let outcome = evaluate_fleet(json, &FleetGateConfig::default()).unwrap();
+        assert!(outcome.pass(), "{}", outcome.report);
+        // And it must match what this tree generates at the recorded
+        // budget — a byte-level drift check against the generator.
+        let cfg = crate::experiments::ExperimentConfig::default();
+        assert_eq!(
+            json,
+            crate::experiments::fleet_bench_json(&cfg),
+            "BENCH_fleet.json is stale; regenerate with `repro fleet --json BENCH_fleet.json`"
         );
     }
 

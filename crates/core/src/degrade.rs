@@ -116,6 +116,11 @@ pub enum TransitionReason {
     Qos,
     /// Hysteretic recovery after a streak of comfortably-fast frames.
     Recovered,
+    /// The session was live-migrated to another device (fleet placement):
+    /// the state-transfer blackout is paid as a one-level step down,
+    /// recovered through the normal hysteresis. Recorded via
+    /// [`DegradationController::record_migration`].
+    Migration,
 }
 
 impl TransitionReason {
@@ -126,6 +131,7 @@ impl TransitionReason {
             TransitionReason::Overrun => "overrun",
             TransitionReason::Qos => "qos",
             TransitionReason::Recovered => "recovered",
+            TransitionReason::Migration => "migration",
         }
     }
 }
@@ -485,6 +491,39 @@ impl DegradationController {
         self.hold_recovery = true;
     }
 
+    /// Records a live migration of this session to another device as a
+    /// signal-attributed transition (reason
+    /// [`TransitionReason::Migration`], `signal` naming the fleet trigger —
+    /// `"device-kill"`, `"device-overload"`, …).
+    ///
+    /// The state-transfer blackout is charged as an immediate one-level
+    /// step down — the first frames on the new host are served shallower
+    /// while the hologram state re-uploads — and the session recovers
+    /// through the normal hysteresis. The demand estimate is dropped
+    /// because it was measured on the *old* host. Unlike the QoS hooks this
+    /// always records the transition: at [`DegradationLevel::LastGood`] the
+    /// level cannot deepen (`from == to`), but the migration stays
+    /// attributable in [`transitions`](Self::transitions).
+    pub fn record_migration(&mut self, frame: u64, signal: &'static str) {
+        let to = DegradationLevel::ALL
+            [(self.level.index() + 1).min(DegradationLevel::LastGood.index())];
+        holoar_telemetry::counter_add("core.degrade.migrations", 1);
+        if to > self.level {
+            holoar_telemetry::counter_add("core.degrade.step_down", 1);
+        }
+        self.transitions.push(Transition {
+            frame,
+            from: self.level,
+            to,
+            reason: TransitionReason::Migration,
+            signal,
+        });
+        self.level = to;
+        self.clean_streak = 0;
+        self.overrun_streak = 0;
+        self.demand = None;
+    }
+
     /// Every recorded level transition, in order.
     pub fn transitions(&self) -> &[Transition] {
         &self.transitions
@@ -550,6 +589,29 @@ mod tests {
             };
             ctl.observe(i, lat);
         }
+    }
+
+    #[test]
+    fn migrations_are_signal_attributed_and_charge_one_level() {
+        let mut ctl = controller();
+        run(&mut ctl, 10, |_| 0.026);
+        assert_eq!(ctl.level(), DegradationLevel::Full);
+        ctl.record_migration(10, "device-kill");
+        assert_eq!(ctl.level(), DegradationLevel::TrimPeriphery);
+        let t = *ctl.transitions().last().unwrap();
+        assert_eq!(t.reason, TransitionReason::Migration);
+        assert_eq!(t.signal, "device-kill");
+        assert_eq!((t.from, t.to), (DegradationLevel::Full, DegradationLevel::TrimPeriphery));
+
+        // At the ladder floor the level cannot deepen, but the migration
+        // is still recorded (from == to) so it stays attributable.
+        for _ in 0..4 {
+            ctl.record_migration(11, "device-overload");
+        }
+        assert_eq!(ctl.level(), DegradationLevel::LastGood);
+        let t = *ctl.transitions().last().unwrap();
+        assert_eq!((t.from, t.to), (DegradationLevel::LastGood, DegradationLevel::LastGood));
+        assert_eq!(t.reason.name(), "migration");
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub struct FrameFaults {
     pub dram_scale: f64,
     /// Extra pose-stage latency, seconds.
     pub stage_overrun: f64,
+    /// The hosting device reads dead this frame (the fleet layer latches
+    /// the first dead frame into a permanent loss).
+    pub device_dead: bool,
 }
 
 impl Default for FrameFaults {
@@ -48,6 +51,7 @@ impl Default for FrameFaults {
             clock_scale: 1.0,
             dram_scale: 1.0,
             stage_overrun: 0.0,
+            device_dead: false,
         }
     }
 }
@@ -194,6 +198,7 @@ impl FaultInjector {
                     faults.dram_scale = faults.dram_scale.min(spec.magnitude);
                 }
                 FaultKind::StageOverrun => faults.stage_overrun += spec.magnitude,
+                FaultKind::DeviceKill => faults.device_dead = true,
             }
         }
         faults

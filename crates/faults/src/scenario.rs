@@ -12,14 +12,20 @@
 
 use crate::injector::FaultInjector;
 use crate::spec::{FaultKind, FaultSpec};
-use holoar_gpusim::DeviceConfig;
+use holoar_gpusim::{DeviceConfig, DeviceSpec};
 
-/// An accelerator-class edge device: the Xavier model with
+/// The spec of an accelerator-class edge device: the Xavier model with
 /// `kernel_efficiency` raised from 0.076 to 0.76 (10×), so one 512² plane
 /// costs ≈ 2.1 ms and a typical Inter-Intra-Holo frame (~12 planes) lands
 /// around 26 ms — inside the 33 ms deadline with modest headroom.
+pub fn accelerated_spec() -> DeviceSpec {
+    DeviceSpec::new().kernel_efficiency(0.76)
+}
+
+/// The accelerator-class device configuration derived from
+/// [`accelerated_spec`].
 pub fn accelerated_device() -> DeviceConfig {
-    DeviceConfig { kernel_efficiency: 0.76, ..DeviceConfig::default() }
+    accelerated_spec().config()
 }
 
 /// GPU-contention scenario: windows of 2× SM slowdown plus occasional DRAM
@@ -95,6 +101,50 @@ pub fn serve_session(seed: u64, session: u32) -> Result<FaultInjector, String> {
     )
 }
 
+/// Per-device fault scenario for the fleet layer: windows of SM slowdown
+/// (thermal throttling) and DRAM contention (co-located SoC clients), with
+/// the master seed salted per device so fleet members fault independently —
+/// the placement layer must route around one device's bad window without
+/// the others flinching.
+///
+/// # Errors
+///
+/// Never fails for the preset parameters; propagates spec validation.
+pub fn fleet_device(seed: u64, device: u32) -> Result<FaultInjector, String> {
+    // Same SplitMix64-style salting idea as `serve_session`, with distinct
+    // multipliers so device streams never collide with session streams.
+    let salted = seed
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        .wrapping_add(u64::from(device).wrapping_add(1).wrapping_mul(0x94D0_49BB_1331_11EB));
+    FaultInjector::new(
+        salted,
+        vec![
+            FaultSpec::new(FaultKind::SmSlowdown, 0.06, 8, 0.78),
+            FaultSpec::new(FaultKind::DramContention, 0.05, 6, 0.8),
+        ],
+    )
+}
+
+/// The [`fleet_device`] interference plus a rare [`FaultKind::DeviceKill`]
+/// process: each 32-frame window kills the device with
+/// `kill_probability`, and the fleet latches the first dead window into a
+/// permanent loss. This is the scenario the migration property tests run
+/// under.
+///
+/// # Errors
+///
+/// Propagates spec validation (`kill_probability` must be in `[0, 1]`).
+pub fn fleet_device_with_kill(
+    seed: u64,
+    device: u32,
+    kill_probability: f64,
+) -> Result<FaultInjector, String> {
+    let base = fleet_device(seed, device)?;
+    let mut specs = base.specs().to_vec();
+    specs.push(FaultSpec::new(FaultKind::DeviceKill, kill_probability, 32, 0.0));
+    FaultInjector::new(base.seed(), specs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +187,25 @@ mod tests {
         assert!(fast.validate().is_ok());
         let ratio = fast.kernel_efficiency / DeviceConfig::default().kernel_efficiency;
         assert!((ratio - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_devices_fault_independently_and_kills_latch_in_windows() {
+        let a = fleet_device(42, 0).unwrap();
+        let b = fleet_device(42, 1).unwrap();
+        let pattern = |inj: &FaultInjector| -> Vec<bool> {
+            (0..240u64).map(|i| inj.frame(i).gpu_faulted()).collect()
+        };
+        assert_eq!(pattern(&a), pattern(&fleet_device(42, 0).unwrap()));
+        assert_ne!(pattern(&a), pattern(&b), "devices must be decorrelated");
+        // No kill process in the base scenario.
+        assert!((0..240u64).all(|i| !a.frame(i).device_dead));
+
+        // With a certain kill, every window reads dead; with zero, none do.
+        let dead = fleet_device_with_kill(42, 0, 1.0).unwrap();
+        assert!((0..64u64).all(|i| dead.frame(i).device_dead));
+        let alive = fleet_device_with_kill(42, 0, 0.0).unwrap();
+        assert!((0..64u64).all(|i| !alive.frame(i).device_dead));
     }
 
     #[test]

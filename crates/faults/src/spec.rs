@@ -35,11 +35,16 @@ pub enum FaultKind {
     /// A perception stage overruns (scheduling hiccup): `magnitude` seconds
     /// are added to the pose stage. Layer: `pipeline`.
     StageOverrun,
+    /// The device dies outright (power trip, thermal shutdown, fabric
+    /// fault): every faulted window reads dead, and the fleet layer latches
+    /// the first such window into a permanent loss — hosted sessions must
+    /// migrate. `magnitude` is ignored. Layer: `serve::fleet`.
+    DeviceKill,
 }
 
 impl FaultKind {
     /// All kinds, in taxonomy order.
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::GazeDropout,
         FaultKind::GazeLatencySpike,
         FaultKind::PoseDropout,
@@ -47,6 +52,7 @@ impl FaultKind {
         FaultKind::SmSlowdown,
         FaultKind::DramContention,
         FaultKind::StageOverrun,
+        FaultKind::DeviceKill,
     ];
 
     /// Display name used in reports and telemetry.
@@ -59,6 +65,7 @@ impl FaultKind {
             FaultKind::SmSlowdown => "sm-slowdown",
             FaultKind::DramContention => "dram-contention",
             FaultKind::StageOverrun => "stage-overrun",
+            FaultKind::DeviceKill => "device-kill",
         }
     }
 
@@ -73,6 +80,7 @@ impl FaultKind {
             FaultKind::SmSlowdown => 0x53D0_D805,
             FaultKind::DramContention => 0xD3A0_D806,
             FaultKind::StageOverrun => 0x57A6_D807,
+            FaultKind::DeviceKill => 0xDEAD_D808,
         }
     }
 }
@@ -122,7 +130,7 @@ impl FaultSpec {
             return Err(format!("{}: burst must be at least one frame", self.kind));
         }
         let magnitude_ok = match self.kind {
-            FaultKind::GazeDropout | FaultKind::PoseDropout => true,
+            FaultKind::GazeDropout | FaultKind::PoseDropout | FaultKind::DeviceKill => true,
             FaultKind::GazeLatencySpike | FaultKind::StageOverrun => {
                 self.magnitude >= 0.0 && self.magnitude.is_finite()
             }

@@ -34,6 +34,7 @@ pub mod kernel;
 pub mod power;
 pub mod profiler;
 pub mod sm;
+pub mod spec;
 pub mod stats;
 pub mod telemetry_bridge;
 pub mod timeline;
@@ -45,6 +46,7 @@ pub use hologram_kernels::{HologramJob, HologramJobStats, Step};
 pub use kernel::{InstructionMix, KernelDesc};
 pub use power::{Activity, EnergyMeter, RailEnergy, RailPower};
 pub use profiler::{KernelAggregate, Profiler};
+pub use spec::{DeviceSpec, EDGE_FRAME_BUDGET};
 pub use stats::{KernelStats, StallBreakdown, StallCategory};
 pub use telemetry_bridge::{bridge_profiler, GPU_TRACK};
 pub use timeline::{simulate, OccupancySample, StreamOp, Timeline};

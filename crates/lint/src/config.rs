@@ -81,7 +81,7 @@ pub const PLAN_TIME_PREFIXES: &[&str] = &[
 /// convention; `gpu` is the synthetic simulated-GPU track).
 pub const CATEGORIES: &[&str] = &[
     "fft", "optics", "core", "pipeline", "gpusim", "gpu", "bench", "telemetry", "faults", "serve",
-    "slo", "profile",
+    "fleet", "slo", "profile",
 ];
 
 /// Every rule id the engine knows; waivers naming anything else are

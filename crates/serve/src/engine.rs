@@ -26,7 +26,7 @@ use holoar_core::{
 use holoar_faults::FrameFaults;
 use holoar_gpusim::hologram_kernels::{merged_session_kernels, run_job};
 use holoar_gpusim::timeline::session_stream_ops;
-use holoar_gpusim::{calibration, simulate, Device, DeviceConfig, HologramJob};
+use holoar_gpusim::{calibration, simulate, Device, DeviceSpec, HologramJob};
 use holoar_pipeline::executor::{run_staged, StagedConfig};
 use holoar_pipeline::schedule::FrameLatencies;
 use holoar_sensors::angles::AngularPoint;
@@ -52,29 +52,27 @@ use crate::slo::{
 /// single-user hologram saturates the device at one session.
 pub const SERVE_HOLOGRAM_PIXELS: u64 = 64 * 64;
 
-/// Frame budget for served sessions: a 90 Hz AR display refresh.
-pub const SERVE_FRAME_BUDGET: f64 = 1.0 / 90.0;
-
-/// The shared serving device: Xavier-class SMs, but 32 of them — an
-/// edge-server accelerator rather than a headset SoC. Per-session 64² plane
-/// kernels span 16 blocks, so a single session leaves most of the device
-/// idle; cross-session batching is what fills it — and a ~16-session fleet
-/// saturates it, exercising the QoS and deferral layers.
-pub fn serve_device() -> DeviceConfig {
-    DeviceConfig { sm_count: 32, ..DeviceConfig::default() }
-}
+/// Frame budget for served sessions: a 90 Hz AR display refresh (the
+/// [`DeviceSpec::edge`] deadline).
+pub const SERVE_FRAME_BUDGET: f64 = holoar_gpusim::EDGE_FRAME_BUDGET;
 
 /// Configuration of one serving run.
+///
+/// The shared device is a [`DeviceSpec`]: [`DeviceSpec::edge`] is the
+/// serving default — Xavier-class SMs, but 32 of them, an edge-server
+/// accelerator rather than a headset SoC. Per-session 64² plane kernels
+/// span 16 blocks, so a single session leaves most of the device idle;
+/// cross-session batching is what fills it — and a ~16-session fleet
+/// saturates it, exercising the QoS and deferral layers.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Requested sessions, in admission-priority order.
     pub specs: Vec<SessionSpec>,
     /// Ticks to simulate.
     pub frames: u64,
-    /// The shared device model.
-    pub device: DeviceConfig,
-    /// Per-tick deadline, seconds.
-    pub frame_budget: f64,
+    /// The shared device spec — model, standing slowdown and the per-tick
+    /// deadline ([`DeviceSpec::budget`]).
+    pub device: DeviceSpec,
     /// Per-session hologram resolution.
     pub hologram_pixels: u64,
     /// Lockstep GSW iteration count (batching requirement).
@@ -104,18 +102,20 @@ pub struct ServeConfig {
 }
 
 impl ServeConfig {
-    /// A deterministic `sessions`-strong fleet at the serving defaults.
-    pub fn fleet(sessions: u32, frames: u64, seed: u64) -> Self {
+    /// A serving run of the given session specs on the given device, at the
+    /// serving defaults. Heterogeneous session mixes are expressed by
+    /// passing explicit specs; the common uniform case is
+    /// `ServeConfig::fleet(DeviceSpec::edge(), SessionSpec::fleet(n, seed), frames)`.
+    pub fn fleet(device: DeviceSpec, specs: Vec<SessionSpec>, frames: u64) -> Self {
         ServeConfig {
-            specs: SessionSpec::fleet(sessions, seed),
+            specs,
             frames,
-            device: serve_device(),
-            frame_budget: SERVE_FRAME_BUDGET,
+            device,
             hologram_pixels: SERVE_HOLOGRAM_PIXELS,
             gsw_iterations: calibration::GSW_ITERATIONS,
             base: HoloArConfig::for_scheme(Scheme::InterIntraHolo).without_reuse(),
             ladder: DegradationLadder {
-                frame_budget: SERVE_FRAME_BUDGET,
+                frame_budget: device.budget(),
                 ..DegradationLadder::default()
             },
             overload_factor: 2.0,
@@ -124,6 +124,11 @@ impl ServeConfig {
             slo: SloConfig::default(),
             session_queue: 3,
         }
+    }
+
+    /// The per-tick deadline in seconds — the device spec's frame budget.
+    pub fn frame_budget(&self) -> f64 {
+        self.device.budget()
     }
 
     /// Validates the configuration.
@@ -137,9 +142,6 @@ impl ServeConfig {
         }
         if self.frames == 0 {
             return Err("serving needs at least one tick".into());
-        }
-        if !self.frame_budget.is_finite() || self.frame_budget <= 0.0 {
-            return Err("frame budget must be positive".into());
         }
         if self.hologram_pixels == 0 {
             return Err("sessions must cover at least one pixel".into());
@@ -168,7 +170,7 @@ impl ServeConfig {
 
 /// A fixated nominal sensor sample: gaze on the first object (as in the
 /// quality studies), pose centered.
-fn nominal_sample(frame: &Frame) -> SensorSample {
+pub(crate) fn nominal_sample(frame: &Frame) -> SensorSample {
     let gaze = frame.objects.first().map(|o| o.direction).unwrap_or(AngularPoint::CENTER);
     SensorSample {
         pose: PoseInput::Tracked(PoseEstimate {
@@ -181,7 +183,7 @@ fn nominal_sample(frame: &Frame) -> SensorSample {
 
 /// Fraction of planned objects inside the region of focus (1.0 for an empty
 /// plan — nothing peripheral to shed).
-fn plan_focus(plan: &ComputePlan) -> f64 {
+pub(crate) fn plan_focus(plan: &ComputePlan) -> f64 {
     if plan.items.is_empty() {
         return 1.0;
     }
@@ -191,7 +193,7 @@ fn plan_focus(plan: &ComputePlan) -> f64 {
 
 /// Collapses a plan into the session's tick job: total computed planes at
 /// the plane-weighted mean coverage.
-fn session_job(config: &ServeConfig, plan: &ComputePlan) -> HologramJob {
+pub(crate) fn session_job(pixels: u64, gsw_iterations: u32, plan: &ComputePlan) -> HologramJob {
     let mut planes = 0u64;
     let mut weighted_coverage = 0.0;
     for item in plan.items.iter().filter(|it| it.needs_compute()) {
@@ -204,25 +206,20 @@ fn session_job(config: &ServeConfig, plan: &ComputePlan) -> HologramJob {
         (weighted_coverage / planes as f64).clamp(f64::MIN_POSITIVE, 1.0)
     };
     HologramJob {
-        pixels: config.hologram_pixels,
+        pixels,
         plane_count: planes.min(u64::from(u32::MAX)) as u32,
         coverage,
-        gsw_iterations: config.gsw_iterations,
+        gsw_iterations,
     }
 }
 
 /// A no-work placeholder keeping batch indices aligned with sessions.
-fn idle_job(config: &ServeConfig) -> HologramJob {
-    HologramJob {
-        pixels: config.hologram_pixels,
-        plane_count: 0,
-        coverage: 1.0,
-        gsw_iterations: config.gsw_iterations,
-    }
+pub(crate) fn idle_job(pixels: u64, gsw_iterations: u32) -> HologramJob {
+    HologramJob { pixels, plane_count: 0, coverage: 1.0, gsw_iterations }
 }
 
 /// Sum of kernel wall times for one batch on `device`.
-fn batch_time(device: &mut Device, kernels: &[holoar_gpusim::KernelDesc]) -> f64 {
+pub(crate) fn batch_time(device: &mut Device, kernels: &[holoar_gpusim::KernelDesc]) -> f64 {
     device.execute_all(kernels).iter().map(|s| s.time).sum()
 }
 
@@ -254,15 +251,16 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
             .ok_or("frame generator must be infinite")?;
         let sample = nominal_sample(&frame);
         let plan = Planner::new(config.base)?.plan_frame_with(&frame, &sample);
-        probe_jobs.push(session_job(config, &plan));
+        probe_jobs.push(session_job(config.hologram_pixels, config.gsw_iterations, &plan));
     }
-    let mut est_device = Device::new(config.device).map_err(|e| e.to_string())?;
+    let device_cfg = config.device.config();
+    let mut est_device = Device::new(device_cfg).map_err(|e| e.to_string())?;
     let mut estimates = Vec::with_capacity(requested);
     for k in 1..=requested {
         let kernels = merged_session_kernels(&probe_jobs[..k]);
         estimates.push(batch_time(&mut est_device, &kernels));
     }
-    let admitted = admission::admit_count(&estimates, config.frame_budget, config.overload_factor);
+    let admitted = admission::admit_count(&estimates, config.frame_budget(), config.overload_factor);
     holoar_telemetry::counter_add("serve.admission.admitted", admitted as u64);
     holoar_telemetry::counter_add("serve.admission.rejected", (requested - admitted) as u64);
     holoar_telemetry::gauge_set("serve.sessions.active", admitted as f64);
@@ -279,8 +277,8 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
         )?);
     }
     let mut scheduler = FrameScheduler::new(admitted);
-    let mut device = Device::new(config.device).map_err(|e| e.to_string())?;
-    let mut seq_device = Device::new(config.device).map_err(|e| e.to_string())?;
+    let mut device = Device::new(device_cfg).map_err(|e| e.to_string())?;
+    let mut seq_device = Device::new(device_cfg).map_err(|e| e.to_string())?;
     let mut batched_time_total = 0.0;
     let mut sequential_time_total = 0.0;
     let mut occupancy_sum = 0.0;
@@ -313,10 +311,10 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
                 Some(level_cfg) => {
                     let plan = Planner::new(level_cfg)?.plan_frame_with(&frame, &sample);
                     state.observe_focus(plan_focus(&plan));
-                    (session_job(config, &plan), false)
+                    (session_job(config.hologram_pixels, config.gsw_iterations, &plan), false)
                 }
                 // LastGood: re-present the previous hologram, no fresh planes.
-                None => (idle_job(config), true),
+                None => (idle_job(config.hologram_pixels, config.gsw_iterations), true),
             };
             ticks.push(TickSession { faults, job, reprojecting });
         }
@@ -327,11 +325,17 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
         let mut deferred = vec![false; admitted];
         loop {
             let jobs: Vec<HologramJob> = (0..admitted)
-                .map(|i| if deferred[i] { idle_job(config) } else { ticks[i].job })
+                .map(|i| {
+                    if deferred[i] {
+                        idle_job(config.hologram_pixels, config.gsw_iterations)
+                    } else {
+                        ticks[i].job
+                    }
+                })
                 .collect();
             let kernels = merged_session_kernels(&jobs);
             let estimate = batch_time(&mut est_device, &kernels);
-            if estimate <= config.frame_budget * config.defer_threshold {
+            if estimate <= config.frame_budget() * config.defer_threshold {
                 break;
             }
             let active: Vec<usize> = order
@@ -347,14 +351,20 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
 
         // Phase 3: batched execution on the shared device.
         let jobs: Vec<HologramJob> = (0..admitted)
-            .map(|i| if deferred[i] { idle_job(config) } else { ticks[i].job })
+            .map(|i| {
+                if deferred[i] {
+                    idle_job(config.hologram_pixels, config.gsw_iterations)
+                } else {
+                    ticks[i].job
+                }
+            })
             .collect();
         let batch = PlaneBatch::build(jobs);
         let batch_latency = batch_time(&mut device, &batch.kernels);
         merged_launches += batch.kernels.len() as u64;
         launches_saved += batch.launches_saved();
         let tick_occupancy = if batch.has_work() {
-            let timeline = simulate(&session_stream_ops(&batch.jobs), &config.device);
+            let timeline = simulate(&session_stream_ops(&batch.jobs), &device_cfg);
             occupancy_sum += timeline.mean_occupancy();
             occupancy_ticks += 1;
             holoar_telemetry::gauge_set("serve.tick.occupancy", timeline.mean_occupancy());
@@ -414,7 +424,7 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
                 state.queue_drops += 1;
             }
             state.ctl.observe_queue_depth(state.backlog.len(), state.backlog.bound());
-            let hit = !deferred[i] && completion <= config.frame_budget + 1e-12;
+            let hit = !deferred[i] && completion <= config.frame_budget() + 1e-12;
             if deferred[i] {
                 state.deferred += 1;
                 holoar_telemetry::counter_add("serve.frames.deferred", 1);
@@ -454,7 +464,7 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
                 &mut state.profile,
                 state.spec.id,
                 tick,
-                config.frame_budget,
+                config.frame_budget(),
                 &stages,
             );
             scheduler.feedback(i, hit);
@@ -465,7 +475,7 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
         // the least-focused session not already at the ladder floor, and
         // holds everyone else's level: stepping up against a saturated
         // device would outpace the one-victim-per-tick shedding.
-        if batch_latency > config.frame_budget {
+        if batch_latency > config.frame_budget() {
             let focus: Vec<f64> = states.iter().map(|s| s.focus).collect();
             let eligible: Vec<bool> = (0..admitted)
                 .map(|i| {
@@ -485,7 +495,7 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
                     state.ctl.hold_level();
                 }
             }
-        } else if batch_latency > config.hold_margin * config.frame_budget {
+        } else if batch_latency > config.hold_margin * config.frame_budget() {
             // Inside the hysteresis band: no shedding needed, but recoveries
             // are held so the fleet settles just under the deadline instead
             // of oscillating across it.
@@ -584,7 +594,7 @@ pub fn run_serve(config: &ServeConfig, ctx: &ExecutionContext) -> Result<ServeRe
                 &state.profile,
                 state.ctl.transitions(),
                 &state.level_window,
-                config.frame_budget,
+                config.frame_budget(),
             ),
         });
     }

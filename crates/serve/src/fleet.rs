@@ -1,0 +1,868 @@
+//! Multi-device fleet serving: placement, re-probing, and live migration.
+//!
+//! The fleet multiplexes a churning session population across K simulated
+//! edge devices. Where the single-device engine ([`crate::engine`]) owns
+//! one device's tick in full kernel-level detail, the fleet works at the
+//! admission-probe granularity the paper's on-the-fly optimization makes
+//! composable: each session's cost is *probed* (planned at full quality and
+//! priced on its host's device model), cached, and periodically
+//! **re-probed** so placement decisions track content drift instead of the
+//! one-shot admission estimate single-device serving uses. Per tick, every
+//! device's latency is the batch-discounted sum of its hosted sessions'
+//! shed-scaled costs — the same launch-amortization effect the
+//! single-device batcher measures, collapsed to a closed form so thousands
+//! of sessions stay tractable.
+//!
+//! Three layers respond to trouble, gentlest first:
+//!
+//! 1. **Degradation** — each session's own ladder absorbs its attributed
+//!    share (exactly the single-device contract).
+//! 2. **QoS step-down** — an overrunning device steps down one victim per
+//!    tick and holds the rest, so a device never degrades in lockstep.
+//! 3. **Migration** — a device whose *probed* load exceeds the migration
+//!    threshold sheds its newest tenant to the best other device; a device
+//!    that dies (fault-injected or scheduled) evacuates everything. Every
+//!    migration is charged a state-transfer blackout (latency surcharge +
+//!    one-level step down) and recorded as a signal-attributed transition.
+//!
+//! Everything is virtual-time and sequential over `BTreeMap` state, so runs
+//! are bit-identical across reruns, worker counts, and any shuffling of the
+//! load schedule (the fleet re-sorts it).
+
+use std::collections::BTreeMap;
+
+use holoar_core::degrade::{
+    DegradationController, DegradationLadder, DegradationLevel, TransitionReason,
+};
+use holoar_core::{HoloArConfig, Planner, Scheme};
+use holoar_faults::{scenario, FaultInjector};
+use holoar_gpusim::hologram_kernels::run_job;
+use holoar_gpusim::{calibration, Device, DeviceSpec, HologramJob};
+use holoar_sensors::objectron::{Frame, FrameGenerator, VideoCategory};
+
+use crate::engine::{nominal_sample, session_job, SERVE_HOLOGRAM_PIXELS};
+use crate::load::{self, LoadConfig};
+use crate::migration::{
+    pick_overload_victim, MigrationRecord, SIG_DEVICE_KILL, SIG_DEVICE_OVERLOAD,
+};
+use crate::placement::{place, DeviceView};
+use crate::report::percentile;
+use crate::session::SessionSpec;
+
+/// Recovery-hold band as a fraction of the device budget (the
+/// single-device engine's hysteresis, reused verbatim).
+const HOLD_MARGIN: f64 = 0.85;
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetConfig {
+    /// The devices, heterogeneity welcome — each spec carries its own SM
+    /// count, standing slowdown and frame budget.
+    pub devices: Vec<DeviceSpec>,
+    /// Ticks to simulate (one tick = one 90 Hz refresh, fleet-wide).
+    pub frames: u64,
+    /// Master seed: session identity, load timing, fault streams.
+    pub seed: u64,
+    /// Offered load: arrivals, departures, diurnal ramp.
+    pub load: LoadConfig,
+    /// Full-quality planner configuration each session degrades from.
+    pub base: HoloArConfig,
+    /// Degradation ladder instantiated per session.
+    pub ladder: DegradationLadder,
+    /// Per-session hologram resolution.
+    pub hologram_pixels: u64,
+    /// Lockstep GSW iteration count.
+    pub gsw_iterations: u32,
+    /// Admission headroom: a session is admitted to a device while the
+    /// probed load stays within `overload_factor × budget`.
+    pub overload_factor: f64,
+    /// Re-probe cadence in ticks: each session is re-planned and re-priced
+    /// every `reprobe_every` ticks, striped by session id so probe cost is
+    /// amortized across ticks. `0` disables re-probing.
+    pub reprobe_every: u64,
+    /// Migration trigger: a device whose probed load exceeds
+    /// `migrate_factor × budget` sheds its newest tenant (at most one per
+    /// device per tick). Must be ≥ `overload_factor` to leave admission a
+    /// working band.
+    pub migrate_factor: f64,
+    /// State-transfer blackout charged to a migrated session's first frame
+    /// on the new host, seconds.
+    pub migration_cost: f64,
+    /// Placement score credit for a device already hosting a same-category
+    /// session (launch amortization; see [`crate::placement`]).
+    pub locality_bonus: f64,
+    /// Cross-session batch amortization on one device: per-session
+    /// effective cost scales by `batch_discount + (1 - batch_discount)/n`
+    /// for `n` fresh co-tenants, in `(0, 1]` (1 = no amortization).
+    pub batch_discount: f64,
+    /// A scheduled mid-run kill `(device index, tick)` — the acceptance
+    /// scenario's deterministic failure, independent of the fault seed.
+    pub kill: Option<(usize, u64)>,
+    /// Drive each device's own fault injector
+    /// ([`scenario::fleet_device`]): SM-slowdown / DRAM-contention windows,
+    /// plus [`holoar_faults::FaultKind::DeviceKill`] windows when
+    /// `kill_probability` > 0.
+    pub device_faults: bool,
+    /// Per-window device-kill probability for the injector-driven kill
+    /// path (0 disables; requires `device_faults`).
+    pub kill_probability: f64,
+}
+
+impl FleetConfig {
+    /// A K-device fleet of [`DeviceSpec::edge`] devices under the default
+    /// diurnal load of `sessions` total sessions, at the fleet defaults:
+    /// re-probe every 16 ticks, device interference faults on, no kill.
+    pub fn sweep(k: usize, sessions: u32, frames: u64, seed: u64) -> Self {
+        FleetConfig {
+            devices: vec![DeviceSpec::edge(); k],
+            frames,
+            seed,
+            load: LoadConfig::diurnal(sessions, seed),
+            base: HoloArConfig::for_scheme(Scheme::InterIntraHolo).without_reuse(),
+            ladder: DegradationLadder {
+                frame_budget: DeviceSpec::edge().budget(),
+                ..DegradationLadder::default()
+            },
+            hologram_pixels: SERVE_HOLOGRAM_PIXELS,
+            gsw_iterations: calibration::GSW_ITERATIONS,
+            overload_factor: 2.0,
+            reprobe_every: 16,
+            migrate_factor: 2.5,
+            migration_cost: 0.004,
+            locality_bonus: 0.05,
+            batch_discount: 0.30,
+            kill: None,
+            device_faults: true,
+            kill_probability: 0.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.devices.is_empty() {
+            return Err("a fleet needs at least one device".into());
+        }
+        for (i, spec) in self.devices.iter().enumerate() {
+            spec.validate().map_err(|e| format!("device {i}: {e}"))?;
+        }
+        if self.frames == 0 {
+            return Err("a fleet run needs at least one tick".into());
+        }
+        self.load.validate()?;
+        if self.hologram_pixels == 0 {
+            return Err("sessions must cover at least one pixel".into());
+        }
+        if self.gsw_iterations == 0 {
+            return Err("GSW needs at least one iteration".into());
+        }
+        if !self.overload_factor.is_finite() || self.overload_factor < 1.0 {
+            return Err("overload factor must be at least 1".into());
+        }
+        if !self.migrate_factor.is_finite() || self.migrate_factor < self.overload_factor {
+            return Err("migrate factor must be at least the overload factor".into());
+        }
+        if !(self.migration_cost >= 0.0 && self.migration_cost.is_finite()) {
+            return Err("migration cost must be finite and non-negative".into());
+        }
+        if !(self.locality_bonus >= 0.0 && self.locality_bonus.is_finite()) {
+            return Err("locality bonus must be finite and non-negative".into());
+        }
+        if !(self.batch_discount > 0.0 && self.batch_discount <= 1.0) {
+            return Err("batch discount must be in (0, 1]".into());
+        }
+        if let Some((device, _)) = self.kill {
+            if device >= self.devices.len() {
+                return Err(format!("scheduled kill names device {device} of {}", self.devices.len()));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.kill_probability) {
+            return Err("kill probability must be in [0, 1]".into());
+        }
+        self.ladder.validate()?;
+        self.base.validate()
+    }
+}
+
+/// Per-device outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// Device index.
+    pub id: usize,
+    /// SMs (from the spec's derived config).
+    pub sm_count: u32,
+    /// Tick the device died, if it did.
+    pub killed_at: Option<u64>,
+    /// Most sessions hosted at once.
+    pub peak_sessions: u32,
+    /// Session-frames presented from this device.
+    pub presented: u64,
+    /// Deadline-hit rate of those frames (1.0 for an idle device).
+    pub hit_rate: f64,
+}
+
+/// Outcome of one fleet run. `Debug`-formatting the report is the
+/// byte-identity surface the property tests compare.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Devices configured.
+    pub devices: usize,
+    /// Sessions offered by the load schedule.
+    pub offered: usize,
+    /// Sessions admitted at least once.
+    pub admitted: usize,
+    /// Arrivals turned away (no device had admission headroom).
+    pub rejected: u64,
+    /// Sessions dropped because no live device remained to host them.
+    pub orphaned: u64,
+    /// Ticks simulated.
+    pub frames: u64,
+    /// Session-frames presented (fresh or reprojected).
+    pub presented: u64,
+    /// Fresh (non-reprojected) session-frames — the throughput numerator.
+    pub fresh: u64,
+    /// Presented frames that met their device's deadline.
+    pub deadline_hits: u64,
+    /// `deadline_hits / presented`.
+    pub hit_rate: f64,
+    /// Fresh frames per second of virtual wall time (ticks × 90 Hz budget).
+    pub aggregate_fps: f64,
+    /// Median presented-frame completion latency, seconds.
+    pub latency_p50: f64,
+    /// p99 presented-frame completion latency, seconds.
+    pub latency_p99: f64,
+    /// Total live migrations.
+    pub migrations: u64,
+    /// Migrations forced by device deaths.
+    pub kill_migrations: u64,
+    /// Migrations draining overloaded devices.
+    pub overload_migrations: u64,
+    /// Admission re-probes performed.
+    pub reprobes: u64,
+    /// Devices that died, as `(device, tick)` in death order.
+    pub killed: Vec<(usize, u64)>,
+    /// Most sessions live at once.
+    pub peak_active: u32,
+    /// Ladder transitions with reason `Migration` across all sessions —
+    /// the property tests pin this equal to `migrations`.
+    pub migration_transitions: u64,
+    /// Per-device outcomes.
+    pub per_device: Vec<DeviceReport>,
+    /// Every migration, in order.
+    pub migration_events: Vec<MigrationRecord>,
+}
+
+struct FleetDevice {
+    spec: DeviceSpec,
+    /// Nominal device model used to price probe jobs.
+    probe: Device,
+    injector: Option<FaultInjector>,
+    dead: bool,
+    killed_at: Option<u64>,
+    /// Probed full-quality load estimate, seconds per tick (placement's
+    /// least-loaded signal; maintained incrementally).
+    est_load: f64,
+    hosted: u32,
+    peak_hosted: u32,
+    presented: u64,
+    hits: u64,
+}
+
+struct FleetSession {
+    spec: SessionSpec,
+    ctl: DegradationController,
+    generator: FrameGenerator,
+    injector: FaultInjector,
+    device: usize,
+    arrived: u64,
+    departs: u64,
+    /// Last probed full-quality job (re-priced on migration).
+    job: HologramJob,
+    /// Probed full-quality solo cost on the current host, seconds.
+    cost: f64,
+    just_migrated: bool,
+    presented: u64,
+    fresh: u64,
+    hits: u64,
+    // Per-tick scratch, rewritten each tick before use.
+    effective: f64,
+    overrun: f64,
+    reprojecting: bool,
+}
+
+/// Prices `job` on a device model: its solo run latency, or the
+/// reprojection cost for an empty job.
+fn price(probe: &mut Device, job: &HologramJob, ladder: &DegradationLadder) -> f64 {
+    if job.plane_count == 0 {
+        ladder.reproject_latency
+    } else {
+        run_job(probe, job).latency
+    }
+}
+
+/// Placement snapshot: every device's probed load, liveness, and how many
+/// of its tenants stream `video`.
+fn device_views(
+    devices: &[FleetDevice],
+    sessions: &BTreeMap<u32, FleetSession>,
+    video: VideoCategory,
+) -> Vec<DeviceView> {
+    let mut same = vec![0u32; devices.len()];
+    for s in sessions.values() {
+        if s.spec.video == video {
+            same[s.device] += 1;
+        }
+    }
+    devices
+        .iter()
+        .enumerate()
+        .map(|(d, dev)| DeviceView {
+            load: dev.est_load,
+            budget: dev.spec.budget(),
+            alive: !dev.dead,
+            same_video: same[d],
+        })
+        .collect()
+}
+
+/// Runs the fleet loop. Deterministic for a given configuration: the loop
+/// is sequential virtual-time over ordered state, so reports are
+/// bit-identical across reruns and worker counts.
+///
+/// # Errors
+///
+/// Returns a description of the first invalid configuration field or
+/// internal model construction failure.
+pub fn run_fleet(config: &FleetConfig) -> Result<FleetReport, String> {
+    let _span = holoar_telemetry::span_cat("fleet.run", "fleet");
+    config.validate()?;
+    let k = config.devices.len();
+
+    let mut devices = Vec::with_capacity(k);
+    for (d, spec) in config.devices.iter().enumerate() {
+        let injector = if config.device_faults {
+            Some(if config.kill_probability > 0.0 {
+                scenario::fleet_device_with_kill(config.seed, d as u32, config.kill_probability)?
+            } else {
+                scenario::fleet_device(config.seed, d as u32)?
+            })
+        } else {
+            None
+        };
+        devices.push(FleetDevice {
+            spec: *spec,
+            probe: Device::new(spec.config()).map_err(|e| e.to_string())?,
+            injector,
+            dead: false,
+            killed_at: None,
+            est_load: 0.0,
+            hosted: 0,
+            peak_hosted: 0,
+            presented: 0,
+            hits: 0,
+        });
+    }
+
+    let plans = load::schedule(&config.load, config.frames)?;
+    let offered = plans.len();
+    let mut next_arrival = 0usize;
+
+    let mut sessions: BTreeMap<u32, FleetSession> = BTreeMap::new();
+    let mut admitted = 0usize;
+    let mut rejected = 0u64;
+    let mut orphaned = 0u64;
+    let mut reprobes = 0u64;
+    let mut killed: Vec<(usize, u64)> = Vec::new();
+    let mut migration_events: Vec<MigrationRecord> = Vec::new();
+    let mut migration_transitions = 0u64;
+    let mut peak_active = 0u32;
+    let mut presented = 0u64;
+    let mut fresh = 0u64;
+    let mut deadline_hits = 0u64;
+    let mut latencies: Vec<f64> = Vec::new();
+
+    // Probes a session's full-quality plan for `frame` into (job, cost on
+    // device `d`).
+    let shed = config.ladder.shed;
+
+    for tick in 0..config.frames {
+        let _tick = holoar_telemetry::span_cat("fleet.tick", "fleet");
+
+        // -- departures ---------------------------------------------------
+        let departing: Vec<u32> = sessions
+            .iter()
+            .filter(|(_, s)| s.departs <= tick)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in departing {
+            if let Some(s) = sessions.remove(&id) {
+                devices[s.device].est_load -= s.cost;
+                devices[s.device].hosted -= 1;
+                holoar_telemetry::counter_add("fleet.sessions.departed", 1);
+            }
+        }
+
+        // -- device faults, deaths, evacuation ----------------------------
+        let mut stretch = vec![1.0f64; k];
+        for d in 0..k {
+            if devices[d].dead {
+                continue;
+            }
+            let faults =
+                devices[d].injector.as_ref().map(|i| i.frame(tick)).unwrap_or_default();
+            let scheduled = config.kill == Some((d, tick));
+            if faults.device_dead || scheduled {
+                devices[d].dead = true;
+                devices[d].killed_at = Some(tick);
+                devices[d].est_load = 0.0;
+                devices[d].hosted = 0;
+                killed.push((d, tick));
+                holoar_telemetry::counter_add("fleet.device.killed", 1);
+                // Evacuate in session-id order; each evacuee lands on the
+                // best surviving device (or is orphaned if none remains).
+                let evacuees: Vec<u32> = sessions
+                    .iter()
+                    .filter(|(_, s)| s.device == d)
+                    .map(|(&id, _)| id)
+                    .collect();
+                for id in evacuees {
+                    let Some((video, job, cost)) =
+                        sessions.get(&id).map(|s| (s.spec.video, s.job, s.cost))
+                    else {
+                        continue;
+                    };
+                    let views = device_views(&devices, &sessions, video);
+                    match place(&views, cost, config.locality_bonus) {
+                        Some(target) => {
+                            let new_cost = if devices[target].spec == devices[d].spec {
+                                cost
+                            } else {
+                                price(&mut devices[target].probe, &job, &config.ladder)
+                            };
+                            devices[target].est_load += new_cost;
+                            devices[target].hosted += 1;
+                            devices[target].peak_hosted =
+                                devices[target].peak_hosted.max(devices[target].hosted);
+                            if let Some(s) = sessions.get_mut(&id) {
+                                s.device = target;
+                                s.cost = new_cost;
+                                s.just_migrated = true;
+                                s.ctl.record_migration(tick, SIG_DEVICE_KILL);
+                                migration_transitions += 1;
+                            }
+                            migration_events.push(MigrationRecord {
+                                tick,
+                                session: id,
+                                from: d,
+                                to: target,
+                                signal: SIG_DEVICE_KILL,
+                            });
+                            holoar_telemetry::counter_add("fleet.migrations", 1);
+                        }
+                        None => {
+                            if let Some(s) = sessions.remove(&id) {
+                                migration_transitions +=
+                                    count_migration_transitions(&s.ctl);
+                                orphaned += 1;
+                                holoar_telemetry::counter_add("fleet.sessions.orphaned", 1);
+                            }
+                        }
+                    }
+                }
+            } else {
+                stretch[d] = 1.0 / (faults.clock_scale * faults.dram_scale);
+            }
+        }
+
+        // -- arrivals -----------------------------------------------------
+        while next_arrival < plans.len() && plans[next_arrival].arrive == tick {
+            let plan = plans[next_arrival];
+            next_arrival += 1;
+            if plan.depart <= tick {
+                continue;
+            }
+            // Probe the session's first frame at full quality, priced on
+            // the reference device model (device 0); re-priced on the
+            // chosen host if its spec differs.
+            let frame = FrameGenerator::new(plan.spec.video, plan.spec.seed)
+                .next()
+                .ok_or("frame generator must be infinite")?;
+            let sample = nominal_sample(&frame);
+            let planned = Planner::new(config.base)?.plan_frame_with(&frame, &sample);
+            let job = session_job(config.hologram_pixels, config.gsw_iterations, &planned);
+            let ref_cost = price(&mut devices[0].probe, &job, &config.ladder);
+            // Greedy admission: try devices best-first until one has
+            // headroom; every candidate exhausted means rejection.
+            let mut views = device_views(&devices, &sessions, plan.spec.video);
+            let target = loop {
+                let Some(candidate) = place(&views, ref_cost, config.locality_bonus) else {
+                    break None;
+                };
+                let dev = &devices[candidate];
+                let fits = dev.est_load + ref_cost
+                    <= config.overload_factor * dev.spec.budget() + 1e-12;
+                if fits {
+                    break Some(candidate);
+                }
+                views[candidate].alive = false;
+            };
+            let Some(target) = target else {
+                rejected += 1;
+                holoar_telemetry::counter_add("fleet.sessions.rejected", 1);
+                continue;
+            };
+            let cost = if devices[target].spec == devices[0].spec {
+                ref_cost
+            } else {
+                price(&mut devices[target].probe, &job, &config.ladder)
+            };
+            devices[target].est_load += cost;
+            devices[target].hosted += 1;
+            devices[target].peak_hosted = devices[target].peak_hosted.max(devices[target].hosted);
+            admitted += 1;
+            holoar_telemetry::counter_add("fleet.sessions.arrived", 1);
+            sessions.insert(
+                plan.spec.id,
+                FleetSession {
+                    spec: plan.spec,
+                    ctl: DegradationController::new(config.ladder)?,
+                    generator: FrameGenerator::new(plan.spec.video, plan.spec.seed),
+                    injector: scenario::serve_session(plan.spec.seed, plan.spec.id)?,
+                    device: target,
+                    arrived: tick,
+                    departs: plan.depart,
+                    job,
+                    cost,
+                    just_migrated: false,
+                    presented: 0,
+                    fresh: 0,
+                    hits: 0,
+                    effective: 0.0,
+                    overrun: 0.0,
+                    reprojecting: false,
+                },
+            );
+        }
+        peak_active = peak_active.max(sessions.len() as u32);
+
+        // -- advance sessions: sense, re-probe, decide, load --------------
+        let mut loads = vec![0.0f64; k];
+        let mut fresh_counts = vec![0u32; k];
+        let mut reprobe_jobs: Vec<(u32, Frame)> = Vec::new();
+        for (&id, s) in sessions.iter_mut() {
+            let frame = s.generator.next().ok_or("frame generator must be infinite")?;
+            let session_faults = s.injector.frame(tick);
+            // Striped re-probe: every session re-plans at full quality
+            // every `reprobe_every` ticks, offset by id.
+            if config.reprobe_every > 0
+                && tick > s.arrived
+                && tick % config.reprobe_every == u64::from(id) % config.reprobe_every
+            {
+                reprobe_jobs.push((id, frame.clone()));
+            }
+            let level = s.ctl.decide(tick);
+            s.reprojecting = level == DegradationLevel::LastGood;
+            s.overrun = session_faults.stage_overrun;
+            s.effective = if s.reprojecting {
+                0.0
+            } else {
+                let session_stretch =
+                    1.0 / (session_faults.clock_scale * session_faults.dram_scale);
+                shed[level.index()] * s.cost * session_stretch
+            };
+            if !s.reprojecting {
+                loads[s.device] += s.effective;
+                fresh_counts[s.device] += 1;
+            }
+        }
+        // Re-probes mutate devices, so they run after the session sweep.
+        for (id, frame) in reprobe_jobs {
+            let Some((device, old_cost)) = sessions.get(&id).map(|s| (s.device, s.cost)) else {
+                continue;
+            };
+            let sample = nominal_sample(&frame);
+            let planned = Planner::new(config.base)?.plan_frame_with(&frame, &sample);
+            let job = session_job(config.hologram_pixels, config.gsw_iterations, &planned);
+            let cost = price(&mut devices[device].probe, &job, &config.ladder);
+            devices[device].est_load += cost - old_cost;
+            if let Some(s) = sessions.get_mut(&id) {
+                s.job = job;
+                s.cost = cost;
+            }
+            reprobes += 1;
+            holoar_telemetry::counter_add("fleet.reprobe.probes", 1);
+        }
+
+        // -- device latency: batch-discounted sum, fault-stretched --------
+        let mut device_latency = vec![0.0f64; k];
+        for d in 0..k {
+            if fresh_counts[d] > 0 {
+                let n = f64::from(fresh_counts[d]);
+                let amortize = config.batch_discount + (1.0 - config.batch_discount) / n;
+                device_latency[d] = loads[d] * amortize * stretch[d];
+            }
+        }
+
+        // -- attribution --------------------------------------------------
+        for s in sessions.values_mut() {
+            let d = s.device;
+            let budget = devices[d].spec.budget();
+            let n = f64::from(fresh_counts[d].max(1));
+            let amortize = config.batch_discount + (1.0 - config.batch_discount) / n;
+            let mut completion = if s.reprojecting {
+                config.ladder.reproject_latency
+            } else {
+                device_latency[d] + s.overrun
+            };
+            if s.just_migrated {
+                completion += config.migration_cost;
+                s.just_migrated = false;
+            }
+            let hit = completion <= budget + 1e-12;
+            s.presented += 1;
+            presented += 1;
+            devices[d].presented += 1;
+            if !s.reprojecting {
+                s.fresh += 1;
+                fresh += 1;
+            }
+            if hit {
+                s.hits += 1;
+                deadline_hits += 1;
+                devices[d].hits += 1;
+                holoar_telemetry::counter_add("fleet.deadline.hit", 1);
+            } else {
+                holoar_telemetry::counter_add("fleet.deadline.miss", 1);
+            }
+            latencies.push(completion);
+            // The controller sees only this session's attributed share.
+            let observed = if s.reprojecting {
+                config.ladder.reproject_latency
+            } else {
+                s.effective * amortize * stretch[d] + s.overrun
+            };
+            s.ctl.observe(tick, observed);
+        }
+
+        // -- QoS: one victim per overrunning device -----------------------
+        for d in 0..k {
+            if devices[d].dead {
+                continue;
+            }
+            let budget = devices[d].spec.budget();
+            if device_latency[d] > budget {
+                // Deepest effective cost, ties to the lower id.
+                let victim = sessions
+                    .iter()
+                    .filter(|(_, s)| {
+                        s.device == d
+                            && !s.reprojecting
+                            && s.ctl.level() != DegradationLevel::LastGood
+                    })
+                    .max_by(|(a_id, a), (b_id, b)| {
+                        a.effective
+                            .total_cmp(&b.effective)
+                            .then(b_id.cmp(a_id))
+                    })
+                    .map(|(&id, _)| id);
+                for (&id, s) in sessions.iter_mut() {
+                    if s.device != d {
+                        continue;
+                    }
+                    if Some(id) == victim {
+                        s.ctl.request_step_down_with("fleet-batch-overrun");
+                        holoar_telemetry::counter_add("fleet.qos.step_down", 1);
+                    } else {
+                        s.ctl.hold_level();
+                    }
+                }
+            } else if device_latency[d] > HOLD_MARGIN * budget {
+                for s in sessions.values_mut() {
+                    if s.device == d {
+                        s.ctl.hold_level();
+                    }
+                }
+            }
+        }
+
+        // -- overload migration: newest tenant off a hot device -----------
+        for d in 0..k {
+            if devices[d].dead || loads[d] <= config.migrate_factor * devices[d].spec.budget() {
+                continue;
+            }
+            let tenants: Vec<(u32, u64)> = sessions
+                .iter()
+                .filter(|(_, s)| s.device == d)
+                .map(|(&id, s)| (id, s.arrived))
+                .collect();
+            let Some(victim) = pick_overload_victim(&tenants) else {
+                continue;
+            };
+            let Some((video, job, cost)) =
+                sessions.get(&victim).map(|s| (s.spec.video, s.job, s.cost))
+            else {
+                continue;
+            };
+            let mut views = device_views(&devices, &sessions, video);
+            views[d].alive = false; // never "migrate" in place
+            let Some(target) = place(&views, cost, config.locality_bonus) else {
+                continue;
+            };
+            let fits = devices[target].est_load + cost
+                <= config.overload_factor * devices[target].spec.budget() + 1e-12;
+            if !fits {
+                continue; // no better home; keep absorbing via QoS
+            }
+            let new_cost = if devices[target].spec == devices[d].spec {
+                cost
+            } else {
+                price(&mut devices[target].probe, &job, &config.ladder)
+            };
+            devices[d].est_load -= cost;
+            devices[d].hosted -= 1;
+            devices[target].est_load += new_cost;
+            devices[target].hosted += 1;
+            devices[target].peak_hosted =
+                devices[target].peak_hosted.max(devices[target].hosted);
+            if let Some(s) = sessions.get_mut(&victim) {
+                s.device = target;
+                s.cost = new_cost;
+                s.just_migrated = true;
+                s.ctl.record_migration(tick, SIG_DEVICE_OVERLOAD);
+                migration_transitions += 1;
+            }
+            migration_events.push(MigrationRecord {
+                tick,
+                session: victim,
+                from: d,
+                to: target,
+                signal: SIG_DEVICE_OVERLOAD,
+            });
+            holoar_telemetry::counter_add("fleet.migrations", 1);
+        }
+
+        holoar_telemetry::gauge_set(
+            "fleet.devices.live",
+            devices.iter().filter(|dev| !dev.dead).count() as f64,
+        );
+        holoar_telemetry::gauge_set("fleet.sessions.active", sessions.len() as f64);
+    }
+
+    // Sessions alive at run end contribute their migration transitions too
+    // (migrated-then-departed sessions were counted at the migration site).
+    let wall = config.frames as f64 * DeviceSpec::edge().budget();
+    let aggregate_fps = fresh as f64 / wall.max(f64::MIN_POSITIVE);
+    holoar_telemetry::gauge_set("fleet.throughput_fps", aggregate_fps);
+
+    let kill_migrations =
+        migration_events.iter().filter(|m| m.signal == SIG_DEVICE_KILL).count() as u64;
+    let overload_migrations = migration_events.len() as u64 - kill_migrations;
+    let per_device = devices
+        .iter()
+        .enumerate()
+        .map(|(id, dev)| DeviceReport {
+            id,
+            sm_count: dev.spec.config().sm_count,
+            killed_at: dev.killed_at,
+            peak_sessions: dev.peak_hosted,
+            presented: dev.presented,
+            hit_rate: if dev.presented == 0 {
+                1.0
+            } else {
+                dev.hits as f64 / dev.presented as f64
+            },
+        })
+        .collect();
+
+    Ok(FleetReport {
+        devices: k,
+        offered,
+        admitted,
+        rejected,
+        orphaned,
+        frames: config.frames,
+        presented,
+        fresh,
+        deadline_hits,
+        hit_rate: if presented == 0 { 1.0 } else { deadline_hits as f64 / presented as f64 },
+        aggregate_fps,
+        latency_p50: percentile(&latencies, 0.50),
+        latency_p99: percentile(&latencies, 0.99),
+        migrations: migration_events.len() as u64,
+        kill_migrations,
+        overload_migrations,
+        reprobes,
+        killed,
+        peak_active,
+        migration_transitions,
+        per_device,
+        migration_events,
+    })
+}
+
+/// Migration-reason transitions recorded on one controller.
+fn count_migration_transitions(ctl: &DegradationController) -> u64 {
+    ctl.transitions()
+        .iter()
+        .filter(|t| t.reason == TransitionReason::Migration)
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_rejects_bad_fleets() {
+        assert!(FleetConfig { devices: vec![], ..FleetConfig::sweep(1, 4, 10, 1) }
+            .validate()
+            .is_err());
+        assert!(FleetConfig { migrate_factor: 1.0, ..FleetConfig::sweep(2, 4, 10, 1) }
+            .validate()
+            .is_err());
+        assert!(FleetConfig { kill: Some((9, 5)), ..FleetConfig::sweep(2, 4, 10, 1) }
+            .validate()
+            .is_err());
+        assert!(FleetConfig::sweep(2, 4, 10, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn a_small_fleet_serves_and_reprobes() {
+        let report = run_fleet(&FleetConfig::sweep(2, 6, 48, 42)).unwrap();
+        assert_eq!(report.devices, 2);
+        assert_eq!(report.offered, 6);
+        assert!(report.admitted > 0);
+        assert!(report.fresh > 0);
+        assert!(report.reprobes > 0, "re-probing must actually happen");
+        assert!(report.hit_rate > 0.5, "hit rate collapsed: {}", report.hit_rate);
+        assert_eq!(report.presented, report.per_device.iter().map(|d| d.presented).sum());
+    }
+
+    #[test]
+    fn a_scheduled_kill_migrates_every_hosted_session() {
+        let config = FleetConfig { kill: Some((0, 20)), ..FleetConfig::sweep(3, 12, 60, 42) };
+        let report = run_fleet(&config).unwrap();
+        assert_eq!(report.killed, vec![(0, 20)]);
+        assert!(report.kill_migrations > 0, "the killed device hosted nobody?");
+        assert_eq!(report.migrations, report.migration_transitions);
+        assert!(report
+            .migration_events
+            .iter()
+            .all(|m| !m.signal.is_empty() && m.from != m.to));
+        // The dead device presents nothing after the kill.
+        let dead = &report.per_device[0];
+        assert_eq!(dead.killed_at, Some(20));
+    }
+
+    #[test]
+    fn reruns_are_bit_identical() {
+        let config = FleetConfig { kill: Some((1, 30)), ..FleetConfig::sweep(4, 24, 80, 7) };
+        let a = run_fleet(&config).unwrap();
+        let b = run_fleet(&config).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -22,18 +22,27 @@
 //!   sketches, error-budget accounting with multi-window burn-rate alerts,
 //!   and synthesized per-frame span trees whose critical path names the
 //!   stage behind every missed deadline.
+//! - [`fleet`] — multiplexes a churning session population across **K**
+//!   devices: least-loaded + locality-aware [`placement`], periodic
+//!   admission re-probing, and live session [`migration`] when a device
+//!   overloads or dies, fed by the replay-driven [`load`] generator.
 //!
-//! The engine ([`run_serve`]) is bit-deterministic for a given
-//! configuration at any [`ExecutionContext`](holoar_core::ExecutionContext)
-//! worker count.
+//! Devices everywhere are described by the [`DeviceSpec`] builder, so
+//! serve, faults, SLO, and fleet all construct heterogeneous hardware
+//! through one vocabulary.
+//!
+//! The engines ([`run_serve`], [`run_fleet`]) are bit-deterministic for a
+//! given configuration at any
+//! [`ExecutionContext`](holoar_core::ExecutionContext) worker count.
 //!
 //! # Examples
 //!
 //! ```
 //! use holoar_core::ExecutionContext;
-//! use holoar_serve::{run_serve, ServeConfig};
+//! use holoar_serve::{run_serve, DeviceSpec, ServeConfig, SessionSpec};
 //!
-//! let config = ServeConfig::fleet(2, 4, 42);
+//! let config =
+//!     ServeConfig::fleet(DeviceSpec::edge(), SessionSpec::fleet(2, 42), 4);
 //! let ctx = ExecutionContext::serial();
 //! let report = run_serve(&config, &ctx).expect("fleet config is valid");
 //! assert_eq!(report.admitted, 2);
@@ -46,6 +55,10 @@
 pub mod admission;
 pub mod batcher;
 pub mod engine;
+pub mod fleet;
+pub mod load;
+pub mod migration;
+pub mod placement;
 pub mod qos;
 pub mod quality;
 pub mod report;
@@ -54,9 +67,12 @@ pub mod session;
 pub mod slo;
 
 pub use batcher::PlaneBatch;
-pub use engine::{
-    run_serve, serve_device, ServeConfig, SERVE_FRAME_BUDGET, SERVE_HOLOGRAM_PIXELS,
-};
+pub use engine::{run_serve, ServeConfig, SERVE_FRAME_BUDGET, SERVE_HOLOGRAM_PIXELS};
+pub use fleet::{run_fleet, DeviceReport, FleetConfig, FleetReport};
+pub use holoar_gpusim::{DeviceSpec, EDGE_FRAME_BUDGET};
+pub use load::{schedule, LoadConfig, SessionPlan};
+pub use migration::{MigrationRecord, SIG_DEVICE_KILL, SIG_DEVICE_OVERLOAD};
+pub use placement::{place, DeviceView};
 pub use quality::{QualitySampler, PSNR_CAP};
 pub use report::{percentile, ServeReport, SessionReport};
 pub use scheduler::FrameScheduler;

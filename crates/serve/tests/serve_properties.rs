@@ -3,17 +3,17 @@
 //! multi-session contention.
 
 use holoar_core::ExecutionContext;
-use holoar_serve::{run_serve, ServeConfig, SERVE_FRAME_BUDGET};
+use holoar_serve::{run_serve, DeviceSpec, ServeConfig, SessionSpec, SERVE_FRAME_BUDGET};
 use proptest::prelude::*;
 
 /// The acceptance scenario: 8 sessions, shared serving device.
 fn eight_sessions() -> ServeConfig {
-    ServeConfig::fleet(8, 40, 42)
+    ServeConfig::fleet(DeviceSpec::edge(), SessionSpec::fleet(8, 42), 40)
 }
 
 #[test]
 fn serve_report_is_bit_identical_across_worker_counts() {
-    let config = ServeConfig::fleet(4, 24, 42);
+    let config = ServeConfig::fleet(DeviceSpec::edge(), SessionSpec::fleet(4, 42), 24);
     let baseline = run_serve(&config, &ExecutionContext::serial()).expect("fleet config is valid");
     for workers in [1usize, 2, 7] {
         let ctx = ExecutionContext::with_workers(workers);
@@ -60,7 +60,7 @@ fn eight_sessions_meet_the_acceptance_targets() {
 #[test]
 fn oversubscription_degrades_incrementally_never_in_lockstep() {
     // 24 sessions oversubscribe the 90 Hz budget, so QoS must engage.
-    let config = ServeConfig::fleet(24, 100, 7);
+    let config = ServeConfig::fleet(DeviceSpec::edge(), SessionSpec::fleet(24, 7), 100);
     let ctx = ExecutionContext::serial();
     let report = run_serve(&config, &ctx).expect("fleet config is valid");
     let qos_total: u64 = report.sessions.iter().map(|s| s.qos_step_downs).sum();
@@ -88,7 +88,7 @@ fn oversubscription_degrades_incrementally_never_in_lockstep() {
 fn full_telemetry_does_not_perturb_the_report() {
     // The SLO/profile bookkeeping is pure data — turning the collector on
     // must not change a single bit of the report, at any worker count.
-    let config = ServeConfig::fleet(4, 24, 42);
+    let config = ServeConfig::fleet(DeviceSpec::edge(), SessionSpec::fleet(4, 42), 24);
     let off = run_serve(&config, &ExecutionContext::serial()).expect("fleet config is valid");
     holoar_telemetry::set_mode(holoar_telemetry::TelemetryMode::Full);
     for workers in [1usize, 2, 7] {
@@ -106,7 +106,7 @@ fn full_telemetry_does_not_perturb_the_report() {
 fn slo_signals_annotate_every_step_down_and_alerts_fire_under_overload() {
     // Same oversubscribed fleet as the incremental-degradation test: misses
     // abound, so the SLO machinery must both page and explain itself.
-    let config = ServeConfig::fleet(24, 100, 7);
+    let config = ServeConfig::fleet(DeviceSpec::edge(), SessionSpec::fleet(24, 7), 100);
     let ctx = ExecutionContext::serial();
     let report = run_serve(&config, &ctx).expect("fleet config is valid");
 
@@ -173,7 +173,7 @@ proptest! {
         frames in 4u64..16,
         seed in 0u64..1_000,
     ) {
-        let config = ServeConfig::fleet(sessions, frames, seed);
+        let config = ServeConfig::fleet(DeviceSpec::edge(), SessionSpec::fleet(sessions, seed), frames);
         let ctx = ExecutionContext::serial();
         let a = run_serve(&config, &ctx).expect("fleet config is valid");
         let b = run_serve(&config, &ctx).expect("fleet config is valid");
