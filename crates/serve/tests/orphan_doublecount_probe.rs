@@ -1,0 +1,22 @@
+//! Throwaway review probe: does an orphaned session that previously
+//! migrated double-count in `migration_transitions`?
+
+use holoar_serve::{run_fleet, FleetConfig};
+
+#[test]
+fn orphaned_after_migration_keeps_books_consistent() {
+    // Search seeds for a run where every device eventually dies (injector
+    // kills), forcing orphans, with at least one migration beforehand.
+    for seed in 0..200u64 {
+        let mut cfg = FleetConfig::sweep(2, 12, 96, seed);
+        cfg.kill_probability = 0.5;
+        let r = run_fleet(&cfg).unwrap();
+        if r.orphaned > 0 && r.migrations > 0 {
+            assert_eq!(
+                r.migrations, r.migration_transitions,
+                "seed {seed}: orphaned={} migrations={} transitions={}",
+                r.orphaned, r.migrations, r.migration_transitions
+            );
+        }
+    }
+}
